@@ -1,0 +1,203 @@
+//! Item-to-item collaborative filtering — the **legacy** production system
+//! of the A/B test (Section 5.2.3).
+//!
+//! The paper's incumbent recommender applies "a variant of classic
+//! item-to-item collaborative filtering" (Sarwar et al.): for every catalogue
+//! item, precompute the most similar items by cosine similarity over session
+//! co-occurrence, then recommend the items most similar to what the user is
+//! looking at. Unlike session-based kNN it conditions on *items*, not on the
+//! evolving *session* — which is exactly the gap the A/B test measures.
+
+use serenade_core::{Click, FxHashMap, ItemId, ItemScore, Recommender};
+use serenade_dataset::sessionize;
+
+use crate::common;
+
+/// Configuration of the item-to-item model.
+#[derive(Debug, Clone, Copy)]
+pub struct ItemKnnConfig {
+    /// Keep at most this many similar items per item.
+    pub max_neighbors_per_item: usize,
+    /// Cap on session length when counting co-occurrence pairs (quadratic).
+    pub max_session_len: usize,
+    /// How many of the most recent session items to condition on
+    /// (1 = classic "customers who viewed this item also viewed").
+    pub condition_on_last: usize,
+}
+
+impl Default for ItemKnnConfig {
+    fn default() -> Self {
+        Self { max_neighbors_per_item: 100, max_session_len: 25, condition_on_last: 1 }
+    }
+}
+
+/// Precomputed item-to-item cosine similarities.
+#[derive(Debug, Clone)]
+pub struct ItemKnn {
+    /// Per item: similar items sorted by descending similarity.
+    similar: FxHashMap<ItemId, Vec<ItemScore>>,
+    config: ItemKnnConfig,
+}
+
+impl ItemKnn {
+    /// Fits the model on a click log.
+    pub fn fit(clicks: &[Click], config: ItemKnnConfig) -> Self {
+        let sessions = sessionize(clicks);
+        let mut freq: FxHashMap<ItemId, u32> = FxHashMap::default();
+        let mut cooc: FxHashMap<(ItemId, ItemId), u32> = FxHashMap::default();
+
+        for s in &sessions {
+            // Deduplicate, keep first occurrences, cap the length.
+            let mut items: Vec<ItemId> = Vec::with_capacity(s.items.len().min(16));
+            for &i in &s.items {
+                if !items.contains(&i) {
+                    items.push(i);
+                    if items.len() >= config.max_session_len {
+                        break;
+                    }
+                }
+            }
+            for (a_idx, &a) in items.iter().enumerate() {
+                *freq.entry(a).or_insert(0) += 1;
+                for &b in &items[a_idx + 1..] {
+                    // Store each unordered pair once, canonically ordered.
+                    let key = if a < b { (a, b) } else { (b, a) };
+                    *cooc.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Cosine similarity: co(a,b) / sqrt(freq(a) * freq(b)).
+        let mut similar: FxHashMap<ItemId, Vec<ItemScore>> = FxHashMap::default();
+        for (&(a, b), &co) in &cooc {
+            let sim = co as f32 / ((freq[&a] as f32) * (freq[&b] as f32)).sqrt();
+            similar.entry(a).or_default().push(ItemScore { item: b, score: sim });
+            similar.entry(b).or_default().push(ItemScore { item: a, score: sim });
+        }
+        for list in similar.values_mut() {
+            list.sort_unstable_by(|x, y| {
+                y.score.partial_cmp(&x.score).expect("finite").then(x.item.cmp(&y.item))
+            });
+            list.truncate(config.max_neighbors_per_item);
+        }
+        Self { similar, config }
+    }
+
+    /// The most similar items to `item`, best first.
+    pub fn similar_items(&self, item: ItemId) -> &[ItemScore] {
+        self.similar.get(&item).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of items with at least one similar item.
+    pub fn num_items(&self) -> usize {
+        self.similar.len()
+    }
+}
+
+impl Recommender for ItemKnn {
+    fn recommend(&self, session: &[ItemId], how_many: usize) -> Vec<ItemScore> {
+        if session.is_empty() {
+            return Vec::new();
+        }
+        let from = session.len().saturating_sub(self.config.condition_on_last);
+        let anchors = &session[from..];
+        let mut scores: FxHashMap<ItemId, f32> = FxHashMap::default();
+        // More recent anchors weigh more (linear ramp).
+        for (rank, &anchor) in anchors.iter().enumerate() {
+            let weight = (rank + 1) as f32 / anchors.len() as f32;
+            for s in self.similar_items(anchor) {
+                if !session.contains(&s.item) {
+                    *scores.entry(s.item).or_insert(0.0) += weight * s.score;
+                }
+            }
+        }
+        common::rank_scores(scores, how_many)
+    }
+
+    fn name(&self) -> &str {
+        "item-knn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clicks() -> Vec<Click> {
+        // Items 1 and 2 co-occur twice; 1 and 3 once; 2 and 3 once.
+        vec![
+            Click::new(10, 1, 1),
+            Click::new(10, 2, 2),
+            Click::new(20, 1, 3),
+            Click::new(20, 2, 4),
+            Click::new(20, 3, 5),
+            Click::new(30, 3, 6),
+            Click::new(30, 4, 7),
+        ]
+    }
+
+    #[test]
+    fn cosine_similarities_are_correct() {
+        let m = ItemKnn::fit(&clicks(), ItemKnnConfig::default());
+        // freq: 1→2, 2→2, 3→2, 4→1. co(1,2)=2 → sim = 2/sqrt(4) = 1.
+        let sim12 = m.similar_items(1).iter().find(|s| s.item == 2).unwrap().score;
+        assert!((sim12 - 1.0).abs() < 1e-6);
+        // co(1,3)=1 → sim = 1/sqrt(4) = 0.5.
+        let sim13 = m.similar_items(1).iter().find(|s| s.item == 3).unwrap().score;
+        assert!((sim13 - 0.5).abs() < 1e-6);
+        // Symmetry.
+        let sim31 = m.similar_items(3).iter().find(|s| s.item == 1).unwrap().score;
+        assert!((sim31 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recommends_most_similar_to_last_item() {
+        let m = ItemKnn::fit(&clicks(), ItemKnnConfig::default());
+        let recs = Recommender::recommend(&m, &[1], 10);
+        assert_eq!(recs[0].item, 2);
+        assert!(recs.iter().all(|r| r.item != 1));
+    }
+
+    #[test]
+    fn conditioning_window_is_respected() {
+        let cfg = ItemKnnConfig { condition_on_last: 1, ..Default::default() };
+        let m = ItemKnn::fit(&clicks(), cfg);
+        // With window 1, only item 4 matters; its only neighbour is 3.
+        let recs = Recommender::recommend(&m, &[1, 4], 10);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].item, 3);
+    }
+
+    #[test]
+    fn duplicate_session_items_counted_once() {
+        let clicks = vec![
+            Click::new(1, 7, 1),
+            Click::new(1, 7, 2),
+            Click::new(1, 8, 3),
+        ];
+        let m = ItemKnn::fit(&clicks, ItemKnnConfig::default());
+        // freq(7) = 1 (session-level), co(7,8) = 1 → sim = 1.
+        let sim = m.similar_items(7)[0].score;
+        assert!((sim - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn neighbor_cap_truncates() {
+        let mut clicks = Vec::new();
+        // Item 0 co-occurs with 50 others.
+        for i in 1..=50u64 {
+            clicks.push(Click::new(i, 0, i * 10));
+            clicks.push(Click::new(i, i, i * 10 + 1));
+        }
+        let cfg = ItemKnnConfig { max_neighbors_per_item: 5, ..Default::default() };
+        let m = ItemKnn::fit(&clicks, cfg);
+        assert_eq!(m.similar_items(0).len(), 5);
+    }
+
+    #[test]
+    fn empty_session_or_unknown_item() {
+        let m = ItemKnn::fit(&clicks(), ItemKnnConfig::default());
+        assert!(Recommender::recommend(&m, &[], 5).is_empty());
+        assert!(Recommender::recommend(&m, &[999], 5).is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! # serenade-baselines — comparison recommenders for the Serenade experiments
+//!
+//! Every algorithm the paper compares against, implemented from scratch:
+//!
+//! * [`vsknn`] — the scan-based **VS-kNN** baseline of the index-design
+//!   microbenchmark (Figure 3a, bottom): holds the historical data in hash
+//!   maps and first materialises the `m` most recent matching sessions
+//!   before computing similarities. Produces *identical* neighbourhoods to
+//!   VMIS-kNN (the test suite verifies this), just slower.
+//! * [`vmis_noopt`] — **VMIS-kNN-no-opt**: the index-based algorithm without
+//!   the micro-optimisations (binary instead of octonary heaps, no early
+//!   stopping).
+//! * [`itemknn`] — item-to-item collaborative filtering, the **legacy**
+//!   production system of the A/B test (Section 5.2.3).
+//! * [`popularity`] — the popularity baseline.
+//! * [`seqrules`] — sequential rules, a strong lightweight sequence baseline
+//!   from the session-rec literature.
+//! * [`analogues`] — Rust behavioural analogues of the alternative
+//!   implementations in Figure 3a (top): the pandas-style scan (VS-Py), the
+//!   allocation-heavy variant (VMIS-Java), the join-materialising variant
+//!   (VMIS-SQL) and the incremental variant (VMIS-Diff). See DESIGN.md for
+//!   the substitution rationale.
+
+#![warn(missing_docs)]
+
+pub mod analogues;
+pub mod common;
+pub mod itemknn;
+pub mod popularity;
+pub mod seqrules;
+pub mod vsknn;
+
+pub use itemknn::ItemKnn;
+pub use popularity::Popularity;
+pub use seqrules::SequentialRules;
+pub use vsknn::VsKnnBaseline;
+
+use serenade_core::{CoreError, SessionIndex, VmisConfig, VmisKnn};
+use std::sync::Arc;
+
+/// Constructs **VMIS-kNN-no-opt**: the same index-based algorithm but with
+/// binary heaps and early stopping disabled (Section 5.1.3).
+pub fn vmis_noopt(
+    index: impl Into<Arc<SessionIndex>>,
+    mut config: VmisConfig,
+) -> Result<VmisKnn, CoreError> {
+    config.early_stopping = false;
+    config.heap_arity = serenade_core::HeapArity::Binary;
+    VmisKnn::new(index, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenade_core::Click;
+
+    #[test]
+    fn vmis_noopt_disables_optimisations() {
+        let clicks = vec![Click::new(1, 1, 1), Click::new(1, 2, 2)];
+        let index = SessionIndex::build(&clicks, 500).unwrap();
+        let v = vmis_noopt(index, VmisConfig::default()).unwrap();
+        assert!(!v.config().early_stopping);
+        assert_eq!(v.config().heap_arity, serenade_core::HeapArity::Binary);
+    }
+}

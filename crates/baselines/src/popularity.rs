@@ -1,0 +1,100 @@
+//! Popularity baseline: always recommends the globally most-clicked items.
+//!
+//! The floor every session-aware recommender must beat; also used by the A/B
+//! simulator as a sanity arm.
+
+use serenade_core::{Click, FxHashMap, ItemId, ItemScore, Recommender};
+
+/// Global popularity recommender.
+#[derive(Debug, Clone)]
+pub struct Popularity {
+    /// Items sorted by descending click count (ties: ascending id).
+    ranked: Vec<ItemScore>,
+}
+
+impl Popularity {
+    /// Fits the baseline on a click log.
+    pub fn fit(clicks: &[Click]) -> Self {
+        let mut counts: FxHashMap<ItemId, u64> = FxHashMap::default();
+        for c in clicks {
+            *counts.entry(c.item_id).or_insert(0) += 1;
+        }
+        let total = clicks.len().max(1) as f32;
+        let mut ranked: Vec<ItemScore> = counts
+            .into_iter()
+            .map(|(item, n)| ItemScore { item, score: n as f32 / total })
+            .collect();
+        ranked.sort_unstable_by(|a, b| {
+            b.score.partial_cmp(&a.score).expect("finite").then(a.item.cmp(&b.item))
+        });
+        Self { ranked }
+    }
+
+    /// Number of distinct items seen during fitting.
+    pub fn num_items(&self) -> usize {
+        self.ranked.len()
+    }
+}
+
+impl Recommender for Popularity {
+    fn recommend(&self, session: &[ItemId], how_many: usize) -> Vec<ItemScore> {
+        // Skip items the user is already looking at.
+        self.ranked
+            .iter()
+            .filter(|s| !session.contains(&s.item))
+            .take(how_many)
+            .copied()
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "popularity"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clicks() -> Vec<Click> {
+        vec![
+            Click::new(1, 10, 1),
+            Click::new(1, 11, 2),
+            Click::new(2, 10, 3),
+            Click::new(2, 12, 4),
+            Click::new(3, 10, 5),
+            Click::new(3, 11, 6),
+        ]
+    }
+
+    #[test]
+    fn ranks_by_frequency() {
+        let p = Popularity::fit(&clicks());
+        let recs = p.recommend(&[], 3);
+        assert_eq!(recs[0].item, 10); // 3 clicks
+        assert_eq!(recs[1].item, 11); // 2 clicks
+        assert_eq!(recs[2].item, 12); // 1 click
+        assert!(recs[0].score > recs[1].score);
+    }
+
+    #[test]
+    fn excludes_session_items() {
+        let p = Popularity::fit(&clicks());
+        let recs = p.recommend(&[10], 3);
+        assert!(recs.iter().all(|r| r.item != 10));
+        assert_eq!(recs[0].item, 11);
+    }
+
+    #[test]
+    fn respects_how_many() {
+        let p = Popularity::fit(&clicks());
+        assert_eq!(p.recommend(&[], 2).len(), 2);
+        assert_eq!(p.num_items(), 3);
+    }
+
+    #[test]
+    fn empty_training_data() {
+        let p = Popularity::fit(&[]);
+        assert!(p.recommend(&[], 5).is_empty());
+    }
+}

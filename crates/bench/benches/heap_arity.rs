@@ -1,0 +1,88 @@
+//! Heap-arity microbenchmark (the paper's octonary-heap design choice).
+//!
+//! VMIS-kNN's workload is insertion-heavy with frequent replace-root
+//! operations on a bounded heap. This bench isolates that pattern across
+//! arities d ∈ {2, 4, 8, 16} on both the const-generic and the runtime-arity
+//! heap, so the A1 ablation's end-to-end numbers can be traced to the data
+//! structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serenade_core::heap::{DaryHeap, RuntimeDaryHeap};
+
+/// The VMIS-kNN access pattern: fill to capacity, then a long stream of
+/// replace-root-if-greater probes.
+fn workload_const<const D: usize>(keys: &[u64], capacity: usize) -> u64 {
+    let mut heap: DaryHeap<u64, u32, D> = DaryHeap::with_capacity(capacity);
+    let mut acc = 0u64;
+    for &k in keys {
+        if heap.len() < capacity {
+            heap.push(k, 0);
+        } else {
+            let &(root, _) = heap.peek().expect("full");
+            if k > root {
+                let (old, _) = heap.replace_root(k, 0);
+                acc ^= old;
+            }
+        }
+    }
+    acc
+}
+
+fn workload_runtime(d: usize, keys: &[u64], capacity: usize) -> u64 {
+    let mut heap: RuntimeDaryHeap<u64, u32> =
+        RuntimeDaryHeap::with_arity_and_capacity(d, capacity);
+    let mut acc = 0u64;
+    for &k in keys {
+        if heap.len() < capacity {
+            heap.push(k, 0);
+        } else {
+            let &(root, _) = heap.peek().expect("full");
+            if k > root {
+                let (old, _) = heap.replace_root(k, 0);
+                acc ^= old;
+            }
+        }
+    }
+    acc
+}
+
+fn keys(n: usize) -> Vec<u64> {
+    // Deterministic pseudo-random stream (xorshift).
+    let mut x = 0x243F_6A88_85A3_08D3u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        })
+        .collect()
+}
+
+fn bench_heaps(c: &mut Criterion) {
+    let keys = keys(50_000);
+    let capacity = 500;
+    let mut group = c.benchmark_group("heap_replace_root");
+    group.sample_size(30);
+    group.bench_function(BenchmarkId::new("const", 2), |b| {
+        b.iter(|| workload_const::<2>(std::hint::black_box(&keys), capacity))
+    });
+    group.bench_function(BenchmarkId::new("const", 4), |b| {
+        b.iter(|| workload_const::<4>(std::hint::black_box(&keys), capacity))
+    });
+    group.bench_function(BenchmarkId::new("const", 8), |b| {
+        b.iter(|| workload_const::<8>(std::hint::black_box(&keys), capacity))
+    });
+    group.bench_function(BenchmarkId::new("const", 16), |b| {
+        b.iter(|| workload_const::<16>(std::hint::black_box(&keys), capacity))
+    });
+    for d in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("runtime", d), &d, |b, &d| {
+            b.iter(|| workload_runtime(d, std::hint::black_box(&keys), capacity))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heaps);
+criterion_main!(benches);

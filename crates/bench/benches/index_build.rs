@@ -1,0 +1,36 @@
+//! Criterion companion to the M2 experiment: sequential vs multi-threaded
+//! index construction over a fixed synthetic click log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serenade_core::{Click, SessionIndex};
+use serenade_dataset::{generate, SyntheticConfig};
+use serenade_index::{build_parallel, BuilderConfig};
+
+fn clicks() -> Vec<Click> {
+    generate(&SyntheticConfig::ecom_1m().scaled(0.05)).clicks
+}
+
+fn bench_build(c: &mut Criterion) {
+    let clicks = clicks();
+    let m_max = 500;
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| SessionIndex::build(std::hint::black_box(&clicks), m_max).unwrap())
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| {
+                build_parallel(
+                    std::hint::black_box(&clicks),
+                    BuilderConfig { threads: t, m_max },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion companion to the §4.2 session-store microbenchmark: read and
+//! write latency of the sharded TTL store with session-shaped values.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serenade_kvstore::{StoreConfig, TtlStore};
+
+fn bench_store(c: &mut Criterion) {
+    let store: TtlStore<u64, Vec<u64>> = TtlStore::new(StoreConfig::default());
+    let keys = 100_000u64;
+    for k in 0..keys {
+        store.put(k, vec![k, k + 1, k + 2, k + 3]);
+    }
+
+    let mut x = 0x2545_F491u64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x % keys
+    };
+
+    let mut group = c.benchmark_group("kvstore");
+    group.bench_function("read", |b| {
+        b.iter(|| {
+            let key = next();
+            std::hint::black_box(store.with_value(&key, |v| v.len()))
+        })
+    });
+    group.bench_function("write_append", |b| {
+        b.iter(|| {
+            let key = next();
+            store.update_or_insert(key, Vec::new, |v| {
+                v.push(key);
+                if v.len() > 50 {
+                    v.drain(..25);
+                }
+            })
+        })
+    });
+    group.bench_function("put_replace", |b| {
+        b.iter(|| {
+            let key = next();
+            store.put(key, vec![key; 4]);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion companion to Figure 3(a) bottom: VMIS-kNN vs VMIS-kNN-no-opt vs
+//! the scan-based VS-kNN baseline on the ecom-1m analogue, k = 100, sweeping
+//! the sample size m. Statistical rigour for the headline microbenchmark;
+//! the printable table comes from `--bin figure3a_micro`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serenade_baselines::{vmis_noopt, VsKnnBaseline};
+use serenade_core::{SessionIndex, VmisConfig, VmisKnn};
+use serenade_dataset::{generate, split_last_days, Session, SyntheticConfig};
+
+struct Fixture {
+    index: Arc<SessionIndex>,
+    sessions: Vec<Session>,
+}
+
+fn fixture() -> Fixture {
+    let dataset = generate(&SyntheticConfig::ecom_1m().scaled(0.05));
+    let split = split_last_days(&dataset.clicks, 1);
+    Fixture {
+        index: Arc::new(SessionIndex::build(&split.train, 1_000).unwrap()),
+        sessions: split.test.into_iter().take(200).collect(),
+    }
+}
+
+fn bench_neighbor_computation(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("neighbors_k100");
+    group.sample_size(20);
+    for m in [100usize, 500, 1_000] {
+        let mut cfg = VmisConfig::default();
+        cfg.m = m;
+        cfg.k = 100;
+
+        let vmis = VmisKnn::new(Arc::clone(&f.index), cfg.clone()).unwrap();
+        group.bench_with_input(BenchmarkId::new("vmis-knn", m), &m, |b, _| {
+            let mut scratch = vmis.scratch();
+            b.iter(|| {
+                for s in &f.sessions {
+                    std::hint::black_box(vmis.neighbors_with_scratch(&s.items, &mut scratch));
+                }
+            })
+        });
+
+        let noopt = vmis_noopt(Arc::clone(&f.index), cfg.clone()).unwrap();
+        group.bench_with_input(BenchmarkId::new("vmis-knn-no-opt", m), &m, |b, _| {
+            let mut scratch = noopt.scratch();
+            b.iter(|| {
+                for s in &f.sessions {
+                    std::hint::black_box(noopt.neighbors_with_scratch(&s.items, &mut scratch));
+                }
+            })
+        });
+
+        let vs = VsKnnBaseline::new(Arc::clone(&f.index), cfg).unwrap();
+        group.bench_with_input(BenchmarkId::new("vs-knn", m), &m, |b, _| {
+            b.iter(|| {
+                for s in &f.sessions {
+                    std::hint::black_box(vs.neighbors(&s.items));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighbor_computation);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! **Figure 3(a), top** — per-session prediction time across implementation
+//! strategies.
+//!
+//! The paper compares its Rust VMIS-kNN against VS-Py (pandas), VMIS-Diff
+//! (differential dataflow), VMIS-Java (JVM) and VMIS-SQL (DuckDB), single
+//! threaded with `m = 5000`, `k = 100`, and reports median and p90 prediction
+//! time per growing session. We benchmark the Rust behavioural analogues of
+//! those strategies (see DESIGN.md substitution table): every variant
+//! produces identical predictions; only the execution strategy differs.
+//!
+//! Run: `cargo run -p serenade-bench --release --bin figure3a_implementations [--quick]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serenade_baselines::analogues::{
+    AllocHeavyVmis, IncrementalVmis, PandasStyleVsKnn, SqlStyleVmis,
+};
+use serenade_bench::{fmt_us, prepare, print_table, BenchArgs};
+use serenade_core::{ItemId, Recommender, SessionIndex, VmisConfig, VmisKnn};
+use serenade_dataset::{Session, SyntheticConfig};
+use serenade_metrics::LatencyRecorder;
+
+/// Measures per-prediction latency for growing sessions, stateless API.
+fn measure(rec: &dyn Recommender, sessions: &[Session], cap: usize) -> LatencyRecorder {
+    let mut recorder = LatencyRecorder::new();
+    let mut done = 0usize;
+    'outer: for s in sessions {
+        for t in 1..=s.items.len() {
+            let prefix: &[ItemId] = &s.items[..t];
+            let t0 = Instant::now();
+            let out = rec.recommend(prefix, 21);
+            recorder.record(t0.elapsed());
+            std::hint::black_box(out);
+            done += 1;
+            if done >= cap {
+                break 'outer;
+            }
+        }
+    }
+    recorder
+}
+
+/// Measures the incremental analogue through its stateful API (its whole
+/// point is to exploit session growth).
+fn measure_incremental(
+    rec: &IncrementalVmis,
+    sessions: &[Session],
+    cap: usize,
+) -> LatencyRecorder {
+    let mut recorder = LatencyRecorder::new();
+    let mut done = 0usize;
+    'outer: for s in sessions {
+        let mut state = rec.start_session();
+        for &item in &s.items {
+            let t0 = Instant::now();
+            let out = rec.observe(&mut state, item, 21);
+            recorder.record(t0.elapsed());
+            std::hint::black_box(out);
+            done += 1;
+            if done >= cap {
+                break 'outer;
+            }
+        }
+    }
+    recorder
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let datasets = vec![
+        SyntheticConfig::ecom_1m().scaled(0.5 * args.scale),
+        SyntheticConfig::retailrocket().scaled(args.scale),
+        SyntheticConfig::rsc15().scaled(args.scale),
+        SyntheticConfig::ecom_60m().scaled(0.5 * args.scale),
+        SyntheticConfig::ecom_90m().scaled(0.5 * args.scale),
+        SyntheticConfig::ecom_180m().scaled(0.5 * args.scale),
+    ];
+    let cap = args.max_events;
+    println!("Figure 3(a) top: per-session prediction time, m=5000, k=100, single thread\n");
+
+    let mut rows = Vec::new();
+    for config in datasets {
+        let (_, split) = prepare(&config);
+        let index = Arc::new(SessionIndex::build(&split.train, 5_000).unwrap());
+        let mut cfg = VmisConfig::default();
+        cfg.m = 5_000;
+        cfg.k = 100;
+
+        let vmis = VmisKnn::new(Arc::clone(&index), cfg.clone()).unwrap();
+        let pandas = PandasStyleVsKnn::new(Arc::clone(&index), cfg.clone()).unwrap();
+        let alloc = AllocHeavyVmis::new(Arc::clone(&index), cfg.clone()).unwrap();
+        let sql = SqlStyleVmis::new(Arc::clone(&index), cfg.clone()).unwrap();
+        let incr = IncrementalVmis::new(Arc::clone(&index), cfg).unwrap();
+
+        let mut cells = vec![config.name.clone()];
+        for (name, recorder) in [
+            ("VS-Py*", measure(&pandas, &split.test, cap)),
+            ("VMIS-Diff*", measure_incremental(&incr, &split.test, cap)),
+            ("VMIS-Java*", measure(&alloc, &split.test, cap)),
+            ("VMIS-SQL*", measure(&sql, &split.test, cap)),
+            ("VMIS-kNN", measure(&vmis, &split.test, cap)),
+        ] {
+            let s = recorder.summary().expect("samples recorded");
+            cells.push(format!("{}/{}", fmt_us(s.p50_us), fmt_us(s.p90_us)));
+            let _ = name;
+        }
+        rows.push(cells);
+        eprintln!("{} done", config.name);
+    }
+    print_table(
+        &["dataset", "VS-Py* p50/p90", "VMIS-Diff*", "VMIS-Java*", "VMIS-SQL*", "VMIS-kNN"],
+        &rows,
+    );
+    println!(
+        "\n(*) Rust behavioural analogues of the paper's alternative implementations.\n\
+         Paper (Fig. 3a top): VMIS-kNN fastest on every dataset; >=2 orders of magnitude\n\
+         vs the pandas-style scan, >=1 order vs the dataflow-style variant; p90 <= 1.7ms."
+    );
+}

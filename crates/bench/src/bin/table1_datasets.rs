@@ -1,0 +1,41 @@
+//! **Table 1** — dataset statistics.
+//!
+//! Regenerates the paper's dataset table (clicks, sessions, items, days,
+//! clicks-per-session percentiles) over the synthetic analogues of the six
+//! evaluation datasets. Absolute volumes are laptop-scaled (`--scale` to
+//! adjust); the distributional statistics — the percentiles the paper
+//! highlights — are the calibration targets.
+//!
+//! Run: `cargo run -p serenade-bench --release --bin table1_datasets`
+
+use serenade_bench::{dataset_suite, print_table, BenchArgs};
+use serenade_dataset::generate;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    println!("Table 1: dataset statistics (synthetic analogues, scale {})\n", args.scale);
+
+    let mut rows = Vec::new();
+    for config in dataset_suite(args.scale) {
+        let dataset = generate(&config);
+        let s = dataset.stats();
+        rows.push(vec![
+            s.name.clone(),
+            s.clicks.to_string(),
+            s.sessions.to_string(),
+            s.items.to_string(),
+            s.days.to_string(),
+            format!("{:.0}", s.clicks_per_session_p25),
+            format!("{:.0}", s.clicks_per_session_p50),
+            format!("{:.0}", s.clicks_per_session_p75),
+            format!("{:.0}", s.clicks_per_session_p99),
+        ]);
+    }
+    print_table(
+        &["dataset", "clicks", "sessions", "items", "days", "p25", "p50", "p75", "p99"],
+        &rows,
+    );
+    println!(
+        "\nPaper reference (Table 1): p25=2 p50=2-4 p75=4-7; p99=19 (public) / 28-39 (ecom-*)."
+    );
+}

@@ -1,0 +1,477 @@
+//! The VMIS-kNN session-similarity index `(M, t)`.
+//!
+//! The index (Section 3 of the paper) consists of:
+//!
+//! * the inverted index `M`: a hash map from an item `i` to the array `m_i`
+//!   of the (at most) `m` most recent historical sessions containing `i`,
+//!   stored in **descending session-timestamp order** so the most recent
+//!   session is the first entry — this enables early stopping;
+//! * the timestamp array `t`: one integer timestamp per historical session,
+//!   indexed by dense [`SessionId`], giving constant-time random access;
+//! * per-session item lists (needed for the final item-scoring step) stored
+//!   in CSR layout to avoid per-session allocations;
+//! * per-item support counts `h_i` (the number of historical sessions
+//!   containing the item) for the idf weighting.
+//!
+//! Sessions receive dense ids in ascending timestamp order, so a larger
+//! [`SessionId`] always denotes a more recent session; ties on identical
+//! timestamps are broken by external session id for determinism.
+
+use crate::error::CoreError;
+use crate::hash::{fx_map_with_capacity, FxHashMap};
+use crate::types::{Click, ExternalSessionId, ItemId, SessionId, SessionRef, Timestamp};
+
+/// Posting list of an item: the `m` most recent sessions containing it, plus
+/// the total support count `h_i` over *all* historical sessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Posting {
+    /// Session ids in strictly descending timestamp order (ties broken by
+    /// descending id), truncated to the index's `m_max`.
+    pub sessions: Box<[SessionId]>,
+    /// `h_i`: number of historical sessions containing the item (before
+    /// truncation to `m_max`).
+    pub support: u32,
+}
+
+/// Aggregate statistics of a built index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Number of historical sessions (|H|).
+    pub num_sessions: usize,
+    /// Number of distinct items (|I|).
+    pub num_items: usize,
+    /// Total number of posting entries across all items.
+    pub posting_entries: usize,
+    /// Length of the longest posting list (≤ m_max).
+    pub max_posting_len: usize,
+    /// Total number of (session, item) pairs stored for scoring.
+    pub session_item_entries: usize,
+    /// Approximate resident memory of the index payload in bytes.
+    pub approx_bytes: usize,
+}
+
+/// Raw parts of a [`SessionIndex`]: postings, timestamps, CSR item storage
+/// (flat array + offsets) and the posting capacity `m_max`.
+pub type IndexParts =
+    (FxHashMap<ItemId, Posting>, Box<[Timestamp]>, Box<[ItemId]>, Box<[u32]>, usize);
+
+/// The prebuilt `(M, t)` index over historical sessions.
+#[derive(Debug, Clone)]
+pub struct SessionIndex {
+    postings: FxHashMap<ItemId, Posting>,
+    /// `t`: timestamp per session, indexed by dense `SessionId`.
+    timestamps: Box<[Timestamp]>,
+    /// CSR storage of deduplicated per-session items (first-occurrence order).
+    items_flat: Box<[ItemId]>,
+    items_offsets: Box<[u32]>,
+    m_max: usize,
+}
+
+impl SessionIndex {
+    /// Builds the index from a click log.
+    ///
+    /// `m_max` is the maximum posting-list length — the recency-sample upper
+    /// bound `m` that the online algorithm may request. Sessions are formed
+    /// by grouping clicks on their external session id; a session's timestamp
+    /// is the maximum click timestamp it contains; within a session items are
+    /// ordered chronologically and deduplicated to their first occurrence.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfig`] if `m_max == 0`.
+    /// * [`CoreError::EmptyDataset`] if `clicks` yields no sessions.
+    /// * [`CoreError::TooManySessions`] if there are more than `u32::MAX`
+    ///   distinct sessions.
+    pub fn build(clicks: &[Click], m_max: usize) -> Result<Self, CoreError> {
+        if m_max == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "m_max",
+                reason: "posting-list capacity must be positive".into(),
+            });
+        }
+        if clicks.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+
+        // Group clicks per external session.
+        let mut by_session: FxHashMap<ExternalSessionId, Vec<(Timestamp, ItemId)>> =
+            fx_map_with_capacity(clicks.len() / 4);
+        for c in clicks {
+            by_session.entry(c.session_id).or_default().push((c.timestamp, c.item_id));
+        }
+        let num_sessions = by_session.len();
+        if num_sessions > u32::MAX as usize {
+            return Err(CoreError::TooManySessions(num_sessions));
+        }
+
+        // Order sessions by (timestamp, external id) ascending and assign ids.
+        let mut order: Vec<(Timestamp, ExternalSessionId)> = by_session
+            .iter()
+            .map(|(&ext, clicks)| {
+                let ts = clicks.iter().map(|&(t, _)| t).max().expect("non-empty session");
+                (ts, ext)
+            })
+            .collect();
+        order.sort_unstable();
+
+        let mut timestamps = Vec::with_capacity(num_sessions);
+        let mut items_flat: Vec<ItemId> = Vec::with_capacity(clicks.len());
+        let mut items_offsets: Vec<u32> = Vec::with_capacity(num_sessions + 1);
+        items_offsets.push(0);
+
+        // Support counts and ascending-recency posting accumulation.
+        let mut supports: FxHashMap<ItemId, u32> = fx_map_with_capacity(1024);
+
+        for &(ts, ext) in &order {
+            let mut session_clicks = by_session.remove(&ext).expect("session present");
+            session_clicks.sort_unstable();
+            timestamps.push(ts);
+            let start = items_flat.len();
+            for (_, item) in session_clicks {
+                // Deduplicate to first occurrence: linear scan over the (short)
+                // current session — the median e-commerce session has < 5 items.
+                if !items_flat[start..].contains(&item) {
+                    items_flat.push(item);
+                    *supports.entry(item).or_insert(0) += 1;
+                }
+            }
+            items_offsets.push(items_flat.len() as u32);
+        }
+
+        // Build posting lists: iterate sessions ascending (oldest→newest) and
+        // push; keep only the last `m_max` entries, reversed to descending.
+        let mut ascending: FxHashMap<ItemId, Vec<SessionId>> =
+            fx_map_with_capacity(supports.len());
+        for sid in 0..num_sessions {
+            let s = items_offsets[sid] as usize;
+            let e = items_offsets[sid + 1] as usize;
+            for &item in &items_flat[s..e] {
+                ascending.entry(item).or_default().push(sid as SessionId);
+            }
+        }
+        let mut postings: FxHashMap<ItemId, Posting> = fx_map_with_capacity(ascending.len());
+        for (item, mut sessions) in ascending {
+            let support = sessions.len() as u32;
+            if sessions.len() > m_max {
+                sessions.drain(..sessions.len() - m_max);
+            }
+            sessions.reverse();
+            postings.insert(item, Posting { sessions: sessions.into_boxed_slice(), support });
+        }
+
+        Ok(Self {
+            postings,
+            timestamps: timestamps.into_boxed_slice(),
+            items_flat: items_flat.into_boxed_slice(),
+            items_offsets: items_offsets.into_boxed_slice(),
+            m_max,
+        })
+    }
+
+    /// Assembles an index from pre-built parts (parallel builder,
+    /// deserialisation), validating all structural invariants.
+    ///
+    /// `items_offsets` must have length `timestamps.len() + 1`, start at 0,
+    /// be monotone and end at `items_flat.len()`. Posting lists must be in
+    /// descending `(timestamp, session id)` order, contain valid session ids,
+    /// be no longer than `m_max` and no longer than their support.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CorruptIndex`] describing the first violated invariant.
+    pub fn from_parts(
+        postings: FxHashMap<ItemId, Posting>,
+        timestamps: Box<[Timestamp]>,
+        items_flat: Box<[ItemId]>,
+        items_offsets: Box<[u32]>,
+        m_max: usize,
+    ) -> Result<Self, CoreError> {
+        let n = timestamps.len();
+        if m_max == 0 {
+            return Err(CoreError::CorruptIndex("m_max must be positive".into()));
+        }
+        if items_offsets.len() != n + 1 {
+            return Err(CoreError::CorruptIndex(format!(
+                "items_offsets has length {} but expected {}",
+                items_offsets.len(),
+                n + 1
+            )));
+        }
+        if items_offsets.first() != Some(&0)
+            || items_offsets.last().copied() != Some(items_flat.len() as u32)
+        {
+            return Err(CoreError::CorruptIndex("items_offsets endpoints invalid".into()));
+        }
+        if items_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(CoreError::CorruptIndex("items_offsets not monotone".into()));
+        }
+        for (item, posting) in &postings {
+            if posting.sessions.len() > m_max {
+                return Err(CoreError::CorruptIndex(format!(
+                    "posting list of item {item} longer than m_max"
+                )));
+            }
+            if (posting.support as usize) < posting.sessions.len() {
+                return Err(CoreError::CorruptIndex(format!(
+                    "posting list of item {item} longer than its support"
+                )));
+            }
+            for w in posting.sessions.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if a as usize >= n || b as usize >= n {
+                    return Err(CoreError::CorruptIndex(format!(
+                        "posting list of item {item} references unknown session"
+                    )));
+                }
+                let (ta, tb) = (timestamps[a as usize], timestamps[b as usize]);
+                if ta < tb || (ta == tb && a <= b) {
+                    return Err(CoreError::CorruptIndex(format!(
+                        "posting list of item {item} not in descending recency order"
+                    )));
+                }
+            }
+            if let Some(&s) = posting.sessions.first() {
+                if s as usize >= n {
+                    return Err(CoreError::CorruptIndex(format!(
+                        "posting list of item {item} references unknown session"
+                    )));
+                }
+            }
+        }
+        Ok(Self { postings, timestamps, items_flat, items_offsets, m_max })
+    }
+
+    /// Posting list `m_i` of `item`: the most recent sessions containing it,
+    /// descending by recency. `None` if the item never occurred.
+    #[inline]
+    pub fn postings(&self, item: ItemId) -> Option<&[SessionId]> {
+        self.postings.get(&item).map(|p| &*p.sessions)
+    }
+
+    /// Support `h_i` of `item` (sessions containing it), if it occurred.
+    #[inline]
+    pub fn item_support(&self, item: ItemId) -> Option<u32> {
+        self.postings.get(&item).map(|p| p.support)
+    }
+
+    /// Timestamp `t_h` of a historical session (constant-time array access).
+    #[inline]
+    pub fn session_timestamp(&self, session: SessionId) -> Timestamp {
+        self.timestamps[session as usize]
+    }
+
+    /// Deduplicated items of a historical session, first-occurrence order.
+    #[inline]
+    pub fn session_items(&self, session: SessionId) -> &[ItemId] {
+        let s = self.items_offsets[session as usize] as usize;
+        let e = self.items_offsets[session as usize + 1] as usize;
+        &self.items_flat[s..e]
+    }
+
+    /// Borrowed view of one historical session.
+    pub fn session(&self, session: SessionId) -> SessionRef<'_> {
+        SessionRef {
+            id: session,
+            items: self.session_items(session),
+            timestamp: self.session_timestamp(session),
+        }
+    }
+
+    /// Number of historical sessions `|H|`.
+    #[inline]
+    pub fn num_sessions(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Number of distinct items `|I|`.
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The maximum posting-list length this index was built for.
+    #[inline]
+    pub fn m_max(&self) -> usize {
+        self.m_max
+    }
+
+    /// Iterates over all indexed items in unspecified order.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.postings.keys().copied()
+    }
+
+    /// Iterates over `(item, posting)` pairs in unspecified order.
+    pub fn postings_iter(&self) -> impl Iterator<Item = (ItemId, &Posting)> {
+        self.postings.iter().map(|(&i, p)| (i, p))
+    }
+
+    /// Computes aggregate statistics (sizes, approximate memory).
+    pub fn stats(&self) -> IndexStats {
+        let posting_entries: usize = self.postings.values().map(|p| p.sessions.len()).sum();
+        let max_posting_len = self.postings.values().map(|p| p.sessions.len()).max().unwrap_or(0);
+        let approx_bytes = posting_entries * std::mem::size_of::<SessionId>()
+            + self.postings.len()
+                * (std::mem::size_of::<ItemId>() + std::mem::size_of::<Posting>())
+            + self.timestamps.len() * std::mem::size_of::<Timestamp>()
+            + self.items_flat.len() * std::mem::size_of::<ItemId>()
+            + self.items_offsets.len() * std::mem::size_of::<u32>();
+        IndexStats {
+            num_sessions: self.num_sessions(),
+            num_items: self.num_items(),
+            posting_entries,
+            max_posting_len,
+            session_item_entries: self.items_flat.len(),
+            approx_bytes,
+        }
+    }
+
+    /// Decomposes the index into its raw parts (for serialisation).
+    pub fn into_parts(self) -> IndexParts {
+        (self.postings, self.timestamps, self.items_flat, self.items_offsets, self.m_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small deterministic click log: three sessions with increasing
+    /// timestamps and overlapping items.
+    fn sample_clicks() -> Vec<Click> {
+        vec![
+            Click::new(100, 1, 10),
+            Click::new(100, 2, 11),
+            Click::new(100, 1, 12), // duplicate item in session
+            Click::new(200, 2, 20),
+            Click::new(200, 3, 21),
+            Click::new(300, 1, 30),
+            Click::new(300, 3, 31),
+        ]
+    }
+
+    #[test]
+    fn build_assigns_dense_ids_in_timestamp_order() {
+        let idx = SessionIndex::build(&sample_clicks(), 10).unwrap();
+        assert_eq!(idx.num_sessions(), 3);
+        // Session timestamps ascending with the dense id.
+        assert_eq!(idx.session_timestamp(0), 12);
+        assert_eq!(idx.session_timestamp(1), 21);
+        assert_eq!(idx.session_timestamp(2), 31);
+    }
+
+    #[test]
+    fn session_items_are_deduplicated_in_order() {
+        let idx = SessionIndex::build(&sample_clicks(), 10).unwrap();
+        assert_eq!(idx.session_items(0), &[1, 2]); // dup of item 1 removed
+        assert_eq!(idx.session_items(1), &[2, 3]);
+        assert_eq!(idx.session_items(2), &[1, 3]);
+    }
+
+    #[test]
+    fn postings_are_descending_by_recency() {
+        let idx = SessionIndex::build(&sample_clicks(), 10).unwrap();
+        assert_eq!(idx.postings(1).unwrap(), &[2, 0]);
+        assert_eq!(idx.postings(2).unwrap(), &[1, 0]);
+        assert_eq!(idx.postings(3).unwrap(), &[2, 1]);
+        assert_eq!(idx.postings(999), None);
+    }
+
+    #[test]
+    fn postings_truncate_to_m_max_keeping_most_recent() {
+        let idx = SessionIndex::build(&sample_clicks(), 1).unwrap();
+        // Only the most recent session per item is kept...
+        assert_eq!(idx.postings(1).unwrap(), &[2]);
+        // ...but supports still count all containing sessions.
+        assert_eq!(idx.item_support(1), Some(2));
+        assert_eq!(idx.item_support(3), Some(2));
+    }
+
+    #[test]
+    fn support_counts_sessions_not_clicks() {
+        let idx = SessionIndex::build(&sample_clicks(), 10).unwrap();
+        // Item 1 appears twice in session 100 but once in the support count.
+        assert_eq!(idx.item_support(1), Some(2));
+        assert_eq!(idx.item_support(2), Some(2));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(matches!(SessionIndex::build(&[], 10), Err(CoreError::EmptyDataset)));
+    }
+
+    #[test]
+    fn zero_m_max_is_rejected() {
+        let err = SessionIndex::build(&sample_clicks(), 0).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { parameter: "m_max", .. }));
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let idx = SessionIndex::build(&sample_clicks(), 10).unwrap();
+        let stats = idx.stats();
+        assert_eq!(stats.num_sessions, 3);
+        assert_eq!(stats.num_items, 3);
+        assert_eq!(stats.posting_entries, 6);
+        assert_eq!(stats.session_item_entries, 6);
+        assert_eq!(stats.max_posting_len, 2);
+        assert!(stats.approx_bytes > 0);
+    }
+
+    #[test]
+    fn timestamp_ties_are_broken_deterministically() {
+        // Two sessions with identical timestamps: ordered by external id.
+        let clicks = vec![
+            Click::new(2, 7, 100),
+            Click::new(1, 8, 100),
+        ];
+        let idx = SessionIndex::build(&clicks, 10).unwrap();
+        assert_eq!(idx.session_items(0), &[8]); // external 1 first
+        assert_eq!(idx.session_items(1), &[7]);
+    }
+
+    #[test]
+    fn roundtrip_through_parts_preserves_index() {
+        let idx = SessionIndex::build(&sample_clicks(), 10).unwrap();
+        let stats_before = idx.stats();
+        let (p, t, f, o, m) = idx.into_parts();
+        let idx2 = SessionIndex::from_parts(p, t, f, o, m).unwrap();
+        assert_eq!(idx2.stats(), stats_before);
+        assert_eq!(idx2.postings(1).unwrap(), &[2, 0]);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_offsets() {
+        let idx = SessionIndex::build(&sample_clicks(), 10).unwrap();
+        let (p, t, f, mut o, m) = idx.into_parts();
+        o[1] = 100; // out of range / non-monotone
+        let err = SessionIndex::from_parts(p, t, f, o, m).unwrap_err();
+        assert!(matches!(err, CoreError::CorruptIndex(_)));
+    }
+
+    #[test]
+    fn from_parts_rejects_unsorted_postings() {
+        let idx = SessionIndex::build(&sample_clicks(), 10).unwrap();
+        let (mut p, t, f, o, m) = idx.into_parts();
+        p.get_mut(&1).unwrap().sessions = vec![0, 2].into_boxed_slice(); // ascending: wrong
+        let err = SessionIndex::from_parts(p, t, f, o, m).unwrap_err();
+        assert!(matches!(err, CoreError::CorruptIndex(_)));
+    }
+
+    #[test]
+    fn from_parts_rejects_posting_longer_than_support() {
+        let idx = SessionIndex::build(&sample_clicks(), 10).unwrap();
+        let (mut p, t, f, o, m) = idx.into_parts();
+        p.get_mut(&1).unwrap().support = 1; // posting has 2 entries
+        let err = SessionIndex::from_parts(p, t, f, o, m).unwrap_err();
+        assert!(matches!(err, CoreError::CorruptIndex(_)));
+    }
+
+    #[test]
+    fn single_session_dataset_builds() {
+        let clicks = vec![Click::new(1, 5, 1), Click::new(1, 6, 2)];
+        let idx = SessionIndex::build(&clicks, 500).unwrap();
+        assert_eq!(idx.num_sessions(), 1);
+        assert_eq!(idx.postings(5).unwrap(), &[0]);
+        assert_eq!(idx.session(0).items, &[5, 6]);
+    }
+}

@@ -1,0 +1,59 @@
+//! The common interface all session-based recommenders implement.
+//!
+//! The evaluation harness, the baselines, the neural comparator and the
+//! serving layer all speak this trait, so every experiment of the paper can
+//! swap algorithms freely.
+
+use crate::types::{ItemId, ItemScore};
+use crate::vmis::VmisKnn;
+
+/// A next-item recommender over evolving sessions.
+///
+/// Implementations must be `Sync` so evaluation can fan out across threads;
+/// recommenders are immutable once fitted (the paper rebuilds indices
+/// offline, Section 4.1).
+pub trait Recommender: Sync {
+    /// Scores the most likely next items for an evolving session, best
+    /// first. At most `how_many` items; fewer (or none) when the session
+    /// shares nothing with the model's history.
+    fn recommend(&self, session: &[ItemId], how_many: usize) -> Vec<ItemScore>;
+
+    /// A short human-readable name used in experiment reports.
+    fn name(&self) -> &str;
+}
+
+impl Recommender for VmisKnn {
+    fn recommend(&self, session: &[ItemId], how_many: usize) -> Vec<ItemScore> {
+        let mut recs = VmisKnn::recommend(self, session);
+        recs.truncate(how_many);
+        recs
+    }
+
+    fn name(&self) -> &str {
+        "vmis-knn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::SessionIndex;
+    use crate::types::Click;
+    use crate::vmis::VmisConfig;
+
+    #[test]
+    fn vmisknn_implements_recommender() {
+        let clicks = vec![
+            Click::new(1, 10, 100),
+            Click::new(1, 11, 101),
+            Click::new(2, 10, 200),
+            Click::new(2, 12, 201),
+        ];
+        let index = SessionIndex::build(&clicks, 500).unwrap();
+        let v = VmisKnn::new(index, VmisConfig::default()).unwrap();
+        let r: &dyn Recommender = &v;
+        let recs = r.recommend(&[10], 1);
+        assert!(recs.len() <= 1);
+        assert_eq!(r.name(), "vmis-knn");
+    }
+}

@@ -1,0 +1,751 @@
+//! The VMIS-kNN online computation (Algorithm 2 of the paper).
+//!
+//! Given an evolving session and the prebuilt [`SessionIndex`], VMIS-kNN
+//! computes the `k` most similar historical sessions out of the `m` most
+//! recent sessions sharing at least one item, then scores all items occurring
+//! in those neighbours. Intermediate state is bounded: a similarity hash map
+//! `r` of at most `m` entries, a recency min-heap `b_t` of capacity `m`
+//! driving eviction of the oldest candidate, and a top-k min-heap `N_s`.
+//!
+//! Because each posting list is sorted by descending recency, the session
+//! loop can **early-stop** as soon as the current historical session is no
+//! more recent than the oldest session tracked in the full heap `b_t` — no
+//! later entry of the posting list can be admitted either.
+//!
+//! ## Tie-breaking refinement
+//!
+//! The paper compares raw timestamps (`t_j > t_l`). We order candidates by
+//! the composite key `(timestamp, session id)`, which is a *strict* total
+//! order (dense ids are assigned in ascending timestamp order). This makes
+//! eviction deterministic under timestamp ties and makes early stopping
+//! **exact**: VMIS-kNN with and without early stopping, and the scan-based
+//! VS-kNN baseline, all return identical neighbour sets — a property the test
+//! suite verifies.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::hash::{fx_map_with_capacity, FxHashMap};
+use crate::heap::RuntimeDaryHeap;
+use crate::index::SessionIndex;
+use crate::types::{ItemId, ItemScore, SessionId, Timestamp};
+use crate::weights::{DecayFunction, IdfWeighting, MatchWeight};
+
+/// Arity of the heaps used by the online computation.
+///
+/// The paper leverages octonary heaps (d = 8) instead of binary heaps as a
+/// micro-optimisation: flatter trees mean cheaper insertions, which dominate
+/// this workload. The `A1` ablation benchmark sweeps this knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeapArity {
+    /// Classic binary heap (d = 2).
+    Binary,
+    /// Quaternary heap (d = 4).
+    Quaternary,
+    /// Octonary heap (d = 8) — the paper's default.
+    Octonary,
+    /// 16-ary heap.
+    Sedenary,
+}
+
+impl HeapArity {
+    /// Number of children per node.
+    #[inline]
+    pub fn d(self) -> usize {
+        match self {
+            HeapArity::Binary => 2,
+            HeapArity::Quaternary => 4,
+            HeapArity::Octonary => 8,
+            HeapArity::Sedenary => 16,
+        }
+    }
+}
+
+/// Hyperparameters and implementation knobs of VMIS-kNN.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmisConfig {
+    /// Sample size `m`: how many of the most recent matching historical
+    /// sessions to consider. Must not exceed the index's `m_max`.
+    pub m: usize,
+    /// Number of nearest neighbour sessions `k`.
+    pub k: usize,
+    /// How many recommendations to return (the paper's frontend needs 21).
+    pub how_many: usize,
+    /// Maximum number of (most recent) evolving-session items to consider.
+    /// The paper caps this to bound the per-request latency.
+    pub max_session_len: usize,
+    /// Decay function π over evolving-session positions.
+    pub decay: DecayFunction,
+    /// Match weight λ over the position of the most recent shared item.
+    pub match_weight: MatchWeight,
+    /// Idf weighting of candidate items.
+    pub idf: IdfWeighting,
+    /// Multiply similarities by `1/|s|` as in original VS-kNN. VMIS-kNN drops
+    /// this constant factor (it does not change the ranking); enable it to
+    /// reproduce VS-kNN scores bit-for-bit.
+    pub normalize_by_session_length: bool,
+    /// Early stopping on the recency-sorted posting lists (Section 3).
+    pub early_stopping: bool,
+    /// Heap arity for `b_t` and `N_s`.
+    pub heap_arity: HeapArity,
+    /// Remove items that already occur in the evolving session from the
+    /// recommendation list (typically desired when serving product pages).
+    pub exclude_session_items: bool,
+}
+
+impl Default for VmisConfig {
+    /// Paper-flavoured defaults: `m = 500`, `k = 100`, 21 recommendations,
+    /// session cap 9 (keeps the paper's λ non-zero across the window),
+    /// linear decay, the paper's linear match weight, `log(|H|/h_i)` idf,
+    /// early stopping on, octonary heaps.
+    fn default() -> Self {
+        Self {
+            m: 500,
+            k: 100,
+            how_many: 21,
+            max_session_len: 9,
+            decay: DecayFunction::LinearByPosition,
+            match_weight: MatchWeight::PaperLinear,
+            idf: IdfWeighting::Log,
+            normalize_by_session_length: false,
+            early_stopping: true,
+            heap_arity: HeapArity::Octonary,
+            exclude_session_items: false,
+        }
+    }
+}
+
+impl VmisConfig {
+    /// Validates the configuration against an index.
+    pub fn validate(&self, index: &SessionIndex) -> Result<(), CoreError> {
+        fn positive(name: &'static str, v: usize) -> Result<(), CoreError> {
+            if v == 0 {
+                Err(CoreError::InvalidConfig {
+                    parameter: name,
+                    reason: "must be positive".into(),
+                })
+            } else {
+                Ok(())
+            }
+        }
+        positive("m", self.m)?;
+        positive("k", self.k)?;
+        positive("how_many", self.how_many)?;
+        positive("max_session_len", self.max_session_len)?;
+        if self.m > index.m_max() {
+            return Err(CoreError::InvalidConfig {
+                parameter: "m",
+                reason: format!(
+                    "sample size {} exceeds the index posting capacity m_max = {}",
+                    self.m,
+                    index.m_max()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Composite recency key: strictly totally ordered even under timestamp ties.
+type RecencyKey = (Timestamp, SessionId);
+
+/// Reusable per-thread buffers for the online computation.
+///
+/// A production recommendation server keeps one `Scratch` per worker thread
+/// so that steady-state requests perform no heap allocation (Rust Performance
+/// Book: reuse workhorse collections).
+#[derive(Debug)]
+pub struct Scratch {
+    /// Temporary similarity scores `r`.
+    r: FxHashMap<SessionId, f32>,
+    /// Min-heap `b_t` over recency keys of the sessions in `r`.
+    bt: RuntimeDaryHeap<RecencyKey, ()>,
+    /// Min-heap `N_s` over (similarity, recency) for the top-k neighbours.
+    topk: RuntimeDaryHeap<(f32, Timestamp, SessionId), ()>,
+    /// Latest 1-based position of each item in the capped evolving session.
+    pos: FxHashMap<ItemId, usize>,
+    /// Candidate item scores `d`.
+    scores: FxHashMap<ItemId, f32>,
+    /// Neighbours in canonical (ascending session id) order for scoring.
+    neighbors: Vec<(SessionId, f32)>,
+    /// Scored output buffer.
+    out: Vec<ItemScore>,
+}
+
+impl Scratch {
+    /// Creates scratch buffers sized for `config`.
+    pub fn for_config(config: &VmisConfig) -> Self {
+        let d = config.heap_arity.d();
+        Self {
+            r: fx_map_with_capacity(config.m * 2),
+            bt: RuntimeDaryHeap::with_arity_and_capacity(d, config.m),
+            topk: RuntimeDaryHeap::with_arity_and_capacity(d, config.k),
+            pos: fx_map_with_capacity(config.max_session_len * 2),
+            scores: fx_map_with_capacity(1024),
+            neighbors: Vec::with_capacity(config.k),
+            out: Vec::with_capacity(config.how_many),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.r.clear();
+        self.bt.clear();
+        self.topk.clear();
+        self.pos.clear();
+        self.scores.clear();
+        self.neighbors.clear();
+        self.out.clear();
+    }
+}
+
+/// A neighbour session together with its similarity score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Dense id of the historical session.
+    pub session: SessionId,
+    /// Decayed dot-product similarity `r_n`.
+    pub similarity: f32,
+}
+
+/// The VMIS-kNN recommender: a session index plus hyperparameters.
+#[derive(Debug, Clone)]
+pub struct VmisKnn {
+    index: Arc<SessionIndex>,
+    config: VmisConfig,
+    /// Per-item idf weights precomputed for `config.idf`.
+    idf: FxHashMap<ItemId, f32>,
+}
+
+impl VmisKnn {
+    /// Creates a recommender over `index` with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if a parameter is out of range or `m`
+    /// exceeds the index's posting capacity.
+    pub fn new(index: impl Into<Arc<SessionIndex>>, config: VmisConfig) -> Result<Self, CoreError> {
+        let index = index.into();
+        config.validate(&index)?;
+        let num_sessions = index.num_sessions();
+        let mut idf = fx_map_with_capacity(index.num_items());
+        for (item, posting) in index.postings_iter() {
+            idf.insert(item, config.idf.weight(posting.support as usize, num_sessions));
+        }
+        Ok(Self { index, config, idf })
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &SessionIndex {
+        &self.index
+    }
+
+    /// A clone of the shared index handle.
+    pub fn index_handle(&self) -> Arc<SessionIndex> {
+        Arc::clone(&self.index)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &VmisConfig {
+        &self.config
+    }
+
+    /// Creates scratch buffers sized for this recommender.
+    pub fn scratch(&self) -> Scratch {
+        Scratch::for_config(&self.config)
+    }
+
+    /// Computes next-item recommendations for an evolving session, allocating
+    /// fresh scratch buffers. Prefer [`recommend_with_scratch`] on hot paths.
+    ///
+    /// [`recommend_with_scratch`]: Self::recommend_with_scratch
+    pub fn recommend(&self, session: &[ItemId]) -> Vec<ItemScore> {
+        let mut scratch = self.scratch();
+        self.recommend_with_scratch(session, &mut scratch)
+    }
+
+    /// Computes next-item recommendations reusing caller-provided buffers.
+    ///
+    /// Returns at most `config.how_many` items, sorted by descending score
+    /// (ties broken by ascending item id for determinism); items with a
+    /// non-positive score are omitted. An empty or unknown-items-only session
+    /// yields an empty list.
+    pub fn recommend_with_scratch(
+        &self,
+        session: &[ItemId],
+        scratch: &mut Scratch,
+    ) -> Vec<ItemScore> {
+        self.fill_neighbors(session, scratch);
+        self.score_items(scratch);
+        self.take_top(scratch)
+    }
+
+    /// Non-personalised variant (Section 4.2 "Depersonalisation"): only the
+    /// currently displayed item is used for the prediction.
+    pub fn recommend_depersonalised(
+        &self,
+        current_item: ItemId,
+        scratch: &mut Scratch,
+    ) -> Vec<ItemScore> {
+        self.recommend_with_scratch(&[current_item], scratch)
+    }
+
+    /// Computes only the `k` nearest neighbour sessions (the
+    /// `neighbor_sessions_from_index` function of Algorithm 2). Exposed for
+    /// the index-design microbenchmark (Figure 3a, bottom).
+    pub fn neighbors_with_scratch(
+        &self,
+        session: &[ItemId],
+        scratch: &mut Scratch,
+    ) -> Vec<Neighbor> {
+        self.fill_neighbors(session, scratch);
+        scratch
+            .topk
+            .iter()
+            .map(|&((sim, _, sid), ())| Neighbor { session: sid, similarity: sim })
+            .collect()
+    }
+
+    /// Runs the item-intersection and top-k similarity loops, leaving the
+    /// neighbour heap `N_s` and the position map populated in `scratch`.
+    fn fill_neighbors(&self, session: &[ItemId], scratch: &mut Scratch) {
+        scratch.clear();
+        let cfg = &self.config;
+
+        // Cap the evolving session to its most recent `max_session_len` items.
+        let window = if session.len() > cfg.max_session_len {
+            &session[session.len() - cfg.max_session_len..]
+        } else {
+            session
+        };
+        if window.is_empty() {
+            return;
+        }
+        let wlen = window.len();
+
+        // ω: latest 1-based position per item (later occurrences overwrite).
+        for (i, &item) in window.iter().enumerate() {
+            scratch.pos.insert(item, i + 1);
+        }
+
+        // Item intersection loop: reverse insertion order, duplicates skipped
+        // by only processing an item at its latest occurrence.
+        for (i, &item) in window.iter().enumerate().rev() {
+            if scratch.pos[&item] != i + 1 {
+                continue; // duplicate; already processed at a later position
+            }
+            let Some(posting) = self.index.postings(item) else {
+                continue; // item unseen in the historical data
+            };
+            let pi = cfg.decay.weight(i + 1, wlen);
+
+            for &j in posting {
+                if let Some(rj) = scratch.r.get_mut(&j) {
+                    *rj += pi;
+                    continue;
+                }
+                let key: RecencyKey = (self.index.session_timestamp(j), j);
+                if scratch.r.len() < cfg.m {
+                    scratch.r.insert(j, pi);
+                    scratch.bt.push(key, ());
+                } else {
+                    let &(root, ()) = scratch.bt.peek().expect("bt non-empty when r full");
+                    if key > root {
+                        let ((_, evicted), ()) = scratch.bt.replace_root(key, ());
+                        scratch.r.remove(&evicted);
+                        scratch.r.insert(j, pi);
+                    } else if cfg.early_stopping {
+                        // Posting lists are strictly descending in the
+                        // composite recency key: nothing further can enter.
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Top-k similarity loop over the temporary similarity scores.
+        for (&j, &rj) in &scratch.r {
+            let key = (rj, self.index.session_timestamp(j), j);
+            if scratch.topk.len() < cfg.k {
+                scratch.topk.push(key, ());
+            } else {
+                let &(root, ()) = scratch.topk.peek().expect("topk non-empty when full");
+                if key > root {
+                    scratch.topk.replace_root(key, ());
+                }
+            }
+        }
+    }
+
+    /// Scores all items occurring in the neighbour sessions (Algorithm 2,
+    /// lines 6–7): `d_i = Σ_n 1_n(i) · λ(max(ω(s)⊙n)) · r_n · idf_i`.
+    fn score_items(&self, scratch: &mut Scratch) {
+        let cfg = &self.config;
+        let wlen = scratch.pos.values().copied().max().unwrap_or(0);
+        if wlen == 0 {
+            return;
+        }
+        let norm =
+            if cfg.normalize_by_session_length { 1.0 / wlen as f32 } else { 1.0 };
+
+        // Canonical (ascending session id) iteration order: keeps the f32
+        // summation order identical across all implementation variants, so
+        // their outputs can be compared bit-for-bit.
+        let Scratch { topk, pos, scores, neighbors, .. } = scratch;
+        neighbors.extend(topk.iter().map(|&((sim, _, sid), ())| (sid, sim)));
+        neighbors.sort_unstable_by_key(|&(sid, _)| sid);
+        for &(sid, similarity) in neighbors.iter() {
+            let items = self.index.session_items(sid);
+            // Position of the most recent shared item between s and n.
+            let max_pos = items.iter().filter_map(|it| pos.get(it)).copied().max();
+            let Some(max_pos) = max_pos else {
+                continue; // cannot happen for true neighbours; defensive
+            };
+            let lambda = cfg.match_weight.weight(max_pos, wlen);
+            if lambda <= 0.0 {
+                continue;
+            }
+            let session_weight = lambda * similarity * norm;
+            for &item in items {
+                if cfg.exclude_session_items && pos.contains_key(&item) {
+                    continue;
+                }
+                let idf = self.idf.get(&item).copied().unwrap_or(1.0);
+                *scores.entry(item).or_insert(0.0) += session_weight * idf;
+            }
+        }
+    }
+
+    /// Extracts the `how_many` highest-scored items, descending.
+    fn take_top(&self, scratch: &mut Scratch) -> Vec<ItemScore> {
+        let Scratch { scores, out, .. } = scratch;
+        out.extend(
+            scores
+                .iter()
+                .filter(|&(_, &s)| s > 0.0)
+                .map(|(&item, &score)| ItemScore { item, score }),
+        );
+        let n = self.config.how_many.min(out.len());
+        if n == 0 {
+            return Vec::new();
+        }
+        // Partial selection then sort of only the head: descending score,
+        // ascending item id on ties for deterministic output.
+        let cmp = |a: &ItemScore, b: &ItemScore| {
+            b.score.partial_cmp(&a.score).expect("finite scores").then(a.item.cmp(&b.item))
+        };
+        if n < out.len() {
+            out.select_nth_unstable_by(n - 1, cmp);
+            out.truncate(n);
+        }
+        out.sort_unstable_by(cmp);
+        std::mem::take(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Click;
+
+    /// History of four sessions over six items; timestamps strictly increase.
+    fn history() -> Vec<Click> {
+        vec![
+            // session A (oldest): items 1, 2
+            Click::new(10, 1, 100),
+            Click::new(10, 2, 110),
+            // session B: items 2, 3
+            Click::new(20, 2, 200),
+            Click::new(20, 3, 210),
+            // session C: items 1, 3, 4
+            Click::new(30, 1, 300),
+            Click::new(30, 3, 310),
+            Click::new(30, 4, 320),
+            // session D (newest): items 2, 4, 5
+            Click::new(40, 2, 400),
+            Click::new(40, 4, 410),
+            Click::new(40, 5, 420),
+        ]
+    }
+
+    fn knn(config: VmisConfig) -> VmisKnn {
+        let index = SessionIndex::build(&history(), 500).unwrap();
+        VmisKnn::new(index, config).unwrap()
+    }
+
+    #[test]
+    fn empty_session_yields_no_recommendations() {
+        let v = knn(VmisConfig::default());
+        assert!(v.recommend(&[]).is_empty());
+    }
+
+    #[test]
+    fn unknown_items_yield_no_recommendations() {
+        let v = knn(VmisConfig::default());
+        assert!(v.recommend(&[999, 888]).is_empty());
+    }
+
+    #[test]
+    fn recommendations_are_sorted_and_bounded() {
+        let mut cfg = VmisConfig::default();
+        cfg.how_many = 2;
+        let v = knn(cfg);
+        let recs = v.recommend(&[1, 2]);
+        assert!(recs.len() <= 2);
+        assert!(recs.windows(2).all(|w| w[0].score >= w[1].score));
+        assert!(recs.iter().all(|r| r.score > 0.0 && r.score.is_finite()));
+    }
+
+    #[test]
+    fn neighbors_respect_k() {
+        let mut cfg = VmisConfig::default();
+        cfg.k = 2;
+        let v = knn(cfg);
+        let mut scratch = v.scratch();
+        let n = v.neighbors_with_scratch(&[2], &mut scratch);
+        assert_eq!(n.len(), 2);
+        // Item 2 occurs in sessions A, B, D; the two most similar with equal
+        // similarity are the most recent: B and D.
+        let ids: Vec<SessionId> = {
+            let mut ids: Vec<_> = n.iter().map(|x| x.session).collect();
+            ids.sort_unstable();
+            ids
+        };
+        // Dense ids: A=0, B=1, C=2, D=3.
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn similarity_matches_hand_computation() {
+        // Session [1, 2]: π(1) = 1/2, π(2) = 2/2 = 1.
+        // Session A = {1, 2}: r = 1/2 + 1 = 3/2.
+        // Session B = {2, 3}: r = 1.   Session C = {1,3,4}: r = 1/2.
+        // Session D = {2,4,5}: r = 1.
+        let v = knn(VmisConfig::default());
+        let mut scratch = v.scratch();
+        let mut n = v.neighbors_with_scratch(&[1, 2], &mut scratch);
+        n.sort_by_key(|x| x.session);
+        let sims: Vec<f32> = n.iter().map(|x| x.similarity).collect();
+        assert_eq!(n.len(), 4);
+        assert!((sims[0] - 1.5).abs() < 1e-6, "A: {}", sims[0]);
+        assert!((sims[1] - 1.0).abs() < 1e-6, "B: {}", sims[1]);
+        assert!((sims[2] - 0.5).abs() < 1e-6, "C: {}", sims[2]);
+        assert!((sims[3] - 1.0).abs() < 1e-6, "D: {}", sims[3]);
+    }
+
+    #[test]
+    fn m_bounds_the_candidate_set_to_most_recent() {
+        let mut cfg = VmisConfig::default();
+        cfg.m = 2;
+        let v = knn(cfg);
+        let mut scratch = v.scratch();
+        let n = v.neighbors_with_scratch(&[1, 2], &mut scratch);
+        // Only the 2 most recent matching sessions may survive in r.
+        assert!(n.len() <= 2);
+        let mut ids: Vec<SessionId> = n.iter().map(|x| x.session).collect();
+        ids.sort_unstable();
+        // Most recent sessions containing 1 or 2 are C (id 2) and D (id 3).
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn early_stopping_does_not_change_results() {
+        let mut with = VmisConfig::default();
+        with.m = 2;
+        with.early_stopping = true;
+        let mut without = with.clone();
+        without.early_stopping = false;
+
+        let v_with = knn(with);
+        let v_without = knn(without);
+        for session in [&[1u64, 2] as &[u64], &[2, 3], &[4], &[5, 1, 3]] {
+            let a = v_with.recommend(session);
+            let b = v_without.recommend(session);
+            assert_eq!(a, b, "session {session:?}");
+        }
+    }
+
+    #[test]
+    fn heap_arity_does_not_change_results() {
+        let base = VmisConfig::default();
+        let reference = knn(base.clone()).recommend(&[1, 2, 3]);
+        for arity in [HeapArity::Binary, HeapArity::Quaternary, HeapArity::Sedenary] {
+            let mut cfg = base.clone();
+            cfg.heap_arity = arity;
+            assert_eq!(knn(cfg).recommend(&[1, 2, 3]), reference, "{arity:?}");
+        }
+    }
+
+    #[test]
+    fn exclude_session_items_filters_inputs() {
+        let mut cfg = VmisConfig::default();
+        cfg.exclude_session_items = true;
+        let v = knn(cfg);
+        let recs = v.recommend(&[1, 2]);
+        assert!(recs.iter().all(|r| r.item != 1 && r.item != 2));
+    }
+
+    #[test]
+    fn depersonalised_equals_single_item_session() {
+        let v = knn(VmisConfig::default());
+        let mut scratch = v.scratch();
+        let a = v.recommend_depersonalised(2, &mut scratch);
+        let b = v.recommend(&[2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn session_cap_uses_most_recent_items() {
+        let mut cfg = VmisConfig::default();
+        cfg.max_session_len = 1;
+        let v = knn(cfg);
+        // With cap 1 only the most recent item (2) is considered.
+        let capped = v.recommend(&[1, 2]);
+        let single = v.recommend(&[2]);
+        assert_eq!(capped, single);
+    }
+
+    #[test]
+    fn duplicate_items_use_latest_position() {
+        let v = knn(VmisConfig::default());
+        // [2, 1, 2] should equal [1, 2] in terms of the item set, with item 2
+        // at the latest position — same as session [1, 2] for scoring.
+        let a = v.recommend(&[2, 1, 2]);
+        let b = v.recommend(&[1, 2]);
+        // Positions differ (lengths 3 vs 2) so scores differ, but the two
+        // must recommend the same item set ordering-independently.
+        let items =
+            |r: &[ItemScore]| { let mut v: Vec<_> = r.iter().map(|x| x.item).collect(); v.sort_unstable(); v };
+        assert_eq!(items(&a), items(&b));
+    }
+
+    #[test]
+    fn scratch_reuse_is_idempotent() {
+        let v = knn(VmisConfig::default());
+        let mut scratch = v.scratch();
+        let first = v.recommend_with_scratch(&[1, 2], &mut scratch);
+        let second = v.recommend_with_scratch(&[1, 2], &mut scratch);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let index = SessionIndex::build(&history(), 10).unwrap();
+        for (param, cfg) in [
+            ("m", VmisConfig { m: 0, ..VmisConfig::default() }),
+            ("k", VmisConfig { k: 0, ..VmisConfig::default() }),
+            ("how_many", VmisConfig { how_many: 0, ..VmisConfig::default() }),
+            ("max_session_len", VmisConfig { max_session_len: 0, ..VmisConfig::default() }),
+            ("m", VmisConfig { m: 11, ..VmisConfig::default() }), // > m_max = 10
+        ] {
+            let err = VmisKnn::new(index.clone(), cfg).unwrap_err();
+            match err {
+                CoreError::InvalidConfig { parameter, .. } => assert_eq!(parameter, param),
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn vs_knn_faithful_mode_changes_scores_not_ranking() {
+        let vmis = knn(VmisConfig::default());
+        let mut faithful_cfg = VmisConfig::default();
+        faithful_cfg.normalize_by_session_length = true;
+        let faithful = knn(faithful_cfg);
+        let a = vmis.recommend(&[1, 2]);
+        let b = faithful.recommend(&[1, 2]);
+        let items = |r: &[ItemScore]| r.iter().map(|x| x.item).collect::<Vec<_>>();
+        assert_eq!(items(&a), items(&b), "1/|s| is ranking-neutral");
+        // But the absolute scores shrink by the factor 1/2.
+        for (x, y) in a.iter().zip(&b) {
+            assert!((y.score * 2.0 - x.score).abs() < 1e-5);
+        }
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::types::Click;
+
+    #[test]
+    fn k_may_exceed_m() {
+        let clicks = vec![
+            Click::new(1, 1, 10),
+            Click::new(1, 2, 11),
+            Click::new(2, 1, 20),
+            Click::new(2, 3, 21),
+        ];
+        let index = SessionIndex::build(&clicks, 500).unwrap();
+        let mut cfg = VmisConfig::default();
+        cfg.m = 1;
+        cfg.k = 50; // more neighbours requested than the sample can hold
+        let v = VmisKnn::new(index, cfg).unwrap();
+        let mut scratch = v.scratch();
+        let n = v.neighbors_with_scratch(&[1], &mut scratch);
+        assert_eq!(n.len(), 1, "at most m sessions can be neighbours");
+    }
+
+    #[test]
+    fn how_many_larger_than_candidate_pool() {
+        let clicks = vec![Click::new(1, 1, 10), Click::new(1, 2, 11)];
+        let index = SessionIndex::build(&clicks, 500).unwrap();
+        let mut cfg = VmisConfig::default();
+        cfg.how_many = 1_000;
+        cfg.idf = IdfWeighting::OnePlusLog; // keep single-session idf positive
+        let v = VmisKnn::new(index, cfg).unwrap();
+        let recs = v.recommend(&[1]);
+        assert!(recs.len() <= 2, "cannot recommend more items than exist");
+        assert!(!recs.is_empty());
+    }
+
+    #[test]
+    fn items_in_every_session_score_zero_under_log_idf() {
+        // log(|H|/h_i) = 0 when h_i = |H| — ubiquitous items are suppressed
+        // entirely under the VMIS simplification (and kept under 1+log).
+        let clicks = vec![
+            Click::new(1, 1, 10),
+            Click::new(1, 2, 11),
+            Click::new(2, 1, 20),
+            Click::new(2, 3, 21),
+        ];
+        let index = SessionIndex::build(&clicks, 500).unwrap();
+        let log_variant = VmisKnn::new(index.clone(), VmisConfig::default()).unwrap();
+        let recs = log_variant.recommend(&[2]);
+        assert!(recs.iter().all(|r| r.item != 1), "ubiquitous item must score 0");
+        let mut cfg = VmisConfig::default();
+        cfg.idf = IdfWeighting::OnePlusLog;
+        let vs_variant = VmisKnn::new(index, cfg).unwrap();
+        let recs = vs_variant.recommend(&[2]);
+        assert!(recs.iter().any(|r| r.item == 1), "1+log keeps it");
+    }
+
+    #[test]
+    fn long_sessions_are_capped_to_window() {
+        let mut clicks = Vec::new();
+        for s in 0..10u64 {
+            clicks.push(Click::new(s + 1, s % 4, 100 + s * 10));
+            clicks.push(Click::new(s + 1, (s + 1) % 4, 101 + s * 10));
+        }
+        let index = SessionIndex::build(&clicks, 500).unwrap();
+        let v = VmisKnn::new(index, VmisConfig::default()).unwrap();
+        // A 30-item session: only the final max_session_len items matter.
+        let long: Vec<ItemId> = (0..30).map(|i| i % 4).collect();
+        let window = long[long.len() - v.config().max_session_len..].to_vec();
+        assert_eq!(v.recommend(&long), v.recommend(&window));
+    }
+
+    #[test]
+    fn scratch_pool_sizes_follow_config() {
+        let clicks = vec![Click::new(1, 1, 10), Click::new(1, 2, 11)];
+        let index = SessionIndex::build(&clicks, 500).unwrap();
+        let mut cfg = VmisConfig::default();
+        cfg.heap_arity = HeapArity::Quaternary;
+        let v = VmisKnn::new(index, cfg).unwrap();
+        let scratch = v.scratch();
+        // Indirect check: the scratch works for this config.
+        let mut scratch = scratch;
+        let _ = v.recommend_with_scratch(&[1], &mut scratch);
+    }
+}

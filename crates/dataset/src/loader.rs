@@ -1,0 +1,325 @@
+//! CSV loaders for public clickstream datasets.
+//!
+//! When the real `rsc15` (RecSys Challenge 2015 / yoochoose) or
+//! `retailrocket` files are available on disk, these loaders ingest them
+//! unchanged. The parser is hand-rolled (no CSV dependency): the formats are
+//! simple delimiter-separated files without quoting.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+use serenade_core::Click;
+
+/// How the time column is encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeFormat {
+    /// Unix epoch seconds (integer or float).
+    UnixSeconds,
+    /// Unix epoch milliseconds (retailrocket).
+    UnixMillis,
+    /// ISO-8601 UTC, e.g. `2014-04-07T10:51:09.277Z` (rsc15).
+    Iso8601,
+}
+
+/// Describes a delimiter-separated click-log file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvFormat {
+    /// Field delimiter.
+    pub delimiter: u8,
+    /// Whether the first line is a header to skip.
+    pub has_header: bool,
+    /// Zero-based column index of the session id.
+    pub session_col: usize,
+    /// Zero-based column index of the item id.
+    pub item_col: usize,
+    /// Zero-based column index of the timestamp.
+    pub time_col: usize,
+    /// Timestamp encoding.
+    pub time_format: TimeFormat,
+}
+
+impl CsvFormat {
+    /// The canonical format produced by this repository's tools:
+    /// `session_id,item_id,unix_seconds` with a header.
+    pub fn canonical() -> Self {
+        Self {
+            delimiter: b',',
+            has_header: true,
+            session_col: 0,
+            item_col: 1,
+            time_col: 2,
+            time_format: TimeFormat::UnixSeconds,
+        }
+    }
+
+    /// `yoochoose-clicks.dat` of rsc15: `session,iso-timestamp,item,category`.
+    pub fn rsc15() -> Self {
+        Self {
+            delimiter: b',',
+            has_header: false,
+            session_col: 0,
+            item_col: 2,
+            time_col: 1,
+            time_format: TimeFormat::Iso8601,
+        }
+    }
+
+    /// `events.csv` of retailrocket: `timestamp,visitorid,event,itemid,...`
+    /// (the visitor id is used as the session id; the paper's preprocessing
+    /// additionally splits visits on inactivity, which callers can apply on
+    /// the sessionized output).
+    pub fn retailrocket() -> Self {
+        Self {
+            delimiter: b',',
+            has_header: true,
+            session_col: 1,
+            item_col: 3,
+            time_col: 0,
+            time_format: TimeFormat::UnixMillis,
+        }
+    }
+}
+
+/// Errors raised while loading a click log.
+#[derive(Debug)]
+pub enum LoaderError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line; carries the 1-based line number and a description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for LoaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoaderError::Io(e) => write!(f, "i/o error: {e}"),
+            LoaderError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoaderError {}
+
+impl From<std::io::Error> for LoaderError {
+    fn from(e: std::io::Error) -> Self {
+        LoaderError::Io(e)
+    }
+}
+
+/// Loads clicks from a file path.
+pub fn load_clicks_from_path(
+    path: impl AsRef<Path>,
+    format: &CsvFormat,
+) -> Result<Vec<Click>, LoaderError> {
+    load_clicks(File::open(path)?, format)
+}
+
+/// Loads clicks from any reader.
+pub fn load_clicks(reader: impl Read, format: &CsvFormat) -> Result<Vec<Click>, LoaderError> {
+    let mut clicks = Vec::new();
+    let mut line_buf = String::new();
+    let mut reader = BufReader::new(reader);
+    let mut line_no = 0usize;
+    let needed = format.session_col.max(format.item_col).max(format.time_col);
+
+    while reader.read_line(&mut line_buf)? != 0 {
+        line_no += 1;
+        let line = line_buf.trim_end_matches(['\n', '\r']);
+        let skip = line.is_empty() || (line_no == 1 && format.has_header);
+        if !skip {
+            let mut fields = line.split(format.delimiter as char);
+            let mut session = None;
+            let mut item = None;
+            let mut time = None;
+            for (idx, field) in fields.by_ref().enumerate() {
+                if idx == format.session_col {
+                    session = Some(field);
+                }
+                if idx == format.item_col {
+                    item = Some(field);
+                }
+                if idx == format.time_col {
+                    time = Some(field);
+                }
+                if idx >= needed {
+                    break;
+                }
+            }
+            let (Some(session), Some(item), Some(time)) = (session, item, time) else {
+                return Err(LoaderError::Parse {
+                    line: line_no,
+                    message: format!("expected at least {} fields", needed + 1),
+                });
+            };
+            let parse_u64 = |what: &str, s: &str| {
+                s.trim().parse::<u64>().map_err(|e| LoaderError::Parse {
+                    line: line_no,
+                    message: format!("invalid {what} {s:?}: {e}"),
+                })
+            };
+            let timestamp = parse_timestamp(time, format.time_format).map_err(|message| {
+                LoaderError::Parse { line: line_no, message }
+            })?;
+            clicks.push(Click::new(
+                parse_u64("session id", session)?,
+                parse_u64("item id", item)?,
+                timestamp,
+            ));
+        }
+        line_buf.clear();
+    }
+    Ok(clicks)
+}
+
+/// Writes clicks in the canonical CSV format.
+pub fn write_canonical(clicks: &[Click], mut writer: impl std::io::Write) -> std::io::Result<()> {
+    writeln!(writer, "session_id,item_id,timestamp")?;
+    for c in clicks {
+        writeln!(writer, "{},{},{}", c.session_id, c.item_id, c.timestamp)?;
+    }
+    Ok(())
+}
+
+fn parse_timestamp(field: &str, format: TimeFormat) -> Result<u64, String> {
+    let field = field.trim();
+    match format {
+        TimeFormat::UnixSeconds => field
+            .parse::<f64>()
+            .map(|f| f as u64)
+            .map_err(|e| format!("invalid unix timestamp {field:?}: {e}")),
+        TimeFormat::UnixMillis => field
+            .parse::<u64>()
+            .map(|ms| ms / 1_000)
+            .map_err(|e| format!("invalid millisecond timestamp {field:?}: {e}")),
+        TimeFormat::Iso8601 => parse_iso8601(field),
+    }
+}
+
+/// Parses `YYYY-MM-DDTHH:MM:SS[.fff][Z]` into Unix seconds (UTC assumed).
+fn parse_iso8601(s: &str) -> Result<u64, String> {
+    let err = || format!("invalid ISO-8601 timestamp {s:?}");
+    let bytes = s.as_bytes();
+    if bytes.len() < 19 || bytes[4] != b'-' || bytes[7] != b'-' || bytes[10] != b'T' {
+        return Err(err());
+    }
+    let num = |range: std::ops::Range<usize>| -> Result<u64, String> {
+        s.get(range).ok_or_else(err)?.parse::<u64>().map_err(|_| err())
+    };
+    let (year, month, day) = (num(0..4)?, num(5..7)?, num(8..10)?);
+    let (hour, minute, second) = (num(11..13)?, num(14..16)?, num(17..19)?);
+    if !(1970..=9999).contains(&year)
+        || !(1..=12).contains(&month)
+        || !(1..=31).contains(&day)
+        || hour > 23
+        || minute > 59
+        || second > 60
+    {
+        return Err(err());
+    }
+    Ok(days_from_epoch(year, month, day) * 86_400 + hour * 3_600 + minute * 60 + second)
+}
+
+/// Days between 1970-01-01 and the given civil date (proleptic Gregorian,
+/// Howard Hinnant's algorithm).
+fn days_from_epoch(year: u64, month: u64, day: u64) -> u64 {
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = y / 400;
+    let yoe = y - era * 400;
+    let mp = (month + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + day - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_roundtrip() {
+        let clicks = vec![Click::new(1, 10, 100), Click::new(2, 20, 200)];
+        let mut buf = Vec::new();
+        write_canonical(&clicks, &mut buf).unwrap();
+        let loaded = load_clicks(&buf[..], &CsvFormat::canonical()).unwrap();
+        assert_eq!(loaded, clicks);
+    }
+
+    #[test]
+    fn rsc15_format_parses() {
+        let data = "1,2014-04-07T10:51:09.277Z,214536502,0\n\
+                    1,2014-04-07T10:54:09.868Z,214536500,0\n";
+        let clicks = load_clicks(data.as_bytes(), &CsvFormat::rsc15()).unwrap();
+        assert_eq!(clicks.len(), 2);
+        assert_eq!(clicks[0].session_id, 1);
+        assert_eq!(clicks[0].item_id, 214536502);
+        assert_eq!(clicks[1].timestamp - clicks[0].timestamp, 180);
+    }
+
+    #[test]
+    fn retailrocket_format_parses() {
+        let data = "timestamp,visitorid,event,itemid,transactionid\n\
+                    1433221332117,257597,view,355908,\n";
+        let clicks = load_clicks(data.as_bytes(), &CsvFormat::retailrocket()).unwrap();
+        assert_eq!(clicks.len(), 1);
+        assert_eq!(clicks[0].session_id, 257597);
+        assert_eq!(clicks[0].item_id, 355908);
+        assert_eq!(clicks[0].timestamp, 1433221332);
+    }
+
+    #[test]
+    fn iso8601_reference_values() {
+        assert_eq!(parse_iso8601("1970-01-01T00:00:00Z").unwrap(), 0);
+        assert_eq!(parse_iso8601("1970-01-02T00:00:01Z").unwrap(), 86_401);
+        // 2014-04-07T10:51:09Z == 1396867869 (verified against `date -u`).
+        assert_eq!(parse_iso8601("2014-04-07T10:51:09.277Z").unwrap(), 1_396_867_869);
+        // Leap-year boundary: 2016-02-29 is valid.
+        assert_eq!(
+            parse_iso8601("2016-03-01T00:00:00Z").unwrap()
+                - parse_iso8601("2016-02-29T00:00:00Z").unwrap(),
+            86_400
+        );
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let data = "session_id,item_id,timestamp\n1,abc,100\n";
+        let err = load_clicks(data.as_bytes(), &CsvFormat::canonical()).unwrap_err();
+        match err {
+            LoaderError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("item id"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        let data = "session_id,item_id,timestamp\n1,100\n";
+        let err = load_clicks(data.as_bytes(), &CsvFormat::canonical()).unwrap_err();
+        assert!(matches!(err, LoaderError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let data = "session_id,item_id,timestamp\n\n1,2,3\n\n";
+        let clicks = load_clicks(data.as_bytes(), &CsvFormat::canonical()).unwrap();
+        assert_eq!(clicks.len(), 1);
+    }
+
+    #[test]
+    fn invalid_iso_timestamps_are_rejected() {
+        for bad in ["2014-13-07T10:51:09Z", "2014-04-07 10:51:09", "garbage", "2014-04-07T10:51"] {
+            assert!(parse_iso8601(bad).is_err(), "{bad} should fail");
+        }
+    }
+}

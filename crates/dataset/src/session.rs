@@ -1,0 +1,107 @@
+//! Sessionization: grouping a click log into chronologically ordered sessions.
+
+use serenade_core::{Click, FxHashMap, ItemId, Timestamp};
+
+/// A user session: the chronological item sequence of one session id.
+///
+/// Unlike the deduplicated per-session item lists inside the index, a
+/// `Session` keeps repeated interactions — the evaluation protocol feeds the
+/// raw sequence to the recommender exactly as the shop frontend would.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// External session identifier from the click log.
+    pub id: u64,
+    /// Items in click order (repeats preserved).
+    pub items: Vec<ItemId>,
+    /// Timestamp of the first click.
+    pub start: Timestamp,
+    /// Timestamp of the last click (the session timestamp used by the index).
+    pub end: Timestamp,
+}
+
+impl Session {
+    /// Number of clicks in the session.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if the session has no clicks.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Groups clicks into sessions ordered by ascending end timestamp
+/// (ties broken by session id). Clicks within a session are ordered by
+/// timestamp (ties by item id, for determinism).
+pub fn sessionize(clicks: &[Click]) -> Vec<Session> {
+    let mut by_session: FxHashMap<u64, Vec<(Timestamp, ItemId)>> = FxHashMap::default();
+    for c in clicks {
+        by_session.entry(c.session_id).or_default().push((c.timestamp, c.item_id));
+    }
+    let mut sessions: Vec<Session> = by_session
+        .into_iter()
+        .map(|(id, mut clicks)| {
+            clicks.sort_unstable();
+            let start = clicks.first().map(|&(t, _)| t).unwrap_or(0);
+            let end = clicks.last().map(|&(t, _)| t).unwrap_or(0);
+            Session { id, items: clicks.into_iter().map(|(_, i)| i).collect(), start, end }
+        })
+        .collect();
+    sessions.sort_unstable_by_key(|s| (s.end, s.id));
+    sessions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessionize_groups_and_orders() {
+        let clicks = vec![
+            Click::new(2, 20, 200),
+            Click::new(1, 11, 101),
+            Click::new(1, 10, 100),
+            Click::new(2, 21, 210),
+        ];
+        let sessions = sessionize(&clicks);
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].id, 1);
+        assert_eq!(sessions[0].items, vec![10, 11]);
+        assert_eq!(sessions[0].start, 100);
+        assert_eq!(sessions[0].end, 101);
+        assert_eq!(sessions[1].id, 2);
+        assert_eq!(sessions[1].items, vec![20, 21]);
+    }
+
+    #[test]
+    fn repeats_are_preserved() {
+        let clicks = vec![
+            Click::new(1, 5, 1),
+            Click::new(1, 5, 2),
+            Click::new(1, 6, 3),
+            Click::new(1, 5, 4),
+        ];
+        let sessions = sessionize(&clicks);
+        assert_eq!(sessions[0].items, vec![5, 5, 6, 5]);
+        assert_eq!(sessions[0].len(), 4);
+        assert!(!sessions[0].is_empty());
+    }
+
+    #[test]
+    fn sessions_sorted_by_end_timestamp() {
+        let clicks = vec![
+            Click::new(9, 1, 500), // ends at 500
+            Click::new(7, 2, 100),
+            Click::new(7, 3, 600), // ends at 600
+        ];
+        let sessions = sessionize(&clicks);
+        assert_eq!(sessions[0].id, 9);
+        assert_eq!(sessions[1].id, 7);
+    }
+
+    #[test]
+    fn empty_input_yields_no_sessions() {
+        assert!(sessionize(&[]).is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Dataset statistics — the quantities reported in Table 1 of the paper.
+
+use crate::session::sessionize;
+use serenade_core::{Click, FxHashSet};
+
+/// The statistics of one dataset row in Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Total number of clicks.
+    pub clicks: usize,
+    /// Number of distinct sessions.
+    pub sessions: usize,
+    /// Number of distinct items.
+    pub items: usize,
+    /// Number of calendar days spanned (`1 + (max_ts − min_ts) / 86_400`).
+    pub days: u64,
+    /// 25th percentile of clicks per session.
+    pub clicks_per_session_p25: f64,
+    /// Median clicks per session.
+    pub clicks_per_session_p50: f64,
+    /// 75th percentile of clicks per session.
+    pub clicks_per_session_p75: f64,
+    /// 99th percentile of clicks per session.
+    pub clicks_per_session_p99: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics from a raw click log.
+    pub fn from_clicks(name: &str, clicks: &[Click]) -> Self {
+        let sessions = sessionize(clicks);
+        let items: FxHashSet<u64> = clicks.iter().map(|c| c.item_id).collect();
+        let mut lengths: Vec<f64> = sessions.iter().map(|s| s.len() as f64).collect();
+        lengths.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let (min_ts, max_ts) = clicks.iter().fold((u64::MAX, 0u64), |(lo, hi), c| {
+            (lo.min(c.timestamp), hi.max(c.timestamp))
+        });
+        let days = if clicks.is_empty() { 0 } else { 1 + (max_ts - min_ts) / 86_400 };
+        Self {
+            name: name.to_string(),
+            clicks: clicks.len(),
+            sessions: sessions.len(),
+            items: items.len(),
+            days,
+            clicks_per_session_p25: percentile(&lengths, 0.25),
+            clicks_per_session_p50: percentile(&lengths, 0.50),
+            clicks_per_session_p75: percentile(&lengths, 0.75),
+            clicks_per_session_p99: percentile(&lengths, 0.99),
+        }
+    }
+}
+
+/// Percentile of a **sorted** slice using nearest-rank interpolation.
+///
+/// `q` is in `[0, 1]`. Returns `NaN` for an empty slice. Linear interpolation
+/// between closest ranks (the same convention as numpy's default).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_of_known_values() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        assert_eq!(percentile(&v, 0.25), 2.0);
+        // Interpolated.
+        let w = [1.0, 2.0];
+        assert!((percentile(&w, 0.5) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_nan() {
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn percentile_of_singleton() {
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn stats_count_clicks_sessions_items_days() {
+        let clicks = vec![
+            Click::new(1, 10, 0),
+            Click::new(1, 11, 10),
+            Click::new(2, 10, 86_400),
+            Click::new(2, 12, 86_410),
+            Click::new(2, 13, 86_420),
+        ];
+        let s = DatasetStats::from_clicks("toy", &clicks);
+        assert_eq!(s.clicks, 5);
+        assert_eq!(s.sessions, 2);
+        assert_eq!(s.items, 4);
+        assert_eq!(s.days, 2);
+        assert_eq!(s.clicks_per_session_p50, 2.5);
+        assert_eq!(s.clicks_per_session_p25, 2.25);
+    }
+
+    #[test]
+    fn stats_of_empty_dataset() {
+        let s = DatasetStats::from_clicks("empty", &[]);
+        assert_eq!(s.clicks, 0);
+        assert_eq!(s.sessions, 0);
+        assert_eq!(s.days, 0);
+        assert!(s.clicks_per_session_p50.is_nan());
+    }
+}

@@ -1,0 +1,262 @@
+//! Versioned binary serialisation of the session index.
+//!
+//! The paper ships the Spark-built index as compressed Avro files that the
+//! serving pods ingest at startup. Here the artefact is a purpose-built
+//! little-endian format with a magic header, a version byte and an FNV-1a
+//! checksum over the payload, so a corrupted or truncated artefact is
+//! rejected before it can serve garbage. Structural invariants are
+//! re-validated on load via [`SessionIndex::from_parts`].
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serenade_core::index::Posting;
+use serenade_core::{CoreError, FxHashMap, ItemId, SessionIndex};
+
+const MAGIC: &[u8; 8] = b"SRNIDX\x01\x00";
+
+/// Errors raised when reading or writing an index artefact.
+#[derive(Debug)]
+pub enum BinError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid artefact (bad magic, truncation, checksum).
+    Corrupt(String),
+    /// The decoded parts violated an index invariant.
+    Core(CoreError),
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinError::Io(e) => write!(f, "i/o error: {e}"),
+            BinError::Corrupt(m) => write!(f, "corrupt index artefact: {m}"),
+            BinError::Core(e) => write!(f, "invalid index contents: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+impl From<std::io::Error> for BinError {
+    fn from(e: std::io::Error) -> Self {
+        BinError::Io(e)
+    }
+}
+
+impl From<CoreError> for BinError {
+    fn from(e: CoreError) -> Self {
+        BinError::Core(e)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Serialises an index to a writer.
+pub fn write_index(index: &SessionIndex, mut writer: impl Write) -> std::io::Result<()> {
+    let mut payload = BytesMut::with_capacity(1 << 16);
+    payload.put_u64_le(index.m_max() as u64);
+    payload.put_u64_le(index.num_sessions() as u64);
+    for sid in 0..index.num_sessions() as u32 {
+        payload.put_u64_le(index.session_timestamp(sid));
+    }
+    // CSR item lists.
+    let mut offset = 0u32;
+    let mut offsets = Vec::with_capacity(index.num_sessions() + 1);
+    offsets.push(0u32);
+    for sid in 0..index.num_sessions() as u32 {
+        offset += index.session_items(sid).len() as u32;
+        offsets.push(offset);
+    }
+    for &o in &offsets {
+        payload.put_u32_le(o);
+    }
+    payload.put_u64_le(u64::from(offset));
+    for sid in 0..index.num_sessions() as u32 {
+        for &item in index.session_items(sid) {
+            payload.put_u64_le(item);
+        }
+    }
+    // Postings, in sorted item order for a deterministic artefact.
+    let mut items: Vec<ItemId> = index.items().collect();
+    items.sort_unstable();
+    payload.put_u64_le(items.len() as u64);
+    for item in items {
+        let sessions = index.postings(item).expect("item is indexed");
+        let support = index.item_support(item).expect("item is indexed");
+        payload.put_u64_le(item);
+        payload.put_u32_le(support);
+        payload.put_u32_le(sessions.len() as u32);
+        for &sid in sessions {
+            payload.put_u32_le(sid);
+        }
+    }
+
+    writer.write_all(MAGIC)?;
+    writer.write_all(&(payload.len() as u64).to_le_bytes())?;
+    writer.write_all(&fnv1a(&payload).to_le_bytes())?;
+    writer.write_all(&payload)?;
+    writer.flush()
+}
+
+/// Deserialises an index from a reader, verifying magic, checksum and all
+/// structural invariants.
+pub fn read_index(mut reader: impl Read) -> Result<SessionIndex, BinError> {
+    let mut header = [0u8; 8 + 8 + 8];
+    reader.read_exact(&mut header).map_err(|_| BinError::Corrupt("short header".into()))?;
+    if &header[..8] != MAGIC {
+        return Err(BinError::Corrupt("bad magic / unsupported version".into()));
+    }
+    let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
+    let checksum = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload).map_err(|_| BinError::Corrupt("truncated payload".into()))?;
+    if fnv1a(&payload) != checksum {
+        return Err(BinError::Corrupt("checksum mismatch".into()));
+    }
+
+    let mut buf = Bytes::from(payload);
+    let need = |buf: &Bytes, n: usize| -> Result<(), BinError> {
+        if buf.remaining() < n {
+            Err(BinError::Corrupt("payload shorter than declared structure".into()))
+        } else {
+            Ok(())
+        }
+    };
+
+    need(&buf, 16)?;
+    let m_max = buf.get_u64_le() as usize;
+    let num_sessions = buf.get_u64_le() as usize;
+    if num_sessions > u32::MAX as usize {
+        return Err(BinError::Corrupt("session count exceeds u32 space".into()));
+    }
+    need(&buf, num_sessions * 8)?;
+    let timestamps: Vec<u64> = (0..num_sessions).map(|_| buf.get_u64_le()).collect();
+    need(&buf, (num_sessions + 1) * 4)?;
+    let offsets: Vec<u32> = (0..=num_sessions).map(|_| buf.get_u32_le()).collect();
+    need(&buf, 8)?;
+    let flat_len = buf.get_u64_le() as usize;
+    need(&buf, flat_len * 8)?;
+    let items_flat: Vec<ItemId> = (0..flat_len).map(|_| buf.get_u64_le()).collect();
+    need(&buf, 8)?;
+    let num_postings = buf.get_u64_le() as usize;
+    let mut postings: FxHashMap<ItemId, Posting> = FxHashMap::default();
+    postings.reserve(num_postings);
+    for _ in 0..num_postings {
+        need(&buf, 16)?;
+        let item = buf.get_u64_le();
+        let support = buf.get_u32_le();
+        let plen = buf.get_u32_le() as usize;
+        need(&buf, plen * 4)?;
+        let sessions: Vec<u32> = (0..plen).map(|_| buf.get_u32_le()).collect();
+        postings.insert(item, Posting { sessions: sessions.into_boxed_slice(), support });
+    }
+    if buf.has_remaining() {
+        return Err(BinError::Corrupt("trailing bytes after payload".into()));
+    }
+
+    Ok(SessionIndex::from_parts(
+        postings,
+        timestamps.into_boxed_slice(),
+        items_flat.into_boxed_slice(),
+        offsets.into_boxed_slice(),
+        m_max,
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenade_core::Click;
+
+    fn sample_index() -> SessionIndex {
+        let mut clicks = Vec::new();
+        for s in 0..30u64 {
+            clicks.push(Click::new(s + 1, s % 5, 100 + s * 10));
+            clicks.push(Click::new(s + 1, (s + 1) % 5, 101 + s * 10));
+        }
+        SessionIndex::build(&clicks, 8).unwrap()
+    }
+
+    fn serialise(index: &SessionIndex) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_index(index, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let index = sample_index();
+        let bytes = serialise(&index);
+        let loaded = read_index(&bytes[..]).unwrap();
+        assert_eq!(loaded.stats(), index.stats());
+        assert_eq!(loaded.m_max(), index.m_max());
+        for sid in 0..index.num_sessions() as u32 {
+            assert_eq!(loaded.session_timestamp(sid), index.session_timestamp(sid));
+            assert_eq!(loaded.session_items(sid), index.session_items(sid));
+        }
+        for item in index.items() {
+            assert_eq!(loaded.postings(item), index.postings(item));
+            assert_eq!(loaded.item_support(item), index.item_support(item));
+        }
+    }
+
+    #[test]
+    fn serialisation_is_deterministic() {
+        let index = sample_index();
+        assert_eq!(serialise(&index), serialise(&index));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = serialise(&sample_index());
+        bytes[0] ^= 0xFF;
+        assert!(matches!(read_index(&bytes[..]), Err(BinError::Corrupt(_))));
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let mut bytes = serialise(&sample_index());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let err = read_index(&bytes[..]).unwrap_err();
+        assert!(matches!(err, BinError::Corrupt(m) if m.contains("checksum")));
+    }
+
+    #[test]
+    fn truncated_artefact_is_rejected() {
+        let bytes = serialise(&sample_index());
+        for cut in [0, 5, 20, bytes.len() - 3] {
+            assert!(
+                matches!(read_index(&bytes[..cut]), Err(BinError::Corrupt(_))),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = serialise(&sample_index());
+        // Extend the declared payload length over garbage bytes.
+        bytes.extend_from_slice(&[0u8; 4]);
+        let declared = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) + 4;
+        bytes[8..16].copy_from_slice(&declared.to_le_bytes());
+        // Checksum now mismatches (payload changed length).
+        assert!(matches!(read_index(&bytes[..]), Err(BinError::Corrupt(_))));
+    }
+
+    #[test]
+    fn error_display_variants() {
+        let io = BinError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        assert!(BinError::Corrupt("x".into()).to_string().contains('x'));
+    }
+}

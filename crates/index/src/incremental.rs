@@ -1,0 +1,310 @@
+//! Incremental index maintenance (future work, Section 7).
+//!
+//! The production pipeline rebuilds the full index once per day, so new
+//! items only become recommendable with a one-day delay. An incremental
+//! indexer closes that gap: click batches are folded into the index as they
+//! arrive. Because dense session ids are assigned in ascending timestamp
+//! order, an **append-only** batch (all sessions newer than everything seen
+//! so far, no updates to existing sessions) extends every structure at the
+//! edges: new timestamps append, new item lists append, and each touched
+//! posting list gains entries at the *front* (it is ordered most recent
+//! first) and is re-truncated to `m_max`.
+//!
+//! Batches that violate the append-only precondition (re-appearing session
+//! ids, out-of-order timestamps) fall back to a full rebuild — correctness
+//! first. The test suite verifies that any sequence of batches produces an
+//! index identical to a from-scratch build over the concatenated log.
+
+use serenade_core::index::Posting;
+use serenade_core::{Click, CoreError, FxHashMap, FxHashSet, ItemId, SessionId, SessionIndex, Timestamp};
+
+/// A batch session pending insertion: `(session ts, external id, clicks)`.
+type PendingSession = (Timestamp, u64, Vec<(Timestamp, ItemId)>);
+
+/// Stateful incremental index maintainer.
+#[derive(Debug, Clone)]
+pub struct IncrementalIndexer {
+    m_max: usize,
+    /// Full click log retained for rebuild fallbacks.
+    clicks: Vec<Click>,
+    /// External ids of sessions already indexed.
+    known_sessions: FxHashSet<u64>,
+    /// Largest session timestamp indexed so far.
+    max_session_ts: Timestamp,
+    timestamps: Vec<Timestamp>,
+    items_flat: Vec<ItemId>,
+    items_offsets: Vec<u32>,
+    /// Posting lists, most recent first, truncated to `m_max`.
+    postings: FxHashMap<ItemId, Vec<SessionId>>,
+    supports: FxHashMap<ItemId, u32>,
+    /// Number of batches that took the slow (rebuild) path — observability.
+    rebuilds: usize,
+}
+
+impl IncrementalIndexer {
+    /// Creates an empty indexer with the given posting capacity.
+    pub fn new(m_max: usize) -> Result<Self, CoreError> {
+        if m_max == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "m_max",
+                reason: "posting-list capacity must be positive".into(),
+            });
+        }
+        Ok(Self {
+            m_max,
+            clicks: Vec::new(),
+            known_sessions: FxHashSet::default(),
+            max_session_ts: 0,
+            timestamps: Vec::new(),
+            items_flat: Vec::new(),
+            items_offsets: vec![0],
+            postings: FxHashMap::default(),
+            supports: FxHashMap::default(),
+            rebuilds: 0,
+        })
+    }
+
+    /// Number of sessions currently indexed.
+    pub fn num_sessions(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// How many batches required a full rebuild.
+    pub fn rebuild_count(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Folds a batch of clicks into the index.
+    pub fn apply_batch(&mut self, batch: &[Click]) -> Result<(), CoreError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.clicks.extend_from_slice(batch);
+
+        // Group the batch into sessions.
+        let mut by_session: FxHashMap<u64, Vec<(Timestamp, ItemId)>> = FxHashMap::default();
+        for c in batch {
+            by_session.entry(c.session_id).or_default().push((c.timestamp, c.item_id));
+        }
+        let mut sessions: Vec<PendingSession> = by_session
+            .into_iter()
+            .map(|(ext, mut sc)| {
+                sc.sort_unstable();
+                let ts = sc.last().expect("non-empty").0;
+                (ts, ext, sc)
+            })
+            .collect();
+        sessions.sort_unstable_by_key(|s| (s.0, s.1));
+
+        // Append-only precondition: no session id reappears, and every new
+        // session is strictly newer than everything indexed (a timestamp tie
+        // with the previous batch could order dense ids differently from a
+        // from-scratch build; within a batch ties are handled by sorting).
+        let fast = sessions.iter().all(|(ts, ext, _)| {
+            !self.known_sessions.contains(ext)
+                && (self.timestamps.is_empty() || *ts > self.max_session_ts)
+        });
+
+        if fast {
+            self.append_sessions(sessions)?;
+            Ok(())
+        } else {
+            self.rebuilds += 1;
+            self.rebuild()
+        }
+    }
+
+    fn append_sessions(&mut self, sessions: Vec<PendingSession>) -> Result<(), CoreError> {
+        if self.timestamps.len() + sessions.len() > u32::MAX as usize {
+            return Err(CoreError::TooManySessions(self.timestamps.len() + sessions.len()));
+        }
+        for (ts, ext, clicks) in sessions {
+            let sid = self.timestamps.len() as SessionId;
+            self.timestamps.push(ts);
+            self.known_sessions.insert(ext);
+            self.max_session_ts = ts;
+            let start = self.items_flat.len();
+            for (_, item) in clicks {
+                if !self.items_flat[start..].contains(&item) {
+                    self.items_flat.push(item);
+                    *self.supports.entry(item).or_insert(0) += 1;
+                    let posting = self.postings.entry(item).or_default();
+                    posting.insert(0, sid); // most recent first
+                    posting.truncate(self.m_max);
+                }
+            }
+            self.items_offsets.push(self.items_flat.len() as u32);
+        }
+        Ok(())
+    }
+
+    fn rebuild(&mut self) -> Result<(), CoreError> {
+        let index = SessionIndex::build(&self.clicks, self.m_max)?;
+        self.timestamps.clear();
+        self.items_flat.clear();
+        self.items_offsets = vec![0];
+        self.postings.clear();
+        self.supports.clear();
+        self.known_sessions.clear();
+        for sid in 0..index.num_sessions() as SessionId {
+            self.timestamps.push(index.session_timestamp(sid));
+            self.items_flat.extend_from_slice(index.session_items(sid));
+            self.items_offsets.push(self.items_flat.len() as u32);
+        }
+        self.max_session_ts = self.timestamps.last().copied().unwrap_or(0);
+        for (item, posting) in index.postings_iter() {
+            self.postings.insert(item, posting.sessions.to_vec());
+            self.supports.insert(item, posting.support);
+        }
+        // External ids must be re-derived from the click log.
+        for c in &self.clicks {
+            self.known_sessions.insert(c.session_id);
+        }
+        Ok(())
+    }
+
+    /// Materialises the current state as a validated [`SessionIndex`].
+    pub fn snapshot(&self) -> Result<SessionIndex, CoreError> {
+        if self.timestamps.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        let mut postings = FxHashMap::default();
+        for (&item, sids) in &self.postings {
+            postings.insert(
+                item,
+                Posting {
+                    sessions: sids.clone().into_boxed_slice(),
+                    support: self.supports[&item],
+                },
+            );
+        }
+        SessionIndex::from_parts(
+            postings,
+            self.timestamps.clone().into_boxed_slice(),
+            self.items_flat.clone().into_boxed_slice(),
+            self.items_offsets.clone().into_boxed_slice(),
+            self.m_max,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(range: std::ops::Range<u64>, ts_base: u64) -> Vec<Click> {
+        let mut out = Vec::new();
+        for s in range {
+            let ts = ts_base + s * 10;
+            out.push(Click::new(s, s % 6, ts));
+            out.push(Click::new(s, (s + 2) % 6, ts + 1));
+        }
+        out
+    }
+
+    fn assert_same(a: &SessionIndex, b: &SessionIndex) {
+        assert_eq!(a.stats(), b.stats());
+        for sid in 0..a.num_sessions() as SessionId {
+            assert_eq!(a.session_timestamp(sid), b.session_timestamp(sid));
+            assert_eq!(a.session_items(sid), b.session_items(sid));
+        }
+        for item in a.items() {
+            assert_eq!(a.postings(item), b.postings(item), "item {item}");
+            assert_eq!(a.item_support(item), b.item_support(item));
+        }
+    }
+
+    #[test]
+    fn append_only_batches_match_full_rebuild() {
+        let b1 = batch(1..20, 1_000);
+        let b2 = batch(20..35, 5_000);
+        let b3 = batch(35..50, 9_000);
+        let mut inc = IncrementalIndexer::new(7).unwrap();
+        inc.apply_batch(&b1).unwrap();
+        inc.apply_batch(&b2).unwrap();
+        inc.apply_batch(&b3).unwrap();
+        assert_eq!(inc.rebuild_count(), 0, "all batches should take the fast path");
+
+        let mut all = b1;
+        all.extend(b2);
+        all.extend(b3);
+        let reference = SessionIndex::build(&all, 7).unwrap();
+        assert_same(&inc.snapshot().unwrap(), &reference);
+    }
+
+    #[test]
+    fn reappearing_session_triggers_rebuild_and_stays_correct() {
+        let b1 = batch(1..10, 1_000);
+        // Session 5 reappears with later clicks.
+        let b2 = vec![Click::new(5, 3, 9_000), Click::new(5, 4, 9_001)];
+        let mut inc = IncrementalIndexer::new(7).unwrap();
+        inc.apply_batch(&b1).unwrap();
+        inc.apply_batch(&b2).unwrap();
+        assert_eq!(inc.rebuild_count(), 1);
+
+        let mut all = b1;
+        all.extend(b2);
+        let reference = SessionIndex::build(&all, 7).unwrap();
+        assert_same(&inc.snapshot().unwrap(), &reference);
+    }
+
+    #[test]
+    fn out_of_order_batch_triggers_rebuild_and_stays_correct() {
+        let b1 = batch(1..10, 10_000);
+        let b2 = batch(10..15, 1_000); // older than everything in b1
+        let mut inc = IncrementalIndexer::new(7).unwrap();
+        inc.apply_batch(&b1).unwrap();
+        inc.apply_batch(&b2).unwrap();
+        assert!(inc.rebuild_count() >= 1);
+
+        let mut all = b1;
+        all.extend(b2);
+        let reference = SessionIndex::build(&all, 7).unwrap();
+        assert_same(&inc.snapshot().unwrap(), &reference);
+    }
+
+    #[test]
+    fn posting_truncation_keeps_most_recent() {
+        let mut inc = IncrementalIndexer::new(2).unwrap();
+        // Item 0 appears in 5 consecutive sessions.
+        for s in 1..=5u64 {
+            inc.apply_batch(&[
+                Click::new(s, 0, s * 100),
+                Click::new(s, s, s * 100 + 1),
+            ])
+            .unwrap();
+        }
+        let idx = inc.snapshot().unwrap();
+        assert_eq!(idx.postings(0).unwrap(), &[4, 3]); // sids of sessions 5, 4
+        assert_eq!(idx.item_support(0), Some(5));
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut inc = IncrementalIndexer::new(5).unwrap();
+        inc.apply_batch(&[]).unwrap();
+        assert!(inc.snapshot().is_err());
+        inc.apply_batch(&batch(1..3, 100)).unwrap();
+        let before = inc.snapshot().unwrap().stats();
+        inc.apply_batch(&[]).unwrap();
+        assert_eq!(inc.snapshot().unwrap().stats(), before);
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        assert!(IncrementalIndexer::new(0).is_err());
+    }
+
+    #[test]
+    fn timestamp_tie_with_previous_batch_forces_rebuild() {
+        let mut inc = IncrementalIndexer::new(5).unwrap();
+        inc.apply_batch(&[Click::new(1, 0, 100)]).unwrap();
+        // Same session timestamp as the previous max: would break the
+        // tie-break invariant, so the slow path must run.
+        inc.apply_batch(&[Click::new(2, 1, 100)]).unwrap();
+        assert_eq!(inc.rebuild_count(), 1);
+        let all = vec![Click::new(1, 0, 100), Click::new(2, 1, 100)];
+        let reference = SessionIndex::build(&all, 5).unwrap();
+        assert_same(&inc.snapshot().unwrap(), &reference);
+    }
+}

@@ -1,0 +1,35 @@
+//! # serenade-index — offline index generation and maintenance
+//!
+//! The paper builds the session-similarity index once per day with a
+//! data-parallel Spark job over the last 180 days of click data, ships it as
+//! a compressed artefact, and loads it into every serving machine
+//! (Section 4.2). Section 7 lists two future-work directions: querying a
+//! **compressed** index and **incrementally** maintaining it.
+//!
+//! This crate implements all of that in-process:
+//!
+//! * [`builder`] — a multi-threaded partition/shuffle/merge pipeline (the
+//!   same relational plan as the Spark job: group-by session → group-by item
+//!   → sort by recency → truncate to `m`), verified to produce exactly the
+//!   same index as the sequential reference builder;
+//! * [`binfmt`] — a compact little-endian binary serialisation of the index
+//!   (the paper uses Avro; the format here is purpose-built and versioned);
+//! * [`varint`] — LEB128 variable-length integers used by the compressed
+//!   format;
+//! * [`compressed`] — a delta+varint compressed index representation with
+//!   on-the-fly decoding queries (future work, Section 7);
+//! * [`incremental`] — an incremental indexer that folds new click batches
+//!   into the index without a full rebuild (future work, Section 7).
+
+#![warn(missing_docs)]
+
+pub mod binfmt;
+pub mod builder;
+pub mod compressed;
+pub mod incremental;
+pub mod varint;
+
+pub use binfmt::{read_index, write_index, BinError};
+pub use builder::{build_parallel, BuilderConfig};
+pub use compressed::CompressedIndex;
+pub use incremental::IncrementalIndexer;

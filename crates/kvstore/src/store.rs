@@ -1,0 +1,400 @@
+//! The sharded TTL hash store.
+//!
+//! Keys are hashed (FxHash scheme, same as `serenade-core`) to one of `2^s`
+//! shards, each guarded by its own `parking_lot::Mutex`. Contention is
+//! therefore bounded by the shard count, and single-shard operations are a
+//! lock + one hash-map probe — microseconds, matching the paper's RocksDB
+//! measurements for this workload shape.
+//!
+//! Expiry is lazy (an expired entry encountered on `get`/`update` is treated
+//! as absent and removed) plus an explicit [`TtlStore::evict_expired`] sweep
+//! that a maintenance thread can call periodically — mirroring how the paper
+//! "configures RocksDB to remove the data for a session after 30 minutes of
+//! inactivity".
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+
+use parking_lot::Mutex;
+
+use crate::clock::{Clock, SystemClock};
+
+/// FxHash-style hasher (local copy; `serenade-kvstore` is dependency-free).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = (self.state.rotate_left(5) ^ i).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Configuration of a [`TtlStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Number of shards, rounded up to a power of two. More shards, less
+    /// lock contention, slightly more memory.
+    pub shards: usize,
+    /// Entry time-to-live in milliseconds (paper: 30 minutes).
+    pub ttl_ms: u64,
+    /// Whether a read refreshes the TTL ("inactivity" semantics — the paper
+    /// expires sessions 30 minutes after the *last* access).
+    pub touch_on_read: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self { shards: 64, ttl_ms: 30 * 60 * 1_000, touch_on_read: true }
+    }
+}
+
+/// Aggregate store statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Live (non-expired) entries at the time of the call.
+    pub live_entries: usize,
+    /// Number of shards.
+    pub shards: usize,
+}
+
+struct Entry<V> {
+    value: V,
+    expires_at_ms: u64,
+}
+
+type Shard<K, V> = HashMap<K, Entry<V>, FxBuildHasher>;
+
+/// Sharded in-memory key-value store with per-entry TTL.
+pub struct TtlStore<K, V, C: Clock = SystemClock> {
+    shards: Box<[Mutex<Shard<K, V>>]>,
+    mask: u64,
+    config: StoreConfig,
+    clock: C,
+    hasher: FxBuildHasher,
+}
+
+impl<K: Hash + Eq, V> TtlStore<K, V, SystemClock> {
+    /// Creates a store with the wall clock.
+    pub fn new(config: StoreConfig) -> Self {
+        Self::with_clock(config, SystemClock)
+    }
+}
+
+impl<K: Hash + Eq, V, C: Clock> TtlStore<K, V, C> {
+    /// Creates a store with an explicit clock (tests use [`crate::ManualClock`]).
+    pub fn with_clock(config: StoreConfig, clock: C) -> Self {
+        let shards = config.shards.next_power_of_two().max(1);
+        let mut v = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            v.push(Mutex::new(Shard::default()));
+        }
+        Self {
+            shards: v.into_boxed_slice(),
+            mask: shards as u64 - 1,
+            config,
+            clock,
+            hasher: FxBuildHasher::default(),
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let h = self.hasher.hash_one(key);
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Inserts or replaces; the entry's TTL starts now.
+    pub fn put(&self, key: K, value: V) {
+        let expires = self.clock.now_ms() + self.config.ttl_ms;
+        let mut shard = self.shard_of(&key).lock();
+        shard.insert(key, Entry { value, expires_at_ms: expires });
+    }
+
+    /// Removes an entry, returning its value if it was live.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let now = self.clock.now_ms();
+        let mut shard = self.shard_of(key).lock();
+        let entry = shard.remove(key)?;
+        (entry.expires_at_ms > now).then_some(entry.value)
+    }
+
+    /// `true` if a live entry exists (does not refresh the TTL).
+    pub fn contains(&self, key: &K) -> bool {
+        let now = self.clock.now_ms();
+        let shard = self.shard_of(key).lock();
+        shard.get(key).is_some_and(|e| e.expires_at_ms > now)
+    }
+
+    /// Runs `f` on the live value, if any; refreshes the TTL when
+    /// `touch_on_read` is set. Expired entries are removed.
+    pub fn with_value<T>(&self, key: &K, f: impl FnOnce(&V) -> T) -> Option<T> {
+        let now = self.clock.now_ms();
+        let mut shard = self.shard_of(key).lock();
+        match shard.get_mut(key) {
+            Some(entry) if entry.expires_at_ms > now => {
+                if self.config.touch_on_read {
+                    entry.expires_at_ms = now + self.config.ttl_ms;
+                }
+                Some(f(&entry.value))
+            }
+            Some(_) => {
+                shard.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Mutates the live value in place (inserting `default()` if absent or
+    /// expired) and refreshes the TTL. Returns the closure's result.
+    ///
+    /// This is the serving fast path: "append the clicked item to the
+    /// session and read the session back" is one lock acquisition.
+    pub fn update_or_insert<T>(
+        &self,
+        key: K,
+        default: impl FnOnce() -> V,
+        f: impl FnOnce(&mut V) -> T,
+    ) -> T {
+        let now = self.clock.now_ms();
+        let expires = now + self.config.ttl_ms;
+        let mut default_cell = Some(default);
+        let mut shard = self.shard_of(&key).lock();
+        let entry = shard
+            .entry(key)
+            .and_modify(|e| {
+                if e.expires_at_ms <= now {
+                    // Expired: restart from the default value.
+                    e.value = default_cell.take().expect("default used once")();
+                }
+            })
+            .or_insert_with(|| Entry {
+                value: default_cell.take().expect("default used once")(),
+                expires_at_ms: expires,
+            });
+        entry.expires_at_ms = expires;
+        f(&mut entry.value)
+    }
+
+    /// Removes every expired entry; returns how many were evicted.
+    pub fn evict_expired(&self) -> usize {
+        let now = self.clock.now_ms();
+        let mut evicted = 0;
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            let before = shard.len();
+            shard.retain(|_, e| e.expires_at_ms > now);
+            evicted += before - shard.len();
+        }
+        evicted
+    }
+
+    /// Counts live entries (takes every shard lock once).
+    pub fn stats(&self) -> StoreStats {
+        let now = self.clock.now_ms();
+        let live = self
+            .shards
+            .iter()
+            .map(|s| s.lock().values().filter(|e| e.expires_at_ms > now).count())
+            .sum();
+        StoreStats { live_entries: live, shards: self.shards.len() }
+    }
+
+    /// Removes all entries.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().clear();
+        }
+    }
+}
+
+impl<K: Hash + Eq, V: Clone, C: Clock> TtlStore<K, V, C> {
+    /// Returns a clone of the live value; refreshes the TTL when
+    /// `touch_on_read` is set.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.with_value(key, V::clone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn store(ttl_ms: u64, touch: bool) -> (TtlStore<u64, Vec<u64>, ManualClock>, ManualClock) {
+        let clock = ManualClock::new();
+        let cfg = StoreConfig { shards: 4, ttl_ms, touch_on_read: touch };
+        (TtlStore::with_clock(cfg, clock.clone()), clock)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (s, _) = store(1_000, true);
+        s.put(1, vec![10, 11]);
+        assert_eq!(s.get(&1), Some(vec![10, 11]));
+        assert_eq!(s.get(&2), None);
+        assert!(s.contains(&1));
+        assert!(!s.contains(&2));
+    }
+
+    #[test]
+    fn entries_expire_after_ttl() {
+        let (s, clock) = store(1_000, false);
+        s.put(1, vec![1]);
+        clock.advance_ms(999);
+        assert!(s.get(&1).is_some());
+        clock.advance_ms(1);
+        assert_eq!(s.get(&1), None);
+        assert!(!s.contains(&1));
+    }
+
+    #[test]
+    fn touch_on_read_extends_ttl() {
+        let (s, clock) = store(1_000, true);
+        s.put(1, vec![1]);
+        clock.advance_ms(900);
+        assert!(s.get(&1).is_some()); // refreshes
+        clock.advance_ms(900);
+        assert!(s.get(&1).is_some(), "read at t=900 must have extended the ttl");
+        clock.advance_ms(1_001);
+        assert_eq!(s.get(&1), None);
+    }
+
+    #[test]
+    fn no_touch_on_read_keeps_original_deadline() {
+        let (s, clock) = store(1_000, false);
+        s.put(1, vec![1]);
+        clock.advance_ms(900);
+        assert!(s.get(&1).is_some());
+        clock.advance_ms(200); // t = 1100 > 1000
+        assert_eq!(s.get(&1), None);
+    }
+
+    #[test]
+    fn update_or_insert_appends_in_one_call() {
+        let (s, _) = store(1_000, true);
+        let len = s.update_or_insert(7, Vec::new, |v| {
+            v.push(42);
+            v.len()
+        });
+        assert_eq!(len, 1);
+        let len = s.update_or_insert(7, Vec::new, |v| {
+            v.push(43);
+            v.len()
+        });
+        assert_eq!(len, 2);
+        assert_eq!(s.get(&7), Some(vec![42, 43]));
+    }
+
+    #[test]
+    fn update_or_insert_restarts_expired_sessions() {
+        let (s, clock) = store(1_000, true);
+        s.update_or_insert(7, Vec::new, |v| v.push(1));
+        clock.advance_ms(2_000);
+        s.update_or_insert(7, Vec::new, |v| v.push(2));
+        // The stale [1] must be gone: the session restarted.
+        assert_eq!(s.get(&7), Some(vec![2]));
+    }
+
+    #[test]
+    fn remove_returns_live_value_only() {
+        let (s, clock) = store(1_000, true);
+        s.put(1, vec![5]);
+        assert_eq!(s.remove(&1), Some(vec![5]));
+        assert_eq!(s.remove(&1), None);
+        s.put(2, vec![6]);
+        clock.advance_ms(2_000);
+        assert_eq!(s.remove(&2), None, "expired values are not returned");
+    }
+
+    #[test]
+    fn evict_expired_sweeps_all_shards() {
+        let (s, clock) = store(1_000, false);
+        for k in 0..100u64 {
+            s.put(k, vec![k]);
+        }
+        clock.advance_ms(500);
+        for k in 100..150u64 {
+            s.put(k, vec![k]);
+        }
+        clock.advance_ms(600); // first 100 expired, last 50 live
+        assert_eq!(s.evict_expired(), 100);
+        let stats = s.stats();
+        assert_eq!(stats.live_entries, 50);
+        assert_eq!(stats.shards, 4);
+        assert_eq!(s.evict_expired(), 0);
+    }
+
+    #[test]
+    fn stats_exclude_expired_entries() {
+        let (s, clock) = store(1_000, false);
+        s.put(1, vec![1]);
+        s.put(2, vec![2]);
+        clock.advance_ms(2_000);
+        s.put(3, vec![3]);
+        assert_eq!(s.stats().live_entries, 1);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let (s, _) = store(1_000, true);
+        for k in 0..32u64 {
+            s.put(k, vec![k]);
+        }
+        s.clear();
+        assert_eq!(s.stats().live_entries, 0);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let cfg = StoreConfig { shards: 5, ..Default::default() };
+        let s: TtlStore<u64, u64> = TtlStore::new(cfg);
+        assert_eq!(s.stats().shards, 8);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_writes() {
+        let (s, _) = store(60_000, true);
+        let s = std::sync::Arc::new(s);
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        s.update_or_insert(i % 64, Vec::new, |v| v.push(t * 1_000 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // 8 threads x 1000 appends over 64 keys: every append must survive.
+        let total: usize = (0..64u64).map(|k| s.get(&k).map_or(0, |v| v.len())).sum();
+        assert_eq!(total, 8_000);
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-event ranking metrics.
+//!
+//! All functions take the prediction list in rank order (best first) and are
+//! pure; aggregation over events happens in [`crate::harness`].
+
+use serenade_core::{FxHashSet, ItemId};
+
+/// Reciprocal rank of `target` in `predictions` (1-based), 0 if absent.
+pub fn reciprocal_rank(predictions: &[ItemId], target: ItemId) -> f64 {
+    predictions
+        .iter()
+        .position(|&p| p == target)
+        .map(|idx| 1.0 / (idx + 1) as f64)
+        .unwrap_or(0.0)
+}
+
+/// 1.0 if `target` occurs in `predictions`, else 0.0.
+pub fn hit(predictions: &[ItemId], target: ItemId) -> f64 {
+    if predictions.contains(&target) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Fraction of predictions that are relevant: `|P ∩ R| / cutoff`.
+///
+/// Divides by the evaluation `cutoff` (not the possibly shorter prediction
+/// list) so that a recommender returning fewer items is not rewarded.
+pub fn precision(predictions: &[ItemId], relevant: &FxHashSet<ItemId>, cutoff: usize) -> f64 {
+    debug_assert!(predictions.len() <= cutoff);
+    if cutoff == 0 {
+        return 0.0;
+    }
+    let hits = predictions.iter().filter(|p| relevant.contains(p)).count();
+    hits as f64 / cutoff as f64
+}
+
+/// Fraction of relevant items retrieved: `|P ∩ R| / |R|`.
+///
+/// Counts *distinct* retrieved items, so a prediction list with duplicates
+/// (which a sane recommender never emits, but the metric must tolerate)
+/// stays within `[0, 1]`.
+pub fn recall(predictions: &[ItemId], relevant: &FxHashSet<ItemId>) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits: FxHashSet<ItemId> =
+        predictions.iter().filter(|p| relevant.contains(p)).copied().collect();
+    hits.len() as f64 / relevant.len() as f64
+}
+
+/// Average precision at the list length, normalised by
+/// `min(cutoff, |R|)` — the usual AP@N used for MAP@N.
+pub fn average_precision(
+    predictions: &[ItemId],
+    relevant: &FxHashSet<ItemId>,
+    cutoff: usize,
+) -> f64 {
+    let denom = cutoff.min(relevant.len());
+    if denom == 0 {
+        return 0.0;
+    }
+    // Only the first occurrence of a relevant item counts (duplicate
+    // tolerance, see `recall`).
+    let mut seen: FxHashSet<ItemId> = FxHashSet::default();
+    let mut sum = 0.0;
+    for (idx, &p) in predictions.iter().enumerate() {
+        if relevant.contains(&p) && seen.insert(p) {
+            sum += seen.len() as f64 / (idx + 1) as f64;
+        }
+    }
+    sum / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[ItemId]) -> FxHashSet<ItemId> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn reciprocal_rank_positions() {
+        assert_eq!(reciprocal_rank(&[5, 6, 7], 5), 1.0);
+        assert_eq!(reciprocal_rank(&[5, 6, 7], 6), 0.5);
+        assert_eq!(reciprocal_rank(&[5, 6, 7], 7), 1.0 / 3.0);
+        assert_eq!(reciprocal_rank(&[5, 6, 7], 8), 0.0);
+        assert_eq!(reciprocal_rank(&[], 8), 0.0);
+    }
+
+    #[test]
+    fn hit_is_binary() {
+        assert_eq!(hit(&[1, 2], 2), 1.0);
+        assert_eq!(hit(&[1, 2], 3), 0.0);
+    }
+
+    #[test]
+    fn precision_divides_by_cutoff() {
+        let rel = set(&[1, 2, 3]);
+        // 2 hits out of a cutoff of 4, even though only 3 items returned.
+        assert_eq!(precision(&[1, 2, 9], &rel, 4), 0.5);
+        assert_eq!(precision(&[], &rel, 4), 0.0);
+    }
+
+    #[test]
+    fn recall_divides_by_relevant() {
+        let rel = set(&[1, 2, 3, 4]);
+        assert_eq!(recall(&[1, 9, 2], &rel), 0.5);
+        assert_eq!(recall(&[9], &rel), 0.0);
+        assert_eq!(recall(&[1], &FxHashSet::default()), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_and_worst() {
+        let rel = set(&[1, 2]);
+        // Perfect ranking: AP = (1/1 + 2/2) / 2 = 1.
+        assert_eq!(average_precision(&[1, 2, 9], &rel, 3), 1.0);
+        // No hits.
+        assert_eq!(average_precision(&[8, 9], &rel, 3), 0.0);
+    }
+
+    #[test]
+    fn average_precision_partial() {
+        let rel = set(&[1, 2]);
+        // Hits at positions 2 and 4: AP = (1/2 + 2/4) / 2 = 0.5.
+        let ap = average_precision(&[9, 1, 8, 2], &rel, 4);
+        assert!((ap - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_are_within_unit_interval() {
+        let rel = set(&[1, 2, 3]);
+        let preds = [3, 9, 1];
+        for v in [
+            reciprocal_rank(&preds, 1),
+            hit(&preds, 1),
+            precision(&preds, &rel, 3),
+            recall(&preds, &rel),
+            average_precision(&preds, &rel, 3),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # serenade-neural — a compact GRU4Rec-style neural comparator
+//!
+//! The paper's quality study (Section 5.1.1) compares VMIS-kNN against three
+//! neural session-based recommenders: GRU4Rec, NARM and STAMP. Its finding —
+//! replicated from the session-rec studies — is that the nearest-neighbour
+//! method *outperforms* the neural ones on e-commerce clickstreams.
+//!
+//! This crate provides the neural side of that comparison as a from-scratch
+//! Rust implementation of the GRU4Rec architecture: an item embedding, a
+//! single GRU layer, and a tied output layer trained with sampled-softmax
+//! cross-entropy and Adagrad — the same recipe as the original paper
+//! (Hidasi et al., 2015). NARM and STAMP add attention mechanisms on top of
+//! the same recurrent backbone; since the published result is that the kNN
+//! method wins regardless of which neural variant loses, one representative
+//! comparator suffices (see DESIGN.md, substitution table).
+//!
+//! Numerics are `f64` end-to-end: the model is small, and exact
+//! finite-difference gradient checks (see `gru::tests`) are worth more here
+//! than SIMD throughput.
+
+#![warn(missing_docs)]
+
+pub mod gru;
+pub mod linalg;
+pub mod model;
+pub mod stamp;
+
+pub use gru::GruCell;
+pub use linalg::Matrix;
+pub use model::{Gru4Rec, Gru4RecConfig};
+pub use stamp::{Stamp, StampConfig};
+
+pub(crate) use model::adagrad_row as model_adagrad_row;

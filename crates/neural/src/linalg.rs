@@ -1,0 +1,209 @@
+//! Minimal dense linear algebra for the GRU model.
+//!
+//! Row-major `f64` matrices with exactly the operations the model needs:
+//! matrix-vector products (plain and transposed), rank-1 accumulation for
+//! gradients, and element access. No BLAS, no generics — small, obvious,
+//! testable.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Uniform random matrix in `[-scale, scale]` (Xavier-style init when
+    /// `scale = sqrt(6 / (rows + cols))`).
+    pub fn random(rows: usize, cols: usize, scale: f64, rng: &mut StdRng) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..scale)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable row view.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row view.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutation.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Raw data (row-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `out = self · x` (matrix-vector). `x.len() == cols`, `out.len() == rows`.
+    pub fn matvec(&self, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(out.len(), self.rows);
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *o = acc;
+        }
+    }
+
+    /// `out += selfᵀ · x` (transposed matrix-vector, accumulating).
+    /// `x.len() == rows`, `out.len() == cols`.
+    pub fn matvec_t_acc(&self, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.rows);
+        debug_assert_eq!(out.len(), self.cols);
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            for (o, &w) in out.iter_mut().zip(self.row(r)) {
+                *o += xr * w;
+            }
+        }
+    }
+
+    /// Rank-1 update `self += scale · (u · vᵀ)` — the gradient of a
+    /// matrix-vector product. `u.len() == rows`, `v.len() == cols`.
+    pub fn add_outer(&mut self, u: &[f64], v: &[f64], scale: f64) {
+        debug_assert_eq!(u.len(), self.rows);
+        debug_assert_eq!(v.len(), self.cols);
+        for (r, &ur) in u.iter().enumerate() {
+            if ur == 0.0 {
+                continue;
+            }
+            let f = ur * scale;
+            for (w, &vc) in self.row_mut(r).iter_mut().zip(v) {
+                *w += f * vc;
+            }
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// `a · b` for slices of equal length.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_known_values() {
+        let mut m = Matrix::zeros(2, 3);
+        m.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+        m.row_mut(1).copy_from_slice(&[4.0, 5.0, 6.0]);
+        let mut out = vec![0.0; 2];
+        m.matvec(&[1.0, 0.0, -1.0], &mut out);
+        assert_eq!(out, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_acc_is_transpose() {
+        let mut m = Matrix::zeros(2, 3);
+        m.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+        m.row_mut(1).copy_from_slice(&[4.0, 5.0, 6.0]);
+        let mut out = vec![10.0, 0.0, 0.0];
+        m.matvec_t_acc(&[1.0, 1.0], &mut out);
+        assert_eq!(out, vec![15.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn add_outer_accumulates_rank_one() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_outer(&[1.0, 2.0], &[3.0, 4.0], 0.5);
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.get(1, 1), 4.0);
+        m.fill_zero();
+        assert!(m.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(50.0) > 0.999_999);
+        assert!(sigmoid(-50.0) < 1e-6);
+        // Symmetry: σ(-x) = 1 - σ(x).
+        for x in [-3.0, -0.5, 0.7, 2.2] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-12);
+        }
+        // No NaN at extremes.
+        assert!(sigmoid(-1e9).is_finite());
+        assert!(sigmoid(1e9).is_finite());
+    }
+
+    #[test]
+    fn random_matrix_respects_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Matrix::random(10, 10, 0.25, &mut rng);
+        assert!(m.data().iter().all(|&v| v.abs() <= 0.25));
+        assert!(m.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, -1.0]), 1.0);
+    }
+}

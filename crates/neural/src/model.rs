@@ -1,0 +1,417 @@
+//! The GRU4Rec-style session model: embedding → GRU → output layer, trained
+//! with sampled-softmax cross-entropy and Adagrad (the original recipe of
+//! Hidasi et al.). One training "mini-batch" is one session, backpropagated
+//! through time over its (capped) click sequence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use serenade_core::{Click, FxHashMap, ItemId, ItemScore, Recommender};
+use serenade_dataset::sessionize;
+
+use crate::gru::{GruCell, GruGrads};
+use crate::linalg::{dot, Matrix};
+
+/// Hyperparameters of [`Gru4Rec`].
+#[derive(Debug, Clone, Copy)]
+pub struct Gru4RecConfig {
+    /// Item-embedding dimension.
+    pub embed_dim: usize,
+    /// GRU hidden dimension.
+    pub hidden_dim: usize,
+    /// Training epochs over all sessions.
+    pub epochs: usize,
+    /// Adagrad learning rate.
+    pub learning_rate: f64,
+    /// Negative samples per prediction step (popularity-based, as in
+    /// GRU4Rec's "mini-batch + sampled" output).
+    pub negatives: usize,
+    /// Cap on the session length used for BPTT.
+    pub max_session_len: usize,
+    /// RNG seed (initialisation and negative sampling).
+    pub seed: u64,
+}
+
+impl Default for Gru4RecConfig {
+    fn default() -> Self {
+        Self {
+            embed_dim: 32,
+            hidden_dim: 48,
+            epochs: 5,
+            learning_rate: 0.08,
+            negatives: 64,
+            max_session_len: 19,
+            seed: 42,
+        }
+    }
+}
+
+/// The trained model.
+#[derive(Debug, Clone)]
+pub struct Gru4Rec {
+    /// Dense index → external item id.
+    items: Vec<ItemId>,
+    item_index: FxHashMap<ItemId, usize>,
+    embedding: Matrix,
+    cell: GruCell,
+    /// Output layer: one row `v_j` per item.
+    output: Matrix,
+    output_bias: Vec<f64>,
+    config: Gru4RecConfig,
+    /// Mean sampled-softmax loss per epoch (observability / tests).
+    loss_history: Vec<f64>,
+}
+
+/// Adagrad accumulators for the sparse (row-addressed) parameters; the dense
+/// GRU parameters reuse the [`GruGrads`] shape as their accumulator.
+struct Adagrad {
+    embedding: Matrix,
+    output: Matrix,
+    output_bias: Vec<f64>,
+}
+
+const ADAGRAD_EPS: f64 = 1e-8;
+
+pub(crate) fn adagrad_row(weights: &mut [f64], accum: &mut [f64], grad: &[f64], lr: f64) {
+    for ((w, a), &g) in weights.iter_mut().zip(accum).zip(grad) {
+        *a += g * g;
+        *w -= lr * g / (a.sqrt() + ADAGRAD_EPS);
+    }
+}
+
+impl Gru4Rec {
+    /// Trains the model on a click log.
+    ///
+    /// Sessions with fewer than two clicks carry no training signal and are
+    /// skipped. Items are indexed densely; unseen items at inference time
+    /// are ignored.
+    pub fn fit(clicks: &[Click], config: Gru4RecConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let sessions = sessionize(clicks);
+
+        // Vocabulary, ordered by first appearance for determinism.
+        let mut items: Vec<ItemId> = Vec::new();
+        let mut item_index: FxHashMap<ItemId, usize> = FxHashMap::default();
+        let mut counts: Vec<f64> = Vec::new();
+        for s in &sessions {
+            for &it in &s.items {
+                match item_index.get(&it) {
+                    Some(&idx) => counts[idx] += 1.0,
+                    None => {
+                        item_index.insert(it, items.len());
+                        items.push(it);
+                        counts.push(1.0);
+                    }
+                }
+            }
+        }
+        let n_items = items.len().max(1);
+
+        // Popularity-proportional negative sampling table (¾ power, as is
+        // customary to flatten the head).
+        let mut cumulative = Vec::with_capacity(n_items);
+        let mut acc = 0.0;
+        for idx in 0..n_items {
+            acc += counts.get(idx).copied().unwrap_or(1.0).powf(0.75);
+            cumulative.push(acc);
+        }
+
+        let scale_e = (6.0 / (n_items + config.embed_dim) as f64).sqrt().min(0.1);
+        let scale_o = (6.0 / (n_items + config.hidden_dim) as f64).sqrt().min(0.1);
+        let mut model = Self {
+            embedding: Matrix::random(n_items, config.embed_dim, scale_e, &mut rng),
+            cell: GruCell::new(config.embed_dim, config.hidden_dim, &mut rng),
+            output: Matrix::random(n_items, config.hidden_dim, scale_o, &mut rng),
+            output_bias: vec![0.0; n_items],
+            items,
+            item_index,
+            config,
+            loss_history: Vec::new(),
+        };
+
+        let mut state = Adagrad {
+            embedding: Matrix::zeros(n_items, config.embed_dim),
+            output: Matrix::zeros(n_items, config.hidden_dim),
+            output_bias: vec![0.0; n_items],
+        };
+        // Dense-parameter Adagrad accumulators reuse the GruGrads shape.
+        let mut cell_accum = GruGrads::zeros_like(&model.cell);
+        let mut grads = GruGrads::zeros_like(&model.cell);
+
+        let sample_negative = |rng: &mut StdRng| -> usize {
+            let u = rng.gen::<f64>() * acc;
+            cumulative.partition_point(|&c| c < u).min(n_items - 1)
+        };
+
+        for _epoch in 0..config.epochs {
+            let mut epoch_loss = 0.0;
+            let mut steps = 0usize;
+            for session in &sessions {
+                let seq: Vec<usize> = session
+                    .items
+                    .iter()
+                    .take(config.max_session_len)
+                    .filter_map(|it| model.item_index.get(it).copied())
+                    .collect();
+                if seq.len() < 2 {
+                    continue;
+                }
+
+                // ---- Forward over the session. --------------------------
+                let mut h = vec![0.0; config.hidden_dim];
+                let mut caches = Vec::with_capacity(seq.len() - 1);
+                let mut hiddens = Vec::with_capacity(seq.len() - 1);
+                for &idx in &seq[..seq.len() - 1] {
+                    let x = model.embedding.row(idx).to_vec();
+                    let (h_new, cache) = model.cell.forward(&x, &h);
+                    caches.push(cache);
+                    h = h_new;
+                    hiddens.push(h.clone());
+                }
+
+                // ---- Per-step sampled-softmax loss and dh. ---------------
+                grads.zero();
+                let mut dhs: Vec<Vec<f64>> = vec![vec![0.0; config.hidden_dim]; hiddens.len()];
+                let mut emb_grads: FxHashMap<usize, Vec<f64>> = FxHashMap::default();
+                let mut out_grads: FxHashMap<usize, Vec<f64>> = FxHashMap::default();
+                let mut bias_grads: FxHashMap<usize, f64> = FxHashMap::default();
+
+                for (t, ht) in hiddens.iter().enumerate() {
+                    let target = seq[t + 1];
+                    let mut cand = Vec::with_capacity(config.negatives + 1);
+                    cand.push(target);
+                    for _ in 0..config.negatives {
+                        let neg = sample_negative(&mut rng);
+                        if neg != target {
+                            cand.push(neg);
+                        }
+                    }
+                    // Stable softmax over the candidate scores.
+                    let scores: Vec<f64> = cand
+                        .iter()
+                        .map(|&j| dot(model.output.row(j), ht) + model.output_bias[j])
+                        .collect();
+                    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+                    let sum: f64 = exps.iter().sum();
+                    epoch_loss -= (exps[0] / sum).max(1e-12).ln();
+                    steps += 1;
+
+                    for (pos, &j) in cand.iter().enumerate() {
+                        let p = exps[pos] / sum;
+                        let ds = p - if pos == 0 { 1.0 } else { 0.0 };
+                        // dh += ds · v_j
+                        for (dh, &v) in dhs[t].iter_mut().zip(model.output.row(j)) {
+                            *dh += ds * v;
+                        }
+                        // dv_j += ds · h, db_j += ds
+                        let g = out_grads
+                            .entry(j)
+                            .or_insert_with(|| vec![0.0; config.hidden_dim]);
+                        for (gv, &hv) in g.iter_mut().zip(ht.iter()) {
+                            *gv += ds * hv;
+                        }
+                        *bias_grads.entry(j).or_insert(0.0) += ds;
+                    }
+                }
+
+                // ---- BPTT. ----------------------------------------------
+                let mut dh_carry = vec![0.0; config.hidden_dim];
+                for t in (0..caches.len()).rev() {
+                    let dh: Vec<f64> =
+                        dh_carry.iter().zip(&dhs[t]).map(|(a, b)| a + b).collect();
+                    let (dh_prev, dx) = model.cell.backward(&caches[t], &dh, &mut grads);
+                    dh_carry = dh_prev;
+                    let eg = emb_grads
+                        .entry(seq[t])
+                        .or_insert_with(|| vec![0.0; config.embed_dim]);
+                    for (a, b) in eg.iter_mut().zip(&dx) {
+                        *a += b;
+                    }
+                }
+
+                // ---- Adagrad updates. -----------------------------------
+                let lr = config.learning_rate;
+                macro_rules! dense_update {
+                    ($w:expr, $a:expr, $g:expr) => {
+                        adagrad_row($w.data_mut(), $a.data_mut(), $g.data(), lr)
+                    };
+                }
+                dense_update!(model.cell.wz, cell_accum.wz, grads.wz);
+                dense_update!(model.cell.wr, cell_accum.wr, grads.wr);
+                dense_update!(model.cell.wh, cell_accum.wh, grads.wh);
+                dense_update!(model.cell.uz, cell_accum.uz, grads.uz);
+                dense_update!(model.cell.ur, cell_accum.ur, grads.ur);
+                dense_update!(model.cell.uh, cell_accum.uh, grads.uh);
+                adagrad_row(&mut model.cell.bz, &mut cell_accum.bz, &grads.bz, lr);
+                adagrad_row(&mut model.cell.br, &mut cell_accum.br, &grads.br, lr);
+                adagrad_row(&mut model.cell.bh, &mut cell_accum.bh, &grads.bh, lr);
+                for (idx, g) in emb_grads {
+                    adagrad_row(
+                        model.embedding.row_mut(idx),
+                        state.embedding.row_mut(idx),
+                        &g,
+                        lr,
+                    );
+                }
+                for (idx, g) in out_grads {
+                    adagrad_row(model.output.row_mut(idx), state.output.row_mut(idx), &g, lr);
+                }
+                for (idx, g) in bias_grads {
+                    let a = &mut state.output_bias[idx];
+                    *a += g * g;
+                    model.output_bias[idx] -= lr * g / (a.sqrt() + ADAGRAD_EPS);
+                }
+            }
+            model.loss_history.push(if steps > 0 { epoch_loss / steps as f64 } else { 0.0 });
+        }
+        model
+    }
+
+    /// Mean sampled-softmax loss per epoch.
+    pub fn loss_history(&self) -> &[f64] {
+        &self.loss_history
+    }
+
+    /// Vocabulary size.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Hidden state after consuming the (known items of the) session.
+    fn encode(&self, session: &[ItemId]) -> Option<Vec<f64>> {
+        let from = session.len().saturating_sub(self.config.max_session_len);
+        let mut h = vec![0.0; self.config.hidden_dim];
+        let mut any = false;
+        for it in &session[from..] {
+            if let Some(&idx) = self.item_index.get(it) {
+                let x = self.embedding.row(idx).to_vec();
+                h = self.cell.forward(&x, &h).0;
+                any = true;
+            }
+        }
+        any.then_some(h)
+    }
+}
+
+impl Recommender for Gru4Rec {
+    fn recommend(&self, session: &[ItemId], how_many: usize) -> Vec<ItemScore> {
+        let Some(h) = self.encode(session) else {
+            return Vec::new();
+        };
+        let mut scored: Vec<(f64, usize)> = (0..self.items.len())
+            .map(|j| (dot(self.output.row(j), &h) + self.output_bias[j], j))
+            .collect();
+        scored.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite scores"));
+        let mut out = Vec::with_capacity(how_many);
+        for (score, j) in scored {
+            let item = self.items[j];
+            if session.contains(&item) {
+                continue;
+            }
+            out.push(ItemScore { item, score: score as f32 });
+            if out.len() == how_many {
+                break;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "gru4rec"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Gru4RecConfig {
+        Gru4RecConfig {
+            embed_dim: 8,
+            hidden_dim: 8,
+            epochs: 12,
+            learning_rate: 0.1,
+            negatives: 4,
+            max_session_len: 10,
+            seed: 1,
+        }
+    }
+
+    /// Deterministic transitions: 1→2, 3→4 (many observations each).
+    fn pattern_clicks() -> Vec<Click> {
+        let mut out = Vec::new();
+        for s in 0..120u64 {
+            let ts = s * 10;
+            if s % 2 == 0 {
+                out.push(Click::new(s + 1, 1, ts));
+                out.push(Click::new(s + 1, 2, ts + 1));
+            } else {
+                out.push(Click::new(s + 1, 3, ts));
+                out.push(Click::new(s + 1, 4, ts + 1));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn learns_deterministic_transitions() {
+        let model = Gru4Rec::fit(&pattern_clicks(), tiny_config());
+        let after_1 = Recommender::recommend(&model, &[1], 1);
+        assert_eq!(after_1[0].item, 2, "after item 1 the model must predict 2");
+        let after_3 = Recommender::recommend(&model, &[3], 1);
+        assert_eq!(after_3[0].item, 4, "after item 3 the model must predict 4");
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let model = Gru4Rec::fit(&pattern_clicks(), tiny_config());
+        let hist = model.loss_history();
+        assert_eq!(hist.len(), 12);
+        assert!(
+            hist.last().unwrap() < &(hist[0] * 0.8),
+            "loss should drop ≥20%: {hist:?}"
+        );
+        assert!(hist.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn fitting_is_deterministic() {
+        let a = Gru4Rec::fit(&pattern_clicks(), tiny_config());
+        let b = Gru4Rec::fit(&pattern_clicks(), tiny_config());
+        assert_eq!(a.loss_history(), b.loss_history());
+        assert_eq!(
+            Recommender::recommend(&a, &[1], 3),
+            Recommender::recommend(&b, &[1], 3)
+        );
+    }
+
+    #[test]
+    fn unknown_items_are_ignored() {
+        let model = Gru4Rec::fit(&pattern_clicks(), tiny_config());
+        assert!(Recommender::recommend(&model, &[999], 5).is_empty());
+        // A mixed session still works off the known item.
+        let recs = Recommender::recommend(&model, &[999, 1], 1);
+        assert_eq!(recs[0].item, 2);
+    }
+
+    #[test]
+    fn empty_session_yields_nothing() {
+        let model = Gru4Rec::fit(&pattern_clicks(), tiny_config());
+        assert!(Recommender::recommend(&model, &[], 5).is_empty());
+    }
+
+    #[test]
+    fn session_items_are_excluded_from_output() {
+        let model = Gru4Rec::fit(&pattern_clicks(), tiny_config());
+        let recs = Recommender::recommend(&model, &[1, 2], 10);
+        assert!(recs.iter().all(|r| r.item != 1 && r.item != 2));
+    }
+
+    #[test]
+    fn respects_how_many() {
+        let model = Gru4Rec::fit(&pattern_clicks(), tiny_config());
+        assert!(Recommender::recommend(&model, &[1], 2).len() <= 2);
+        assert_eq!(model.num_items(), 4);
+    }
+}

@@ -1,0 +1,617 @@
+//! A compact STAMP-style attention model (Liu et al., KDD 2018) — the second
+//! neural comparator of the paper's §5.1.1 study.
+//!
+//! STAMP ("Short-Term Attention/Memory Priority") replaces the recurrence of
+//! GRU4Rec with attention over the session's item embeddings:
+//!
+//! ```text
+//! m_s = mean(x_1 … x_n)                     (general interest)
+//! a_i = w₀ · σ(W₁ x_i + W₂ x_n + W₃ m_s + b)   (attention, unnormalised)
+//! m_a = Σ a_i x_i                           (attended memory)
+//! h_s = tanh(W_s m_a + b_s),  h_t = tanh(W_t x_n + b_t)
+//! score(v) = (h_s ⊙ h_t) · x_v              (tied item embeddings)
+//! ```
+//!
+//! Trained with sampled-softmax cross-entropy and Adagrad, like the GRU
+//! model. Each prefix is an independent prediction problem (no recurrent
+//! state), so backpropagation is per-step; a full finite-difference gradient
+//! check pins the analytic gradients.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use serenade_core::{Click, FxHashMap, ItemId, ItemScore, Recommender};
+use serenade_dataset::sessionize;
+
+use crate::linalg::{dot, sigmoid, Matrix};
+
+/// Hyperparameters of [`Stamp`].
+#[derive(Debug, Clone, Copy)]
+pub struct StampConfig {
+    /// Item-embedding dimension (also the hidden dimension).
+    pub embed_dim: usize,
+    /// Attention dimension.
+    pub attention_dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adagrad learning rate.
+    pub learning_rate: f64,
+    /// Negative samples per prediction step.
+    pub negatives: usize,
+    /// Cap on the session prefix length.
+    pub max_session_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StampConfig {
+    fn default() -> Self {
+        Self {
+            embed_dim: 32,
+            attention_dim: 32,
+            epochs: 5,
+            learning_rate: 0.08,
+            negatives: 64,
+            max_session_len: 19,
+            seed: 42,
+        }
+    }
+}
+
+/// Parameters of the attention network and the two projection MLPs.
+#[derive(Debug, Clone)]
+struct Params {
+    w1: Matrix, // da × d
+    w2: Matrix, // da × d
+    w3: Matrix, // da × d
+    ba: Vec<f64>,
+    w0: Vec<f64>, // da
+    ws: Matrix,   // d × d
+    bs: Vec<f64>,
+    wt: Matrix, // d × d
+    bt: Vec<f64>,
+}
+
+impl Params {
+    fn new(d: usize, da: usize, rng: &mut StdRng) -> Self {
+        let s1 = (6.0 / (d + da) as f64).sqrt();
+        let s2 = (6.0 / (2 * d) as f64).sqrt();
+        Self {
+            w1: Matrix::random(da, d, s1, rng),
+            w2: Matrix::random(da, d, s1, rng),
+            w3: Matrix::random(da, d, s1, rng),
+            ba: vec![0.0; da],
+            w0: (0..da).map(|_| rng.gen_range(-s1..s1)).collect(),
+            ws: Matrix::random(d, d, s2, rng),
+            bs: vec![0.0; d],
+            wt: Matrix::random(d, d, s2, rng),
+            bt: vec![0.0; d],
+        }
+    }
+
+    fn zeros_like(&self) -> Self {
+        Self {
+            w1: Matrix::zeros(self.w1.rows(), self.w1.cols()),
+            w2: Matrix::zeros(self.w2.rows(), self.w2.cols()),
+            w3: Matrix::zeros(self.w3.rows(), self.w3.cols()),
+            ba: vec![0.0; self.ba.len()],
+            w0: vec![0.0; self.w0.len()],
+            ws: Matrix::zeros(self.ws.rows(), self.ws.cols()),
+            bs: vec![0.0; self.bs.len()],
+            wt: Matrix::zeros(self.wt.rows(), self.wt.cols()),
+            bt: vec![0.0; self.bt.len()],
+        }
+    }
+
+    fn zero(&mut self) {
+        self.w1.fill_zero();
+        self.w2.fill_zero();
+        self.w3.fill_zero();
+        self.ba.fill(0.0);
+        self.w0.fill(0.0);
+        self.ws.fill_zero();
+        self.bs.fill(0.0);
+        self.wt.fill_zero();
+        self.bt.fill(0.0);
+    }
+}
+
+/// Forward-pass intermediates for one prefix.
+struct Forward {
+    /// Attention pre-activations per position (da each).
+    sig: Vec<Vec<f64>>,
+    /// Attention weights per position.
+    a: Vec<f64>,
+    m_s: Vec<f64>,
+    m_a: Vec<f64>,
+    h_s: Vec<f64>,
+    h_t: Vec<f64>,
+    /// Session representation z = h_s ⊙ h_t.
+    z: Vec<f64>,
+}
+
+/// The trained STAMP model.
+#[derive(Debug, Clone)]
+pub struct Stamp {
+    items: Vec<ItemId>,
+    item_index: FxHashMap<ItemId, usize>,
+    embedding: Matrix,
+    params: Params,
+    config: StampConfig,
+    loss_history: Vec<f64>,
+}
+
+impl Stamp {
+    /// Trains STAMP on a click log.
+    pub fn fit(clicks: &[Click], config: StampConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let sessions = sessionize(clicks);
+
+        let mut items: Vec<ItemId> = Vec::new();
+        let mut item_index: FxHashMap<ItemId, usize> = FxHashMap::default();
+        let mut counts: Vec<f64> = Vec::new();
+        for s in &sessions {
+            for &it in &s.items {
+                match item_index.get(&it) {
+                    Some(&idx) => counts[idx] += 1.0,
+                    None => {
+                        item_index.insert(it, items.len());
+                        items.push(it);
+                        counts.push(1.0);
+                    }
+                }
+            }
+        }
+        let n_items = items.len().max(1);
+
+        let mut cumulative = Vec::with_capacity(n_items);
+        let mut acc = 0.0;
+        for idx in 0..n_items {
+            acc += counts.get(idx).copied().unwrap_or(1.0).powf(0.75);
+            cumulative.push(acc);
+        }
+        let sample_negative = |rng: &mut StdRng| -> usize {
+            let u = rng.gen::<f64>() * acc;
+            cumulative.partition_point(|&c| c < u).min(n_items - 1)
+        };
+
+        let d = config.embed_dim;
+        let scale_e = (6.0 / (n_items + d) as f64).sqrt().min(0.1);
+        let mut model = Self {
+            embedding: Matrix::random(n_items, d, scale_e, &mut rng),
+            params: Params::new(d, config.attention_dim, &mut rng),
+            items,
+            item_index,
+            config,
+            loss_history: Vec::new(),
+        };
+
+        let mut grads = model.params.zeros_like();
+        let mut accum = model.params.zeros_like();
+        let mut emb_accum = Matrix::zeros(n_items, d);
+
+        for _epoch in 0..config.epochs {
+            let mut epoch_loss = 0.0;
+            let mut steps = 0usize;
+            for session in &sessions {
+                let seq: Vec<usize> = session
+                    .items
+                    .iter()
+                    .take(config.max_session_len)
+                    .filter_map(|it| model.item_index.get(it).copied())
+                    .collect();
+                if seq.len() < 2 {
+                    continue;
+                }
+                grads.zero();
+                let mut emb_grads: FxHashMap<usize, Vec<f64>> = FxHashMap::default();
+
+                for t in 1..seq.len() {
+                    let prefix = &seq[..t];
+                    let fwd = model.forward(prefix);
+                    let target = seq[t];
+                    let mut cand = Vec::with_capacity(config.negatives + 1);
+                    cand.push(target);
+                    for _ in 0..config.negatives {
+                        let neg = sample_negative(&mut rng);
+                        if neg != target {
+                            cand.push(neg);
+                        }
+                    }
+                    let scores: Vec<f64> =
+                        cand.iter().map(|&v| dot(&fwd.z, model.embedding.row(v))).collect();
+                    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+                    let sum: f64 = exps.iter().sum();
+                    epoch_loss -= (exps[0] / sum).max(1e-12).ln();
+                    steps += 1;
+
+                    let mut dz = vec![0.0; d];
+                    for (p, &v) in cand.iter().enumerate() {
+                        let ds = exps[p] / sum - if p == 0 { 1.0 } else { 0.0 };
+                        for (dzj, &e) in dz.iter_mut().zip(model.embedding.row(v)) {
+                            *dzj += ds * e;
+                        }
+                        let g = emb_grads.entry(v).or_insert_with(|| vec![0.0; d]);
+                        for (gj, &zj) in g.iter_mut().zip(&fwd.z) {
+                            *gj += ds * zj;
+                        }
+                    }
+                    model.backward(prefix, &fwd, &dz, &mut grads, &mut emb_grads);
+                }
+
+                // Adagrad updates.
+                let lr = config.learning_rate;
+                model.params.apply_adagrad(&grads, &mut accum, lr);
+                for (idx, g) in emb_grads {
+                    crate::model_adagrad_row(
+                        model.embedding.row_mut(idx),
+                        emb_accum.row_mut(idx),
+                        &g,
+                        lr,
+                    );
+                }
+            }
+            model
+                .loss_history
+                .push(if steps > 0 { epoch_loss / steps as f64 } else { 0.0 });
+        }
+        model
+    }
+
+    /// Mean sampled-softmax loss per epoch.
+    pub fn loss_history(&self) -> &[f64] {
+        &self.loss_history
+    }
+
+    /// Vocabulary size.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    fn forward(&self, prefix: &[usize]) -> Forward {
+        let d = self.config.embed_dim;
+        let da = self.config.attention_dim;
+        let n = prefix.len();
+        let x_t = self.embedding.row(*prefix.last().expect("non-empty prefix"));
+
+        let mut m_s = vec![0.0; d];
+        for &idx in prefix {
+            for (m, &x) in m_s.iter_mut().zip(self.embedding.row(idx)) {
+                *m += x;
+            }
+        }
+        for m in &mut m_s {
+            *m /= n as f64;
+        }
+
+        // Shared per-prefix terms of the attention pre-activation.
+        let mut t2 = vec![0.0; da];
+        self.params.w2.matvec(x_t, &mut t2);
+        let mut t3 = vec![0.0; da];
+        self.params.w3.matvec(&m_s, &mut t3);
+
+        let mut sig = Vec::with_capacity(n);
+        let mut a = Vec::with_capacity(n);
+        let mut m_a = vec![0.0; d];
+        let mut t1 = vec![0.0; da];
+        for &idx in prefix {
+            let x_i = self.embedding.row(idx);
+            self.params.w1.matvec(x_i, &mut t1);
+            let s: Vec<f64> = (0..da)
+                .map(|j| sigmoid(t1[j] + t2[j] + t3[j] + self.params.ba[j]))
+                .collect();
+            let ai = dot(&self.params.w0, &s);
+            for (m, &x) in m_a.iter_mut().zip(x_i) {
+                *m += ai * x;
+            }
+            sig.push(s);
+            a.push(ai);
+        }
+
+        let mut hs_pre = vec![0.0; d];
+        self.params.ws.matvec(&m_a, &mut hs_pre);
+        let h_s: Vec<f64> =
+            hs_pre.iter().zip(&self.params.bs).map(|(v, b)| (v + b).tanh()).collect();
+        let mut ht_pre = vec![0.0; d];
+        self.params.wt.matvec(x_t, &mut ht_pre);
+        let h_t: Vec<f64> =
+            ht_pre.iter().zip(&self.params.bt).map(|(v, b)| (v + b).tanh()).collect();
+        let z: Vec<f64> = h_s.iter().zip(&h_t).map(|(a, b)| a * b).collect();
+        Forward { sig, a, m_s, m_a, h_s, h_t, z }
+    }
+
+    /// Backpropagates `dL/dz` into parameter and embedding gradients.
+    fn backward(
+        &self,
+        prefix: &[usize],
+        fwd: &Forward,
+        dz: &[f64],
+        grads: &mut Params,
+        emb_grads: &mut FxHashMap<usize, Vec<f64>>,
+    ) {
+        let d = self.config.embed_dim;
+        let n = prefix.len();
+        let last = *prefix.last().expect("non-empty");
+        let x_t = self.embedding.row(last);
+
+        // Through z = h_s ⊙ h_t and the two tanh projections.
+        let dhs_pre: Vec<f64> = (0..d)
+            .map(|j| dz[j] * fwd.h_t[j] * (1.0 - fwd.h_s[j] * fwd.h_s[j]))
+            .collect();
+        let dht_pre: Vec<f64> = (0..d)
+            .map(|j| dz[j] * fwd.h_s[j] * (1.0 - fwd.h_t[j] * fwd.h_t[j]))
+            .collect();
+        grads.ws.add_outer(&dhs_pre, &fwd.m_a, 1.0);
+        grads.wt.add_outer(&dht_pre, x_t, 1.0);
+        for j in 0..d {
+            grads.bs[j] += dhs_pre[j];
+            grads.bt[j] += dht_pre[j];
+        }
+        let mut dm_a = vec![0.0; d];
+        self.params.ws.matvec_t_acc(&dhs_pre, &mut dm_a);
+        let mut dx_t = vec![0.0; d];
+        self.params.wt.matvec_t_acc(&dht_pre, &mut dx_t);
+
+        // Through m_a = Σ a_i x_i and the attention network.
+        let mut dm_s = vec![0.0; d];
+        for (pos, &idx) in prefix.iter().enumerate() {
+            let x_i = self.embedding.row(idx);
+            let da_i = dot(&dm_a, x_i);
+            // dx_i += a_i · dm_a
+            let g = emb_grads.entry(idx).or_insert_with(|| vec![0.0; d]);
+            for (gj, &dmj) in g.iter_mut().zip(&dm_a) {
+                *gj += fwd.a[pos] * dmj;
+            }
+            // Attention scalar a_i = w0 · σ(e_i).
+            let s = &fwd.sig[pos];
+            let de: Vec<f64> = (0..self.config.attention_dim)
+                .map(|j| da_i * self.params.w0[j] * s[j] * (1.0 - s[j]))
+                .collect();
+            for j in 0..self.config.attention_dim {
+                grads.w0[j] += da_i * s[j];
+                grads.ba[j] += de[j];
+            }
+            grads.w1.add_outer(&de, x_i, 1.0);
+            grads.w2.add_outer(&de, x_t, 1.0);
+            grads.w3.add_outer(&de, &fwd.m_s, 1.0);
+            // dx_i += W1ᵀ de (reborrow the entry).
+            let mut dx_i = vec![0.0; d];
+            self.params.w1.matvec_t_acc(&de, &mut dx_i);
+            let g = emb_grads.entry(idx).or_insert_with(|| vec![0.0; d]);
+            for (gj, &v) in g.iter_mut().zip(&dx_i) {
+                *gj += v;
+            }
+            self.params.w2.matvec_t_acc(&de, &mut dx_t);
+            self.params.w3.matvec_t_acc(&de, &mut dm_s);
+        }
+
+        // Through m_s = mean(x_i).
+        for &idx in prefix {
+            let g = emb_grads.entry(idx).or_insert_with(|| vec![0.0; d]);
+            for (gj, &v) in g.iter_mut().zip(&dm_s) {
+                *gj += v / n as f64;
+            }
+        }
+        // x_t gradient accumulated along the way.
+        let g = emb_grads.entry(last).or_insert_with(|| vec![0.0; d]);
+        for (gj, &v) in g.iter_mut().zip(&dx_t) {
+            *gj += v;
+        }
+    }
+
+    #[cfg(test)]
+    fn loss_for(&self, prefix: &[usize], cand: &[usize]) -> f64 {
+        let fwd = self.forward(prefix);
+        let scores: Vec<f64> = cand.iter().map(|&v| dot(&fwd.z, self.embedding.row(v))).collect();
+        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        -(exps[0] / sum).ln()
+    }
+}
+
+impl Params {
+    fn apply_adagrad(&mut self, grads: &Params, accum: &mut Params, lr: f64) {
+        crate::model_adagrad_row(self.w1.data_mut(), accum.w1.data_mut(), grads.w1.data(), lr);
+        crate::model_adagrad_row(self.w2.data_mut(), accum.w2.data_mut(), grads.w2.data(), lr);
+        crate::model_adagrad_row(self.w3.data_mut(), accum.w3.data_mut(), grads.w3.data(), lr);
+        crate::model_adagrad_row(&mut self.ba, &mut accum.ba, &grads.ba, lr);
+        crate::model_adagrad_row(&mut self.w0, &mut accum.w0, &grads.w0, lr);
+        crate::model_adagrad_row(self.ws.data_mut(), accum.ws.data_mut(), grads.ws.data(), lr);
+        crate::model_adagrad_row(&mut self.bs, &mut accum.bs, &grads.bs, lr);
+        crate::model_adagrad_row(self.wt.data_mut(), accum.wt.data_mut(), grads.wt.data(), lr);
+        crate::model_adagrad_row(&mut self.bt, &mut accum.bt, &grads.bt, lr);
+    }
+}
+
+impl Recommender for Stamp {
+    fn recommend(&self, session: &[ItemId], how_many: usize) -> Vec<ItemScore> {
+        let from = session.len().saturating_sub(self.config.max_session_len);
+        let prefix: Vec<usize> = session[from..]
+            .iter()
+            .filter_map(|it| self.item_index.get(it).copied())
+            .collect();
+        if prefix.is_empty() {
+            return Vec::new();
+        }
+        let fwd = self.forward(&prefix);
+        let mut scored: Vec<(f64, usize)> = (0..self.items.len())
+            .map(|v| (dot(&fwd.z, self.embedding.row(v)), v))
+            .collect();
+        scored.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite scores"));
+        let mut out = Vec::with_capacity(how_many);
+        for (score, v) in scored {
+            let item = self.items[v];
+            if session.contains(&item) {
+                continue;
+            }
+            out.push(ItemScore { item, score: score as f32 });
+            if out.len() == how_many {
+                break;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "stamp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> StampConfig {
+        StampConfig {
+            embed_dim: 8,
+            attention_dim: 6,
+            epochs: 15,
+            learning_rate: 0.1,
+            negatives: 4,
+            max_session_len: 10,
+            seed: 3,
+        }
+    }
+
+    fn pattern_clicks() -> Vec<Click> {
+        let mut out = Vec::new();
+        for s in 0..120u64 {
+            let ts = s * 10;
+            if s % 2 == 0 {
+                out.push(Click::new(s + 1, 1, ts));
+                out.push(Click::new(s + 1, 2, ts + 1));
+            } else {
+                out.push(Click::new(s + 1, 3, ts));
+                out.push(Click::new(s + 1, 4, ts + 1));
+            }
+        }
+        out
+    }
+
+    /// Full finite-difference gradient check through attention, projections
+    /// and embeddings.
+    #[test]
+    fn gradient_check() {
+        let clicks = pattern_clicks();
+        let mut config = tiny_config();
+        config.epochs = 1;
+        let mut model = Stamp::fit(&clicks, config);
+        let prefix = vec![0usize, 1, 2]; // dense indices
+        let cand = vec![3usize, 0, 2];
+
+        // Analytic gradients.
+        let fwd = model.forward(&prefix);
+        let scores: Vec<f64> =
+            cand.iter().map(|&v| dot(&fwd.z, model.embedding.row(v))).collect();
+        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        let mut dz = vec![0.0; model.config.embed_dim];
+        let mut emb_grads: FxHashMap<usize, Vec<f64>> = FxHashMap::default();
+        for (p, &v) in cand.iter().enumerate() {
+            let ds = exps[p] / sum - if p == 0 { 1.0 } else { 0.0 };
+            for (dzj, &e) in dz.iter_mut().zip(model.embedding.row(v)) {
+                *dzj += ds * e;
+            }
+            let g = emb_grads.entry(v).or_insert_with(|| vec![0.0; model.config.embed_dim]);
+            for (gj, &zj) in g.iter_mut().zip(&fwd.z) {
+                *gj += ds * zj;
+            }
+        }
+        let mut grads = model.params.zeros_like();
+        model.backward(&prefix, &fwd, &dz, &mut grads, &mut emb_grads);
+
+        let eps = 1e-6;
+        let tol = 1e-4;
+        let check = |model: &mut Stamp,
+                     get: &dyn Fn(&Stamp) -> f64,
+                     set: &dyn Fn(&mut Stamp, f64),
+                     analytic: f64,
+                     name: &str| {
+            let orig = get(model);
+            set(model, orig + eps);
+            let lp = model.loss_for(&prefix, &cand);
+            set(model, orig - eps);
+            let lm = model.loss_for(&prefix, &cand);
+            set(model, orig);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let denom = numeric.abs().max(analytic.abs()).max(1e-6);
+            assert!(
+                (numeric - analytic).abs() / denom < tol,
+                "{name}: numeric {numeric} vs analytic {analytic}"
+            );
+        };
+
+        for (r, c) in [(0usize, 0usize), (2, 3), (5, 7)] {
+            let g = grads.w1.get(r, c);
+            check(&mut model, &|m| m.params.w1.get(r, c), &|m, v| m.params.w1.set(r, c, v), g, "w1");
+            let g = grads.w2.get(r, c);
+            check(&mut model, &|m| m.params.w2.get(r, c), &|m, v| m.params.w2.set(r, c, v), g, "w2");
+            let g = grads.w3.get(r, c);
+            check(&mut model, &|m| m.params.w3.get(r, c), &|m, v| m.params.w3.set(r, c, v), g, "w3");
+            let g = grads.ws.get(r.min(7), c);
+            check(&mut model, &|m| m.params.ws.get(r.min(7), c), &|m, v| m.params.ws.set(r.min(7), c, v), g, "ws");
+            let g = grads.wt.get(r.min(7), c);
+            check(&mut model, &|m| m.params.wt.get(r.min(7), c), &|m, v| m.params.wt.set(r.min(7), c, v), g, "wt");
+        }
+        for j in 0..6 {
+            let g = grads.w0[j];
+            check(&mut model, &|m| m.params.w0[j], &|m, v| m.params.w0[j] = v, g, "w0");
+            let g = grads.ba[j];
+            check(&mut model, &|m| m.params.ba[j], &|m, v| m.params.ba[j] = v, g, "ba");
+        }
+        for j in 0..8 {
+            let g = grads.bs[j];
+            check(&mut model, &|m| m.params.bs[j], &|m, v| m.params.bs[j] = v, g, "bs");
+            let g = grads.bt[j];
+            check(&mut model, &|m| m.params.bt[j], &|m, v| m.params.bt[j] = v, g, "bt");
+        }
+        // Embedding gradients (both output-side and attention-side paths).
+        for &idx in &[0usize, 1, 2, 3] {
+            if let Some(g) = emb_grads.get(&idx) {
+                for c in [0usize, 4, 7] {
+                    let analytic = g[c];
+                    check(
+                        &mut model,
+                        &|m| m.embedding.get(idx, c),
+                        &|m, v| m.embedding.set(idx, c, v),
+                        analytic,
+                        "embedding",
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn learns_deterministic_transitions() {
+        let model = Stamp::fit(&pattern_clicks(), tiny_config());
+        assert_eq!(Recommender::recommend(&model, &[1], 1)[0].item, 2);
+        assert_eq!(Recommender::recommend(&model, &[3], 1)[0].item, 4);
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let model = Stamp::fit(&pattern_clicks(), tiny_config());
+        let hist = model.loss_history();
+        assert!(hist.last().unwrap() < &(hist[0] * 0.8), "{hist:?}");
+        assert!(hist.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn unknown_and_empty_sessions() {
+        let model = Stamp::fit(&pattern_clicks(), tiny_config());
+        assert!(Recommender::recommend(&model, &[], 5).is_empty());
+        assert!(Recommender::recommend(&model, &[999], 5).is_empty());
+        assert_eq!(model.num_items(), 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Stamp::fit(&pattern_clicks(), tiny_config());
+        let b = Stamp::fit(&pattern_clicks(), tiny_config());
+        assert_eq!(a.loss_history(), b.loss_history());
+    }
+}

@@ -1,0 +1,369 @@
+//! Discrete-event A/B-test simulator (Figure 3c, Section 5.2.3).
+//!
+//! The paper ran a three-week live experiment: user sessions were randomly
+//! assigned to `serenade-hist`, `serenade-recent` or the `legacy`
+//! item-to-item recommender, and a conversion-related engagement metric was
+//! measured for the "other customers also viewed" slot on the product detail
+//! page, alongside a site-wide check that caught `serenade-recent`
+//! cannibalising the neighbouring "often bought together" slot.
+//!
+//! The simulator replays held-out test sessions as simulated users over a
+//! configurable number of days with a diurnal traffic curve. Engagement is
+//! modelled from ground truth: a slot scores when it shows the item the
+//! user actually clicks next. The *other* slot is driven by item-to-item
+//! similarities on the current item; when both slots show the winning item,
+//! the session-based slot takes the credit (first-position-takes-credit),
+//! which reproduces the cannibalisation mechanism — the more a variant's
+//! list resembles the item-conditioned list, the more it starves the other
+//! slot.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use serenade_core::{ItemId, Recommender};
+use serenade_dataset::Session;
+use serenade_metrics::{LatencyRecorder, LatencySummary};
+
+/// How a variant views the evolving session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionView {
+    /// Predict from the last `n` items (serenade-hist: 2, serenade-recent: 1).
+    LastN(usize),
+    /// Predict from the full session.
+    Full,
+}
+
+impl SessionView {
+    fn apply<'a>(&self, prefix: &'a [ItemId]) -> &'a [ItemId] {
+        match *self {
+            SessionView::LastN(n) => &prefix[prefix.len().saturating_sub(n)..],
+            SessionView::Full => prefix,
+        }
+    }
+}
+
+/// One experiment arm.
+pub struct AbVariant {
+    /// Arm name (e.g. `serenade-hist`).
+    pub name: String,
+    /// The recommender serving this arm's slot.
+    pub recommender: Arc<dyn Recommender + Send + Sync>,
+    /// Session view fed to the recommender.
+    pub view: SessionView,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AbConfig {
+    /// Days the experiment runs (the paper: 21).
+    pub days: u32,
+    /// Sessions simulated at the diurnal peak hour, per day.
+    pub peak_sessions_per_hour: usize,
+    /// Recommendation-list length (the UI slot: 21).
+    pub how_many: usize,
+    /// RNG seed for assignment and session sampling.
+    pub seed: u64,
+}
+
+impl Default for AbConfig {
+    fn default() -> Self {
+        Self { days: 21, peak_sessions_per_hour: 60, how_many: 21, seed: 42 }
+    }
+}
+
+/// Hourly traffic/latency point (one per simulated hour, all arms pooled).
+#[derive(Debug, Clone)]
+pub struct HourlyStats {
+    /// Day index (0-based).
+    pub day: u32,
+    /// Hour of day (0–23).
+    pub hour: u32,
+    /// Requests simulated in this hour.
+    pub requests: usize,
+    /// Latency percentiles of the serving computation in this hour.
+    pub latency: Option<LatencySummary>,
+}
+
+/// Aggregated outcome of one arm.
+#[derive(Debug, Clone)]
+pub struct VariantReport {
+    /// Arm name.
+    pub name: String,
+    /// Sessions assigned.
+    pub sessions: usize,
+    /// Prediction events (clicks with a next item).
+    pub events: usize,
+    /// Events where this arm's slot showed the true next item.
+    pub slot_hits: usize,
+    /// Events where the *other* slot showed it (and this slot did not).
+    pub other_slot_hits: usize,
+}
+
+impl VariantReport {
+    /// Engagement rate of the arm's slot.
+    pub fn slot_rate(&self) -> f64 {
+        self.slot_hits as f64 / self.events.max(1) as f64
+    }
+
+    /// Engagement rate of the neighbouring slot under this arm.
+    pub fn other_slot_rate(&self) -> f64 {
+        self.other_slot_hits as f64 / self.events.max(1) as f64
+    }
+
+    /// Site-wide engagement (either slot shows the next item).
+    pub fn site_rate(&self) -> f64 {
+        (self.slot_hits + self.other_slot_hits) as f64 / self.events.max(1) as f64
+    }
+}
+
+/// Full experiment outcome.
+#[derive(Debug, Clone)]
+pub struct AbReport {
+    /// Per-arm aggregates, in the order the variants were passed.
+    pub variants: Vec<VariantReport>,
+    /// Hour-by-hour traffic and latency (Figure 3c's x-axis).
+    pub hourly: Vec<HourlyStats>,
+}
+
+impl AbReport {
+    /// Relative lift of `arm`'s slot engagement over `baseline`'s, in percent.
+    pub fn slot_lift_pct(&self, arm: &str, baseline: &str) -> Option<f64> {
+        let a = self.variants.iter().find(|v| v.name == arm)?.slot_rate();
+        let b = self.variants.iter().find(|v| v.name == baseline)?.slot_rate();
+        (b > 0.0).then(|| (a / b - 1.0) * 100.0)
+    }
+}
+
+/// Diurnal shape: late-night trough, evening peak — the 200→600 rps swing of
+/// Figure 3c. Returns a weight in `[0.3, 1.0]`.
+pub fn diurnal_weight(hour: u32) -> f64 {
+    debug_assert!(hour < 24);
+    // Peak at 20:00, trough at 04:00.
+    let phase = (hour as f64 - 20.0) / 24.0 * std::f64::consts::TAU;
+    0.65 + 0.35 * phase.cos()
+}
+
+/// Runs the simulated A/B test.
+///
+/// `other_slot` drives the neighbouring "often bought together" slot and is
+/// conditioned on the current item only, like the production system it
+/// models. `test_sessions` is the pool of ground-truth user sessions.
+pub fn run_ab_test(
+    variants: &[AbVariant],
+    other_slot: &(dyn Recommender + Send + Sync),
+    test_sessions: &[Session],
+    config: AbConfig,
+) -> AbReport {
+    assert!(!variants.is_empty() && !test_sessions.is_empty());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut reports: Vec<VariantReport> = variants
+        .iter()
+        .map(|v| VariantReport {
+            name: v.name.clone(),
+            sessions: 0,
+            events: 0,
+            slot_hits: 0,
+            other_slot_hits: 0,
+        })
+        .collect();
+    let mut hourly = Vec::with_capacity(config.days as usize * 24);
+
+    for day in 0..config.days {
+        for hour in 0..24u32 {
+            let sessions_this_hour = ((config.peak_sessions_per_hour as f64
+                * diurnal_weight(hour))
+                .round() as usize)
+                .max(1);
+            let mut recorder = LatencyRecorder::new();
+            let mut requests = 0usize;
+            for _ in 0..sessions_this_hour {
+                // Random user session, random arm.
+                let session = &test_sessions[rng.gen_range(0..test_sessions.len())];
+                let arm = rng.gen_range(0..variants.len());
+                let variant = &variants[arm];
+                reports[arm].sessions += 1;
+
+                for t in 1..session.items.len() {
+                    let prefix = &session.items[..t];
+                    let next = session.items[t];
+                    let view = variant.view.apply(prefix);
+
+                    let t0 = Instant::now();
+                    let slot = variant.recommender.recommend(view, config.how_many);
+                    recorder.record(t0.elapsed());
+                    requests += 1;
+
+                    let other =
+                        other_slot.recommend(&prefix[prefix.len() - 1..], config.how_many);
+
+                    reports[arm].events += 1;
+                    let slot_hit = slot.iter().any(|r| r.item == next);
+                    if slot_hit {
+                        reports[arm].slot_hits += 1;
+                    } else if other.iter().any(|r| r.item == next) {
+                        // First-position-takes-credit: the other slot only
+                        // scores when the session-based slot missed.
+                        reports[arm].other_slot_hits += 1;
+                    }
+                }
+            }
+            hourly.push(HourlyStats { day, hour, requests, latency: recorder.summary() });
+        }
+    }
+    AbReport { variants: reports, hourly }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenade_core::ItemScore;
+
+    /// Oracle that knows the ground truth (always hits).
+    struct Oracle(Vec<Session>);
+    impl Recommender for Oracle {
+        fn recommend(&self, session: &[ItemId], _how_many: usize) -> Vec<ItemScore> {
+            // Finds any session containing the suffix and returns what
+            // followed it; sufficient for the deterministic test pool.
+            for s in &self.0 {
+                for t in 1..s.items.len() {
+                    if s.items[..t].ends_with(session) {
+                        return vec![ItemScore::new(s.items[t], 1.0)];
+                    }
+                }
+            }
+            Vec::new()
+        }
+        fn name(&self) -> &str {
+            "oracle"
+        }
+    }
+
+    /// Always recommends a fixed junk list (never hits).
+    struct Junk;
+    impl Recommender for Junk {
+        fn recommend(&self, _session: &[ItemId], how_many: usize) -> Vec<ItemScore> {
+            (0..how_many as u64).map(|i| ItemScore::new(90_000 + i, 1.0)).collect()
+        }
+        fn name(&self) -> &str {
+            "junk"
+        }
+    }
+
+    fn pool() -> Vec<Session> {
+        (0..8u64)
+            .map(|i| Session {
+                id: i,
+                items: vec![i % 4, (i + 1) % 4, (i + 2) % 4],
+                start: 0,
+                end: 2,
+            })
+            .collect()
+    }
+
+    fn tiny_config() -> AbConfig {
+        AbConfig { days: 2, peak_sessions_per_hour: 3, how_many: 5, seed: 7 }
+    }
+
+    #[test]
+    fn oracle_beats_junk() {
+        let sessions = pool();
+        let variants = vec![
+            AbVariant {
+                name: "oracle".into(),
+                recommender: Arc::new(Oracle(sessions.clone())),
+                view: SessionView::Full,
+            },
+            AbVariant {
+                name: "junk".into(),
+                recommender: Arc::new(Junk),
+                view: SessionView::Full,
+            },
+        ];
+        let report = run_ab_test(&variants, &Junk, &sessions, tiny_config());
+        let oracle = &report.variants[0];
+        let junk = &report.variants[1];
+        assert!(oracle.events > 0 && junk.events > 0);
+        assert!((oracle.slot_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(junk.slot_hits, 0);
+        let lift = report.slot_lift_pct("oracle", "junk");
+        assert!(lift.is_none(), "baseline rate 0 has no lift");
+    }
+
+    #[test]
+    fn credit_goes_to_slot_first() {
+        let sessions = pool();
+        let oracle = Arc::new(Oracle(sessions.clone()));
+        let variants = vec![AbVariant {
+            name: "both-hit".into(),
+            recommender: Arc::clone(&oracle) as Arc<dyn Recommender + Send + Sync>,
+            view: SessionView::Full,
+        }];
+        // The other slot is also the oracle — but the slot takes the credit.
+        let report = run_ab_test(&variants, oracle.as_ref(), &sessions, tiny_config());
+        assert_eq!(report.variants[0].other_slot_hits, 0);
+        assert!(report.variants[0].slot_hits > 0);
+    }
+
+    #[test]
+    fn other_slot_scores_when_slot_misses() {
+        let sessions = pool();
+        let oracle = Oracle(sessions.clone());
+        let variants = vec![AbVariant {
+            name: "junk-slot".into(),
+            recommender: Arc::new(Junk),
+            view: SessionView::Full,
+        }];
+        let report = run_ab_test(&variants, &oracle, &sessions, tiny_config());
+        assert_eq!(report.variants[0].slot_hits, 0);
+        assert!(report.variants[0].other_slot_hits > 0);
+        assert!(report.variants[0].site_rate() > 0.0);
+    }
+
+    #[test]
+    fn hourly_series_covers_every_hour() {
+        let sessions = pool();
+        let variants = vec![AbVariant {
+            name: "junk".into(),
+            recommender: Arc::new(Junk),
+            view: SessionView::LastN(1),
+        }];
+        let cfg = tiny_config();
+        let report = run_ab_test(&variants, &Junk, &sessions, cfg);
+        assert_eq!(report.hourly.len(), cfg.days as usize * 24);
+        assert!(report.hourly.iter().all(|h| h.requests > 0));
+        // Diurnal: the 20:00 hour must carry more traffic than 04:00.
+        let at = |hour: u32| -> usize {
+            report.hourly.iter().filter(|h| h.hour == hour).map(|h| h.requests).sum()
+        };
+        assert!(at(20) > at(4), "peak {} vs trough {}", at(20), at(4));
+    }
+
+    #[test]
+    fn diurnal_weight_shape() {
+        assert!(diurnal_weight(20) > diurnal_weight(4));
+        assert!((diurnal_weight(20) - 1.0).abs() < 1e-9);
+        for h in 0..24 {
+            let w = diurnal_weight(h);
+            assert!((0.29..=1.01).contains(&w), "hour {h}: {w}");
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic_per_seed() {
+        let sessions = pool();
+        let make = || {
+            vec![AbVariant {
+                name: "junk".into(),
+                recommender: Arc::new(Junk) as Arc<dyn Recommender + Send + Sync>,
+                view: SessionView::Full,
+            }]
+        };
+        let a = run_ab_test(&make(), &Junk, &sessions, tiny_config());
+        let b = run_ab_test(&make(), &Junk, &sessions, tiny_config());
+        assert_eq!(a.variants[0].events, b.variants[0].events);
+        assert_eq!(a.variants[0].slot_hits, b.variants[0].slot_hits);
+    }
+}

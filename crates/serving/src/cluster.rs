@@ -1,0 +1,227 @@
+//! A multi-pod serving cluster behind a sticky router.
+//!
+//! Mirrors the production deployment (Figure 1, right): every pod holds a
+//! replica of the session-similarity index (shared here via `Arc` — the
+//! in-process analogue of index replication) and its own partition of the
+//! evolving-session state. The router guarantees stickiness, so a pod only
+//! ever sees its own sessions.
+
+use std::sync::Arc;
+
+use serenade_core::{CoreError, ItemScore, SessionIndex};
+
+use crate::engine::{Engine, EngineConfig, RecommendRequest};
+use crate::router::StickyRouter;
+use crate::rules::BusinessRules;
+
+/// A set of serving pods plus the sticky router in front of them.
+pub struct ServingCluster {
+    pods: Vec<Arc<Engine>>,
+    router: StickyRouter,
+}
+
+impl ServingCluster {
+    /// Builds a cluster of `pods` engines sharing one index replica handle.
+    pub fn new(
+        index: Arc<SessionIndex>,
+        pods: usize,
+        config: EngineConfig,
+        rules: BusinessRules,
+    ) -> Result<Self, CoreError> {
+        let mut engines = Vec::with_capacity(pods);
+        for _ in 0..pods {
+            engines.push(Arc::new(Engine::new(
+                Arc::clone(&index),
+                config.clone(),
+                rules.clone(),
+            )?));
+        }
+        Ok(Self { pods: engines, router: StickyRouter::new(pods) })
+    }
+
+    /// Handles a request on the responsible pod.
+    pub fn handle(&self, req: RecommendRequest) -> Vec<ItemScore> {
+        self.pod_for(req.session_id).handle(req)
+    }
+
+    /// The pod a session is routed to.
+    pub fn pod_for(&self, session_id: u64) -> &Arc<Engine> {
+        &self.pods[self.router.route(session_id)]
+    }
+
+    /// All pods (for maintenance sweeps and statistics).
+    pub fn pods(&self) -> &[Arc<Engine>] {
+        &self.pods
+    }
+
+    /// Total live sessions across pods.
+    pub fn live_sessions(&self) -> usize {
+        self.pods.iter().map(|p| p.live_sessions()).sum()
+    }
+
+    /// Runs the TTL sweep on every pod; returns total evictions.
+    pub fn evict_expired_sessions(&self) -> usize {
+        self.pods.iter().map(|p| p.evict_expired_sessions()).sum()
+    }
+
+    /// Replicates a freshly built index to every pod (the daily rollover of
+    /// Figure 1's "index replication" arrow). Session state survives.
+    pub fn reload_index(&self, index: Arc<SessionIndex>) -> Result<(), serenade_core::CoreError> {
+        for pod in &self.pods {
+            pod.swap_index(Arc::clone(&index))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenade_core::Click;
+
+    fn cluster(pods: usize) -> ServingCluster {
+        let mut clicks = Vec::new();
+        for s in 0..40u64 {
+            let ts = 100 + s * 10;
+            clicks.push(Click::new(s + 1, s % 6, ts));
+            clicks.push(Click::new(s + 1, (s + 1) % 6, ts + 1));
+        }
+        let index = Arc::new(SessionIndex::build(&clicks, 500).unwrap());
+        ServingCluster::new(index, pods, EngineConfig::default(), BusinessRules::none())
+            .unwrap()
+    }
+
+    fn req(session_id: u64, item: u64) -> RecommendRequest {
+        RecommendRequest { session_id, item, consent: true, filter_adult: false }
+    }
+
+    #[test]
+    fn sticky_sessions_accumulate_on_one_pod() {
+        let c = cluster(3);
+        for i in 0..5 {
+            c.handle(req(42, i % 6));
+        }
+        // Exactly one pod holds session 42, with all 5 clicks.
+        let with_state: Vec<usize> = c
+            .pods()
+            .iter()
+            .map(|p| p.stored_session_len(42))
+            .filter(|&l| l > 0)
+            .collect();
+        assert_eq!(with_state, vec![5]);
+        assert_eq!(c.live_sessions(), 1);
+    }
+
+    #[test]
+    fn sessions_spread_across_pods() {
+        let c = cluster(4);
+        for sid in 0..200u64 {
+            c.handle(req(sid, sid % 6));
+        }
+        assert_eq!(c.live_sessions(), 200);
+        let per_pod: Vec<usize> = c.pods().iter().map(|p| p.live_sessions()).collect();
+        assert!(per_pod.iter().all(|&n| n > 20), "imbalanced: {per_pod:?}");
+    }
+
+    #[test]
+    fn cluster_results_match_single_engine() {
+        let single = cluster(1);
+        let multi = cluster(4);
+        for sid in [1u64, 2, 3] {
+            for item in [0u64, 1, 2] {
+                assert_eq!(single.handle(req(sid, item)), multi.handle(req(sid, item)));
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_sweep_runs_on_all_pods() {
+        let c = cluster(2);
+        for sid in 0..10u64 {
+            c.handle(req(sid, 0));
+        }
+        // Nothing has expired (default 30-minute TTL).
+        assert_eq!(c.evict_expired_sessions(), 0);
+        assert_eq!(c.live_sessions(), 10);
+    }
+}
+
+#[cfg(test)]
+mod rollover_tests {
+    use super::*;
+    use serenade_core::Click;
+
+    fn make_index(offset: u64) -> Arc<SessionIndex> {
+        let mut clicks = Vec::new();
+        for s in 0..20u64 {
+            let ts = 100 + s * 10;
+            clicks.push(Click::new(s + 1, (s + offset) % 6, ts));
+            clicks.push(Click::new(s + 1, (s + offset + 1) % 6, ts + 1));
+        }
+        Arc::new(SessionIndex::build(&clicks, 500).unwrap())
+    }
+
+    fn req(session_id: u64, item: u64) -> RecommendRequest {
+        RecommendRequest { session_id, item, consent: true, filter_adult: false }
+    }
+
+    #[test]
+    fn daily_rollover_changes_predictions_but_keeps_sessions() {
+        let c = ServingCluster::new(
+            make_index(0),
+            2,
+            EngineConfig::default(),
+            BusinessRules::none(),
+        )
+        .unwrap();
+        let before = c.handle(req(7, 1));
+        assert_eq!(c.pod_for(7).stored_session_len(7), 1);
+
+        // Overnight: a new index arrives and is replicated to every pod.
+        c.reload_index(make_index(3)).unwrap();
+
+        // Session state survived the rollover...
+        assert_eq!(c.pod_for(7).stored_session_len(7), 1);
+        // ...and predictions now come from the new index.
+        let after = c.handle(req(8, 1));
+        assert_ne!(before, after, "rollover must change the model");
+        assert_eq!(c.pod_for(7).stored_session_len(7), 1);
+    }
+
+    #[test]
+    fn requests_keep_flowing_during_concurrent_rollovers() {
+        let c = Arc::new(
+            ServingCluster::new(
+                make_index(0),
+                2,
+                EngineConfig::default(),
+                BusinessRules::none(),
+            )
+            .unwrap(),
+        );
+        let swapper = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                for round in 0..20u64 {
+                    c.reload_index(make_index(round % 5)).unwrap();
+                }
+            })
+        };
+        let workers: Vec<_> = (0..4u64)
+            .map(|sid| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        let recs = c.handle(req(sid, i % 6));
+                        assert!(recs.len() <= 21);
+                    }
+                })
+            })
+            .collect();
+        swapper.join().unwrap();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(c.live_sessions(), 4);
+    }
+}

@@ -1,0 +1,407 @@
+//! The per-pod recommendation engine.
+//!
+//! Handles one shop-frontend request end to end (Section 4.2): update the
+//! evolving session in the machine-local TTL store, run VMIS-kNN over the
+//! configured view of the session, apply business rules, and return the 21
+//! items the product-detail-page slot needs.
+//!
+//! The two session views of the A/B test are first-class: `serenade-hist`
+//! predicts from the last *two* items of the evolving session and
+//! `serenade-recent` from the most recent item only (Section 5.2.3). Users
+//! without personalisation consent get the depersonalised variant, which
+//! uses only the currently displayed item and stores nothing.
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+use serenade_core::{CoreError, ItemId, ItemScore, Scratch, SessionIndex, VmisConfig, VmisKnn};
+use serenade_kvstore::{StoreConfig, TtlStore};
+use std::sync::Arc;
+
+use crate::rules::BusinessRules;
+use crate::stats::ServingStats;
+
+/// Which view of the evolving session feeds the prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServingVariant {
+    /// `serenade-hist`: the last `n` items (the A/B test used `n = 2`).
+    Hist(usize),
+    /// `serenade-recent`: only the most recent item.
+    Recent,
+    /// The full stored session window (bounded by `max_stored_session_len`).
+    Full,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// VMIS-kNN hyperparameters.
+    pub vmis: VmisConfig,
+    /// Session view variant.
+    pub variant: ServingVariant,
+    /// Items per response (the shop frontend renders 21).
+    pub how_many: usize,
+    /// Cap on the stored session length.
+    pub max_stored_session_len: usize,
+    /// Session-store configuration (TTL, shards).
+    pub store: StoreConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            vmis: VmisConfig::default(),
+            variant: ServingVariant::Hist(2),
+            how_many: 21,
+            max_stored_session_len: 50,
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+/// One frontend request: the user opened the product page of `item`.
+#[derive(Debug, Clone, Copy)]
+pub struct RecommendRequest {
+    /// Sticky session identifier.
+    pub session_id: u64,
+    /// The item whose product page triggered the request.
+    pub item: ItemId,
+    /// Personalisation consent flag (Section 4.2, depersonalisation).
+    pub consent: bool,
+    /// Whether adult products must be filtered for this shopper.
+    pub filter_adult: bool,
+}
+
+/// A stateful recommendation engine — one per serving pod.
+///
+/// The recommender is held behind a reader-writer lock so the daily index
+/// rollover (Section 4.1: the offline job rebuilds the index once per day
+/// and the pods ingest the new artefact) can swap it in without downtime —
+/// see [`Engine::swap_index`]. Requests clone the `Arc` under a read lock,
+/// so in-flight requests finish against the index they started with.
+pub struct Engine {
+    vmis: RwLock<Arc<VmisKnn>>,
+    rules: BusinessRules,
+    sessions: TtlStore<u64, Vec<ItemId>>,
+    scratch_pool: Mutex<Vec<Scratch>>,
+    config: EngineConfig,
+    stats: ServingStats,
+}
+
+impl Engine {
+    /// Creates an engine over a (replicated) session index.
+    pub fn new(
+        index: Arc<SessionIndex>,
+        config: EngineConfig,
+        rules: BusinessRules,
+    ) -> Result<Self, CoreError> {
+        let mut vmis_cfg = config.vmis.clone();
+        // The engine owns the final list length; ask the algorithm for a
+        // few extra items so business-rule filtering does not starve slots.
+        vmis_cfg.how_many = config.how_many * 2;
+        let vmis = VmisKnn::new(index, vmis_cfg)?;
+        Ok(Self {
+            sessions: TtlStore::new(config.store),
+            scratch_pool: Mutex::new(Vec::new()),
+            vmis: RwLock::new(Arc::new(vmis)),
+            rules,
+            config,
+            stats: ServingStats::new(),
+        })
+    }
+
+    /// Swaps in a freshly built index (the daily rollover) without
+    /// interrupting request handling. The engine keeps its configuration;
+    /// evolving-session state is untouched — exactly the production
+    /// behaviour, where the serving pods reload the artefact the Spark job
+    /// shipped overnight.
+    pub fn swap_index(&self, index: Arc<SessionIndex>) -> Result<(), CoreError> {
+        let mut vmis_cfg = self.config.vmis.clone();
+        vmis_cfg.how_many = self.config.how_many * 2;
+        let fresh = Arc::new(VmisKnn::new(index, vmis_cfg)?);
+        *self.vmis.write() = fresh;
+        Ok(())
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Handles one frontend request: session update + prediction + rules.
+    pub fn handle(&self, req: RecommendRequest) -> Vec<ItemScore> {
+        let started = std::time::Instant::now();
+        let session_view: Vec<ItemId> = if req.consent {
+            let max_len = self.config.max_stored_session_len;
+            let variant = self.config.variant;
+            self.sessions.update_or_insert(
+                req.session_id,
+                Vec::new,
+                |items| {
+                    items.push(req.item);
+                    if items.len() > max_len {
+                        let excess = items.len() - max_len;
+                        items.drain(..excess);
+                    }
+                    match variant {
+                        ServingVariant::Hist(n) => {
+                            items[items.len().saturating_sub(n)..].to_vec()
+                        }
+                        ServingVariant::Recent => vec![*items.last().expect("just pushed")],
+                        ServingVariant::Full => items.clone(),
+                    }
+                },
+            )
+        } else {
+            // Depersonalised: predict from the displayed item only, and drop
+            // any previously stored state for this session.
+            self.sessions.remove(&req.session_id);
+            vec![req.item]
+        };
+
+        // Pin the current index replica for the duration of this request.
+        let vmis = Arc::clone(&self.vmis.read());
+        let mut scratch = self.scratch_pool.lock().pop().unwrap_or_else(|| vmis.scratch());
+        let mut recs = vmis.recommend_with_scratch(&session_view, &mut scratch);
+        self.scratch_pool.lock().push(scratch);
+
+        self.rules.apply(&mut recs, req.filter_adult);
+        recs.truncate(self.config.how_many);
+        self.stats.record(started.elapsed(), !req.consent, recs.len());
+        recs
+    }
+
+    /// Request/latency statistics of this pod.
+    pub fn stats(&self) -> crate::stats::StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Number of clicks currently stored for a session.
+    pub fn stored_session_len(&self, session_id: u64) -> usize {
+        self.sessions.with_value(&session_id, |v| v.len()).unwrap_or(0)
+    }
+
+    /// Count of live sessions on this pod.
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.stats().live_entries
+    }
+
+    /// Sweeps expired sessions (the paper's 30-minute-inactivity cleanup).
+    pub fn evict_expired_sessions(&self) -> usize {
+        self.sessions.evict_expired()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serenade_core::Click;
+
+    fn index() -> Arc<SessionIndex> {
+        let mut clicks = Vec::new();
+        for s in 0..30u64 {
+            let ts = 100 + s * 10;
+            clicks.push(Click::new(s + 1, s % 5, ts));
+            clicks.push(Click::new(s + 1, (s + 1) % 5, ts + 1));
+            clicks.push(Click::new(s + 1, (s + 2) % 5, ts + 2));
+        }
+        Arc::new(SessionIndex::build(&clicks, 500).unwrap())
+    }
+
+    fn engine(variant: ServingVariant, rules: BusinessRules) -> Engine {
+        let config = EngineConfig { variant, how_many: 3, ..Default::default() };
+        Engine::new(index(), config, rules).unwrap()
+    }
+
+    fn req(session_id: u64, item: ItemId) -> RecommendRequest {
+        RecommendRequest { session_id, item, consent: true, filter_adult: false }
+    }
+
+    #[test]
+    fn consented_requests_accumulate_session_state() {
+        let e = engine(ServingVariant::Full, BusinessRules::none());
+        assert!(!e.handle(req(7, 0)).is_empty());
+        assert!(!e.handle(req(7, 1)).is_empty());
+        assert_eq!(e.stored_session_len(7), 2);
+        assert_eq!(e.live_sessions(), 1);
+    }
+
+    #[test]
+    fn no_consent_clears_state_and_uses_current_item_only() {
+        let e = engine(ServingVariant::Full, BusinessRules::none());
+        e.handle(req(7, 0));
+        e.handle(req(7, 1));
+        let depersonalised = e.handle(RecommendRequest {
+            session_id: 7,
+            item: 2,
+            consent: false,
+            filter_adult: false,
+        });
+        assert_eq!(e.stored_session_len(7), 0, "state must be dropped");
+        // Result equals a fresh single-item prediction.
+        let e2 = engine(ServingVariant::Full, BusinessRules::none());
+        let fresh = e2.handle(req(99, 2));
+        assert_eq!(depersonalised, fresh);
+    }
+
+    #[test]
+    fn recent_variant_matches_single_item_prediction() {
+        let recent = engine(ServingVariant::Recent, BusinessRules::none());
+        recent.handle(req(1, 0));
+        let from_recent = recent.handle(req(1, 3));
+        let fresh = engine(ServingVariant::Recent, BusinessRules::none()).handle(req(2, 3));
+        assert_eq!(from_recent, fresh, "recent variant only sees the last item");
+    }
+
+    #[test]
+    fn hist_variant_uses_last_two_items() {
+        let hist = engine(ServingVariant::Hist(2), BusinessRules::none());
+        hist.handle(req(1, 0));
+        hist.handle(req(1, 1));
+        let from_hist = hist.handle(req(1, 2)); // view = [1, 2]
+        let pair = engine(ServingVariant::Hist(2), BusinessRules::none());
+        pair.handle(req(5, 1));
+        let fresh = pair.handle(req(5, 2)); // view = [1, 2]
+        assert_eq!(from_hist, fresh);
+    }
+
+    #[test]
+    fn business_rules_filter_responses() {
+        let clean = engine(ServingVariant::Recent, BusinessRules::none());
+        let baseline = clean.handle(req(1, 0));
+        assert!(!baseline.is_empty());
+        let banned = baseline[0].item;
+        let filtered = engine(ServingVariant::Recent, BusinessRules::new([banned], []));
+        let recs = filtered.handle(req(1, 0));
+        assert!(recs.iter().all(|r| r.item != banned));
+    }
+
+    #[test]
+    fn stored_sessions_are_capped() {
+        let config = EngineConfig {
+            variant: ServingVariant::Full,
+            how_many: 3,
+            max_stored_session_len: 4,
+            ..Default::default()
+        };
+        let e = Engine::new(index(), config, BusinessRules::none()).unwrap();
+        for i in 0..10 {
+            e.handle(req(1, i % 5));
+        }
+        assert_eq!(e.stored_session_len(1), 4);
+    }
+
+    #[test]
+    fn responses_respect_how_many() {
+        let e = engine(ServingVariant::Full, BusinessRules::none());
+        let recs = e.handle(req(1, 0));
+        assert!(recs.len() <= 3);
+        assert!(recs.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn concurrent_sessions_are_isolated() {
+        let e = Arc::new(engine(ServingVariant::Full, BusinessRules::none()));
+        let handles: Vec<_> = (0..8u64)
+            .map(|sid| {
+                let e = Arc::clone(&e);
+                std::thread::spawn(move || {
+                    for i in 0..20 {
+                        e.handle(req(sid, (sid + i) % 5));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(e.live_sessions(), 8);
+        for sid in 0..8u64 {
+            assert_eq!(e.stored_session_len(sid), 20);
+        }
+    }
+}
+
+#[cfg(test)]
+mod ttl_tests {
+    use super::*;
+    use serenade_core::Click;
+
+    fn tiny_index() -> Arc<SessionIndex> {
+        let clicks = vec![
+            Click::new(1, 0, 10),
+            Click::new(1, 1, 11),
+            Click::new(2, 0, 20),
+            Click::new(2, 2, 21),
+        ];
+        Arc::new(SessionIndex::build(&clicks, 500).unwrap())
+    }
+
+    #[test]
+    fn sessions_expire_after_inactivity() {
+        let config = EngineConfig {
+            variant: ServingVariant::Full,
+            store: StoreConfig { shards: 2, ttl_ms: 40, touch_on_read: true },
+            ..Default::default()
+        };
+        let e = Engine::new(tiny_index(), config, BusinessRules::none()).unwrap();
+        e.handle(RecommendRequest { session_id: 5, item: 0, consent: true, filter_adult: false });
+        assert_eq!(e.stored_session_len(5), 1);
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        assert_eq!(e.stored_session_len(5), 0, "session must expire after the TTL");
+        assert_eq!(e.evict_expired_sessions(), 0, "lazy expiry already removed it");
+        // A new request restarts the session from scratch.
+        e.handle(RecommendRequest { session_id: 5, item: 1, consent: true, filter_adult: false });
+        assert_eq!(e.stored_session_len(5), 1);
+    }
+
+    #[test]
+    fn eviction_sweep_counts_expired_sessions() {
+        let config = EngineConfig {
+            store: StoreConfig { shards: 2, ttl_ms: 30, touch_on_read: false },
+            ..Default::default()
+        };
+        let e = Engine::new(tiny_index(), config, BusinessRules::none()).unwrap();
+        for sid in 0..6u64 {
+            e.handle(RecommendRequest {
+                session_id: sid,
+                item: 0,
+                consent: true,
+                filter_adult: false,
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        assert_eq!(e.evict_expired_sessions(), 6);
+        assert_eq!(e.live_sessions(), 0);
+    }
+
+    #[test]
+    fn depersonalised_requests_respect_adult_filter() {
+        let clicks = vec![
+            Click::new(1, 0, 10),
+            Click::new(1, 7, 11),
+            Click::new(2, 0, 20),
+            Click::new(2, 7, 21),
+            Click::new(3, 5, 30), // unrelated session: keeps idf(7) > 0
+            Click::new(3, 6, 31),
+        ];
+        let index = Arc::new(SessionIndex::build(&clicks, 500).unwrap());
+        let mut rules = BusinessRules::none();
+        rules.mark_adult(7);
+        let e = Engine::new(index, EngineConfig::default(), rules).unwrap();
+        let filtered = e.handle(RecommendRequest {
+            session_id: 1,
+            item: 0,
+            consent: false,
+            filter_adult: true,
+        });
+        assert!(filtered.iter().all(|r| r.item != 7));
+        let unfiltered = e.handle(RecommendRequest {
+            session_id: 2,
+            item: 0,
+            consent: false,
+            filter_adult: false,
+        });
+        assert!(unfiltered.iter().any(|r| r.item == 7));
+    }
+}

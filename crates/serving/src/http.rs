@@ -1,0 +1,516 @@
+//! A threaded HTTP/1.1 REST front end for the serving cluster.
+//!
+//! The paper implements the serving component as an Actix web application;
+//! this module provides the same protocol surface on a hand-rolled server:
+//! a listener thread accepts connections and hands them to a fixed worker
+//! pool over a crossbeam channel; workers speak persistent HTTP/1.1 with
+//! `Content-Length` framing.
+//!
+//! Endpoints:
+//!
+//! * `POST /recommend` with body
+//!   `{"session_id": u64, "item_id": u64, "consent": bool, "filter_adult": bool}`
+//!   → `{"recommendations": [{"item_id": …, "score": …}, …]}`
+//! * `GET /health` → `{"status": "ok"}`
+//! * `GET /stats` → per-pod request counters and latency percentiles
+//!
+//! A [`HttpClient`] with keep-alive support is included for the load
+//! generator and the tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::cluster::ServingCluster;
+use crate::engine::RecommendRequest;
+use crate::json::{self, JsonValue};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct HttpServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+}
+
+impl Default for HttpServerConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:0".to_string(), workers: 4 }
+    }
+}
+
+/// A running server; dropping it (or calling [`HttpServer::shutdown`])
+/// stops the listener and joins all workers.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Starts serving `cluster` per `config`.
+    pub fn serve(cluster: Arc<ServingCluster>, config: HttpServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(1024);
+
+        let mut threads = Vec::with_capacity(config.workers + 1);
+        for _ in 0..config.workers.max(1) {
+            let rx = rx.clone();
+            let cluster = Arc::clone(&cluster);
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                while let Ok(stream) = rx.recv() {
+                    let _ = handle_connection(stream, &cluster, &stop);
+                }
+            }));
+        }
+
+        let accept_stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        let _ = s.set_read_timeout(Some(Duration::from_millis(250)));
+                        if tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            drop(tx); // closes the channel, workers drain and exit
+        }));
+
+        Ok(Self { addr, stop, threads })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    cluster: &ServingCluster,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let request = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return Ok(()), // clean close
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // idle keep-alive connection; re-check stop flag
+            }
+            Err(_) => return Ok(()),
+        };
+        let close = request.close;
+        let (status, body) = respond(&request, cluster);
+        write_response(&mut writer, status, &body, close)?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+    close: bool,
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+
+    let mut content_length = 0usize;
+    let mut close = false;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Ok(None);
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value.parse().unwrap_or(0);
+            } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                close = true;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length.min(1 << 20)];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 body"))?;
+    Ok(Some(Request { method, path, body, close }))
+}
+
+fn respond(request: &Request, cluster: &ServingCluster) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => {
+            (200, JsonValue::object([("status", JsonValue::String("ok".into()))]).to_json())
+        }
+        ("GET", "/stats") => {
+            let pods: Vec<JsonValue> = cluster
+                .pods()
+                .iter()
+                .enumerate()
+                .map(|(i, pod)| {
+                    let s = pod.stats();
+                    let mut fields = vec![
+                        ("pod", JsonValue::Number(i as f64)),
+                        ("requests", JsonValue::Number(s.requests as f64)),
+                        ("depersonalised", JsonValue::Number(s.depersonalised as f64)),
+                        ("empty_responses", JsonValue::Number(s.empty_responses as f64)),
+                        ("live_sessions", JsonValue::Number(pod.live_sessions() as f64)),
+                        ("busy_ms", JsonValue::Number(s.busy.as_millis() as f64)),
+                    ];
+                    if let Some(l) = s.latency {
+                        fields.push(("p50_us", JsonValue::Number(l.p50_us as f64)));
+                        fields.push(("p90_us", JsonValue::Number(l.p90_us as f64)));
+                        fields.push(("p995_us", JsonValue::Number(l.p995_us as f64)));
+                    }
+                    JsonValue::object(fields)
+                })
+                .collect();
+            (200, JsonValue::object([("pods", JsonValue::Array(pods))]).to_json())
+        }
+        ("POST", "/recommend") => match parse_recommend_request(&request.body) {
+            Ok(req) => {
+                let recs = cluster.handle(req);
+                let items: Vec<JsonValue> = recs
+                    .iter()
+                    .map(|r| {
+                        JsonValue::object([
+                            ("item_id", JsonValue::Number(r.item as f64)),
+                            ("score", JsonValue::Number(f64::from(r.score))),
+                        ])
+                    })
+                    .collect();
+                (200, JsonValue::object([("recommendations", JsonValue::Array(items))]).to_json())
+            }
+            Err(message) => {
+                (400, JsonValue::object([("error", JsonValue::String(message))]).to_json())
+            }
+        },
+        _ => (404, JsonValue::object([("error", JsonValue::String("not found".into()))]).to_json()),
+    }
+}
+
+fn parse_recommend_request(body: &str) -> Result<RecommendRequest, String> {
+    let v = json::parse(body).map_err(|e| format!("invalid json: {e}"))?;
+    let session_id =
+        v.get("session_id").and_then(JsonValue::as_u64).ok_or("missing session_id")?;
+    let item = v.get("item_id").and_then(JsonValue::as_u64).ok_or("missing item_id")?;
+    let consent = v.get("consent").and_then(JsonValue::as_bool).unwrap_or(true);
+    let filter_adult = v.get("filter_adult").and_then(JsonValue::as_bool).unwrap_or(false);
+    Ok(RecommendRequest { session_id, item, consent, filter_adult })
+}
+
+fn write_response(
+    writer: &mut TcpStream,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Internal Server Error",
+    };
+    let connection = if close { "close" } else { "keep-alive" };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+/// A minimal keep-alive HTTP client for tests and the load generator.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    addr: SocketAddr,
+}
+
+impl HttpClient {
+    /// Connects to a server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { reader: BufReader::new(stream.try_clone()?), writer: stream, addr })
+    }
+
+    /// Issues a POST and returns `(status, body)`.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        write!(
+            self.writer,
+            "POST {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        )?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Issues a GET and returns `(status, body)`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        write!(self.writer, "GET {path} HTTP/1.1\r\nhost: {}\r\n\r\n", self.addr)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed",
+                    ))
+                }
+                Ok(_) => break,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status"))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header)?;
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().unwrap_or(0);
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok((
+            status,
+            String::from_utf8(body).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 body")
+            })?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::rules::BusinessRules;
+    use serenade_core::{Click, SessionIndex};
+
+    fn start_server(pods: usize) -> (HttpServer, Arc<ServingCluster>) {
+        let mut clicks = Vec::new();
+        for s in 0..40u64 {
+            let ts = 100 + s * 10;
+            clicks.push(Click::new(s + 1, s % 6, ts));
+            clicks.push(Click::new(s + 1, (s + 1) % 6, ts + 1));
+        }
+        let index = Arc::new(SessionIndex::build(&clicks, 500).unwrap());
+        let cluster = Arc::new(
+            ServingCluster::new(index, pods, EngineConfig::default(), BusinessRules::none())
+                .unwrap(),
+        );
+        let server =
+            HttpServer::serve(Arc::clone(&cluster), HttpServerConfig::default()).unwrap();
+        (server, cluster)
+    }
+
+    #[test]
+    fn health_endpoint_responds() {
+        let (server, _cluster) = start_server(2);
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let (status, body) = client.get("/health").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("ok"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn recommend_endpoint_returns_items() {
+        let (server, cluster) = start_server(2);
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let (status, body) = client
+            .post("/recommend", r#"{"session_id": 7, "item_id": 0, "consent": true}"#)
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let v = json::parse(&body).unwrap();
+        let recs = v.get("recommendations").unwrap().as_array().unwrap();
+        assert!(!recs.is_empty());
+        assert!(recs[0].get("item_id").unwrap().as_u64().is_some());
+        // The session state landed on the right pod.
+        assert_eq!(cluster.pod_for(7).stored_session_len(7), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_supports_sequential_requests() {
+        let (server, cluster) = start_server(1);
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        for item in 0..5u64 {
+            let (status, _) = client
+                .post(
+                    "/recommend",
+                    &format!(r#"{{"session_id": 9, "item_id": {item}, "consent": true}}"#),
+                )
+                .unwrap();
+            assert_eq!(status, 200);
+        }
+        assert_eq!(cluster.pod_for(9).stored_session_len(9), 5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_400() {
+        let (server, _cluster) = start_server(1);
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let (status, body) = client.post("/recommend", "not json").unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("error"));
+        let (status, _) = client.post("/recommend", r#"{"item_id": 1}"#).unwrap();
+        assert_eq!(status, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_endpoint_reports_pod_counters() {
+        let (server, _cluster) = start_server(2);
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        for item in 0..4u64 {
+            let (status, _) = client
+                .post(
+                    "/recommend",
+                    &format!(r#"{{"session_id": 5, "item_id": {item}, "consent": true}}"#),
+                )
+                .unwrap();
+            assert_eq!(status, 200);
+        }
+        let (status, body) = client.get("/stats").unwrap();
+        assert_eq!(status, 200, "{body}");
+        let v = json::parse(&body).unwrap();
+        let pods = v.get("pods").unwrap().as_array().unwrap();
+        assert_eq!(pods.len(), 2);
+        let total: u64 = pods
+            .iter()
+            .map(|p| p.get("requests").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(total, 4);
+        // The pod that served traffic exposes latency percentiles.
+        assert!(pods
+            .iter()
+            .any(|p| p.get("p90_us").and_then(json::JsonValue::as_u64).is_some()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_get_404() {
+        let (server, _cluster) = start_server(1);
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let (status, _) = client.get("/nope").unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let (server, cluster) = start_server(2);
+        let addr = server.addr();
+        let handles: Vec<_> = (0..6u64)
+            .map(|sid| {
+                std::thread::spawn(move || {
+                    let mut client = HttpClient::connect(addr).unwrap();
+                    for item in 0..10u64 {
+                        let (status, _) = client
+                            .post(
+                                "/recommend",
+                                &format!(
+                                    r#"{{"session_id": {sid}, "item_id": {}, "consent": true}}"#,
+                                    item % 6
+                                ),
+                            )
+                            .unwrap();
+                        assert_eq!(status, 200);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cluster.live_sessions(), 6);
+        server.shutdown();
+    }
+}

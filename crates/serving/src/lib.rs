@@ -1,0 +1,43 @@
+//! # serenade-serving — the stateful recommendation serving system
+//!
+//! The online half of Serenade (Section 4): stateful recommendation servers
+//! that colocate the evolving user sessions with the update/recommendation
+//! requests. Every "pod" holds a replica of the session-similarity index and
+//! its partition of the evolving-session state in a machine-local TTL store;
+//! a sticky router (the in-process analogue of Kubernetes session affinity)
+//! guarantees that all requests of one session land on the same pod.
+//!
+//! * [`json`] — a minimal hand-rolled JSON codec for the REST wire format;
+//! * [`rules`] — business-rule filtering (unavailable / adult products);
+//! * [`engine`] — the per-pod recommendation engine: session update +
+//!   VMIS-kNN prediction + rules, with the `serenade-hist` /
+//!   `serenade-recent` variants of the A/B test and the depersonalised mode;
+//! * [`router`] — sticky-session partitioning across pods;
+//! * [`cluster`] — a multi-pod cluster façade used by the benchmarks;
+//! * [`http`] — a threaded HTTP/1.1 server exposing the engine as a REST
+//!   application (the paper uses Actix; the protocol surface is the same);
+//! * [`loadgen`] — a closed-loop load generator replaying session traffic at
+//!   a target request rate, recording latency percentiles and worker
+//!   busy-time (Figure 3b);
+//! * [`absim`] — a discrete-event A/B-test simulator with a diurnal traffic
+//!   curve and an engagement model (Figure 3c, Section 5.2.3);
+//! * [`stats`] — per-pod request/latency statistics, exposed at `GET /stats`.
+
+#![warn(missing_docs)]
+
+pub mod absim;
+pub mod cluster;
+pub mod engine;
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod router;
+pub mod rules;
+pub mod stats;
+
+pub use cluster::ServingCluster;
+pub use engine::{Engine, EngineConfig, ServingVariant};
+pub use json::JsonValue;
+pub use router::StickyRouter;
+pub use rules::BusinessRules;
+pub use stats::{ServingStats, StatsSnapshot};

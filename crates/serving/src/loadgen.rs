@@ -1,0 +1,263 @@
+//! Open-loop load generation against a serving cluster (Figure 3b).
+//!
+//! Replays session traffic at a target request rate: every request has a
+//! scheduled send time on a global clock (`i / rps`), workers pick requests
+//! off a shared counter, sleep until their slot and fire. This open-loop
+//! design measures the latency the *shop frontend* would observe — a closed
+//! loop would flatter the system by slowing down when the system does.
+//!
+//! Besides latency percentiles per reporting window, the generator tracks
+//! worker busy time, from which the benchmark derives the core-usage curve
+//! the paper plots (one core ≙ 100%).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serenade_dataset::Session;
+use serenade_metrics::{LatencyRecorder, LatencySummary};
+
+use crate::cluster::ServingCluster;
+use crate::engine::RecommendRequest;
+
+/// Load-test parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadGenConfig {
+    /// Target request rate (requests per second).
+    pub target_rps: f64,
+    /// Test duration.
+    pub duration: Duration,
+    /// Concurrent load-generator workers.
+    pub workers: usize,
+    /// Reporting-window length.
+    pub window: Duration,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        Self {
+            target_rps: 1_000.0,
+            duration: Duration::from_secs(10),
+            workers: 8,
+            window: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Latency and throughput of one reporting window.
+#[derive(Debug, Clone)]
+pub struct LoadWindow {
+    /// Window start, as an offset from the test start.
+    pub offset: Duration,
+    /// Requests completed in the window.
+    pub requests: usize,
+    /// Latency percentiles of the window.
+    pub latency: Option<LatencySummary>,
+}
+
+/// Outcome of a load test.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Per-window series (the x-axis of Figure 3b).
+    pub windows: Vec<LoadWindow>,
+    /// Overall latency distribution.
+    pub total: Option<LatencySummary>,
+    /// Requests completed.
+    pub completed: usize,
+    /// Achieved request rate.
+    pub achieved_rps: f64,
+    /// Cores kept busy by request handling (1.0 ≙ one fully busy core).
+    pub cores_busy: f64,
+}
+
+/// Flattens test sessions into an interleaved request stream: round-robin
+/// over sessions by click position, so concurrent sessions overlap the way
+/// real traffic does while stickiness per session is preserved.
+pub fn requests_from_sessions(sessions: &[Session]) -> Vec<RecommendRequest> {
+    let max_len = sessions.iter().map(Session::len).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(sessions.iter().map(Session::len).sum());
+    for pos in 0..max_len {
+        for s in sessions {
+            if let Some(&item) = s.items.get(pos) {
+                out.push(RecommendRequest {
+                    session_id: s.id,
+                    item,
+                    consent: true,
+                    filter_adult: false,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Runs an open-loop load test against the cluster, replaying `traffic`
+/// cyclically at the target rate.
+pub fn run_load_test(
+    cluster: &Arc<ServingCluster>,
+    traffic: &[RecommendRequest],
+    config: LoadGenConfig,
+) -> LoadReport {
+    assert!(!traffic.is_empty(), "traffic must not be empty");
+    assert!(config.target_rps > 0.0);
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    let interval = Duration::from_secs_f64(1.0 / config.target_rps);
+    let num_windows =
+        (config.duration.as_secs_f64() / config.window.as_secs_f64()).ceil() as usize;
+
+    struct WorkerOut {
+        windows: Vec<LatencyRecorder>,
+        window_counts: Vec<usize>,
+        busy: Duration,
+        completed: usize,
+    }
+
+    let outs: Vec<WorkerOut> = crossbeam::thread::scope(|scope| {
+        let next = &next;
+        let handles: Vec<_> = (0..config.workers.max(1))
+            .map(|_| {
+                let cluster = Arc::clone(cluster);
+                scope.spawn(move |_| {
+                    let mut windows = vec![LatencyRecorder::new(); num_windows];
+                    let mut window_counts = vec![0usize; num_windows];
+                    let mut busy = Duration::ZERO;
+                    let mut completed = 0usize;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let scheduled = interval.mul_f64(i as f64);
+                        if scheduled >= config.duration {
+                            break;
+                        }
+                        // Open loop: wait for this request's slot.
+                        loop {
+                            let now = start.elapsed();
+                            if now >= scheduled {
+                                break;
+                            }
+                            let wait = scheduled - now;
+                            if wait > Duration::from_micros(200) {
+                                std::thread::sleep(wait - Duration::from_micros(100));
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        let req = traffic[i % traffic.len()];
+                        let t0 = Instant::now();
+                        let _recs = cluster.handle(req);
+                        let elapsed = t0.elapsed();
+                        busy += elapsed;
+                        completed += 1;
+                        let w = ((start.elapsed().as_secs_f64()
+                            / config.window.as_secs_f64())
+                            as usize)
+                            .min(num_windows - 1);
+                        windows[w].record(elapsed);
+                        window_counts[w] += 1;
+                    }
+                    WorkerOut { windows, window_counts, busy, completed }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("load worker")).collect()
+    })
+    .expect("load scope");
+
+    let elapsed = start.elapsed();
+    let mut total = LatencyRecorder::new();
+    let mut windows = Vec::with_capacity(num_windows);
+    for w in 0..num_windows {
+        let mut rec = LatencyRecorder::new();
+        let mut count = 0;
+        for o in &outs {
+            rec.merge(&o.windows[w]);
+            count += o.window_counts[w];
+        }
+        total.merge(&rec);
+        windows.push(LoadWindow {
+            offset: config.window.mul_f64(w as f64),
+            requests: count,
+            latency: rec.summary(),
+        });
+    }
+    let completed: usize = outs.iter().map(|o| o.completed).sum();
+    let busy: Duration = outs.iter().map(|o| o.busy).sum();
+    LoadReport {
+        total: total.summary(),
+        windows,
+        completed,
+        achieved_rps: completed as f64 / elapsed.as_secs_f64(),
+        cores_busy: busy.as_secs_f64() / elapsed.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::rules::BusinessRules;
+    use serenade_core::{Click, SessionIndex};
+
+    fn cluster() -> Arc<ServingCluster> {
+        let mut clicks = Vec::new();
+        for s in 0..40u64 {
+            let ts = 100 + s * 10;
+            clicks.push(Click::new(s + 1, s % 6, ts));
+            clicks.push(Click::new(s + 1, (s + 1) % 6, ts + 1));
+        }
+        let index = Arc::new(SessionIndex::build(&clicks, 500).unwrap());
+        Arc::new(
+            ServingCluster::new(index, 2, EngineConfig::default(), BusinessRules::none())
+                .unwrap(),
+        )
+    }
+
+    fn sessions() -> Vec<Session> {
+        (0..10u64)
+            .map(|i| Session {
+                id: 1_000 + i,
+                items: vec![i % 6, (i + 1) % 6, (i + 2) % 6],
+                start: 0,
+                end: 2,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn requests_interleave_sessions() {
+        let reqs = requests_from_sessions(&sessions());
+        assert_eq!(reqs.len(), 30);
+        // The first 10 requests are the first click of each session.
+        let first_ten: Vec<u64> = reqs[..10].iter().map(|r| r.session_id).collect();
+        let expected: Vec<u64> = (1_000..1_010).collect();
+        assert_eq!(first_ten, expected);
+    }
+
+    #[test]
+    fn load_test_reaches_target_rate() {
+        let cluster = cluster();
+        let traffic = requests_from_sessions(&sessions());
+        let config = LoadGenConfig {
+            target_rps: 400.0,
+            duration: Duration::from_millis(800),
+            workers: 4,
+            window: Duration::from_millis(200),
+        };
+        let report = run_load_test(&cluster, &traffic, config);
+        // ~320 requests expected; allow generous slack for CI noise.
+        assert!(report.completed > 200, "completed = {}", report.completed);
+        assert!(report.achieved_rps > 200.0, "rps = {}", report.achieved_rps);
+        assert!(report.total.is_some());
+        assert_eq!(report.windows.len(), 4);
+        assert!(report.cores_busy > 0.0);
+        let window_sum: usize = report.windows.iter().map(|w| w.requests).sum();
+        assert_eq!(window_sum, report.completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "traffic must not be empty")]
+    fn empty_traffic_is_rejected() {
+        let cluster = cluster();
+        run_load_test(&cluster, &[], LoadGenConfig::default());
+    }
+}

@@ -1,0 +1,89 @@
+//! Sticky-session request routing.
+//!
+//! The paper partitions evolving sessions and their requests over the
+//! serving machines by session identifier, using Kubernetes session
+//! affinity via istio sidecars (Section 4.2). In-process, the same contract
+//! is a deterministic hash of the session id onto a pod index: every request
+//! of a session is guaranteed to reach the same pod, so session state never
+//! needs to move.
+
+/// Deterministic session-id → pod mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct StickyRouter {
+    pods: usize,
+}
+
+impl StickyRouter {
+    /// Creates a router over `pods` serving pods (≥ 1).
+    pub fn new(pods: usize) -> Self {
+        assert!(pods >= 1, "at least one pod required");
+        Self { pods }
+    }
+
+    /// Number of pods.
+    pub fn pods(&self) -> usize {
+        self.pods
+    }
+
+    /// The pod responsible for a session. Stable for the lifetime of the
+    /// router; uniform across pods for hashed ids.
+    #[inline]
+    pub fn route(&self, session_id: u64) -> usize {
+        // SplitMix64 finaliser: full-avalanche, so consecutive session ids
+        // spread uniformly.
+        let mut x = session_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x % self.pods as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic() {
+        let r = StickyRouter::new(3);
+        for sid in 0..100u64 {
+            assert_eq!(r.route(sid), r.route(sid));
+        }
+    }
+
+    #[test]
+    fn routing_is_in_range() {
+        let r = StickyRouter::new(5);
+        assert!((0..10_000u64).all(|sid| r.route(sid) < 5));
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let pods = 4;
+        let r = StickyRouter::new(pods);
+        let mut counts = vec![0usize; pods];
+        let n = 40_000u64;
+        for sid in 0..n {
+            counts[r.route(sid)] += 1;
+        }
+        let expected = n as f64 / pods as f64;
+        for (p, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.05,
+                "pod {p} has {c} of {n} sessions"
+            );
+        }
+    }
+
+    #[test]
+    fn single_pod_takes_everything() {
+        let r = StickyRouter::new(1);
+        assert!((0..100u64).all(|sid| r.route(sid) == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pod")]
+    fn zero_pods_is_rejected() {
+        let _ = StickyRouter::new(0);
+    }
+}

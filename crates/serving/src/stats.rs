@@ -1,0 +1,118 @@
+//! Serving-side observability: per-engine request counters and latency.
+//!
+//! The paper's operational story (Sections 5.2.2–5.2.3, 7) rests on being
+//! able to watch request rate, latency percentiles and core usage per pod.
+//! This module provides the in-process equivalent: a lock-striped stats
+//! collector every [`crate::engine::Engine`] feeds, exposed over HTTP as
+//! `GET /stats` and queryable in-process for the dashboards the benchmarks
+//! print.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serenade_metrics::{LatencyRecorder, LatencySummary};
+
+/// Thread-safe request statistics for one engine/pod.
+#[derive(Debug, Default)]
+pub struct ServingStats {
+    requests: AtomicU64,
+    depersonalised: AtomicU64,
+    empty_responses: AtomicU64,
+    busy_ns: AtomicU64,
+    latency: Mutex<LatencyRecorder>,
+}
+
+/// A point-in-time snapshot of [`ServingStats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests handled since startup.
+    pub requests: u64,
+    /// Requests served in depersonalised (no-consent) mode.
+    pub depersonalised: u64,
+    /// Requests that produced an empty recommendation list.
+    pub empty_responses: u64,
+    /// Total busy time spent inside request handling.
+    pub busy: Duration,
+    /// Latency percentiles, if any requests were recorded.
+    pub latency: Option<LatencySummary>,
+}
+
+impl ServingStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one handled request.
+    pub fn record(&self, elapsed: Duration, depersonalised: bool, response_len: usize) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if depersonalised {
+            self.depersonalised.fetch_add(1, Ordering::Relaxed);
+        }
+        if response_len == 0 {
+            self.empty_responses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.busy_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.latency.lock().record(elapsed);
+    }
+
+    /// Takes a snapshot (percentiles computed on the samples so far).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            depersonalised: self.depersonalised.load(Ordering::Relaxed),
+            empty_responses: self.empty_responses.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
+            latency: self.latency.lock().summary(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ServingStats::new();
+        s.record(Duration::from_micros(100), false, 21);
+        s.record(Duration::from_micros(300), true, 0);
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.depersonalised, 1);
+        assert_eq!(snap.empty_responses, 1);
+        assert_eq!(snap.busy, Duration::from_micros(400));
+        let lat = snap.latency.unwrap();
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.max_us, 300);
+    }
+
+    #[test]
+    fn empty_stats_have_no_latency() {
+        let snap = ServingStats::new().snapshot();
+        assert_eq!(snap.requests, 0);
+        assert!(snap.latency.is_none());
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let s = std::sync::Arc::new(ServingStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        s.record(Duration::from_micros(10), false, 5);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 4_000);
+        assert_eq!(snap.latency.unwrap().count, 4_000);
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a session-similarity index from a click log and compute
+//! next-item recommendations with VMIS-kNN.
+//!
+//! Run: `cargo run -p serenade-bench --release --example quickstart`
+
+use serenade_core::{Click, SessionIndex, VmisConfig, VmisKnn};
+
+fn main() {
+    // A tiny click log: (session_id, item_id, timestamp) tuples — the same
+    // schema as the paper's datasets (Table 1).
+    let clicks = vec![
+        // An older session browsing phones and cases.
+        Click::new(1, 100, 1_000), // phone A
+        Click::new(1, 101, 1_030), // case for A
+        Click::new(1, 102, 1_060), // screen protector
+        // A session browsing phones only.
+        Click::new(2, 100, 2_000),
+        Click::new(2, 103, 2_030), // phone B
+        // A recent session: phone A together with headphones.
+        Click::new(3, 100, 3_000),
+        Click::new(3, 104, 3_030), // headphones
+        Click::new(3, 101, 3_060),
+        // The most recent session: phone B and headphones.
+        Click::new(4, 103, 4_000),
+        Click::new(4, 104, 4_030),
+    ];
+
+    // Offline step: build the (M, t) index. The second argument is m_max,
+    // the per-item posting capacity (paper production setting: 500).
+    let index = SessionIndex::build(&clicks, 500).expect("click log is non-empty");
+    let stats = index.stats();
+    println!(
+        "index: {} sessions, {} items, {} posting entries",
+        stats.num_sessions, stats.num_items, stats.posting_entries
+    );
+
+    // Online step: a user is browsing phone A and just clicked the case.
+    let vmis = VmisKnn::new(index, VmisConfig::default()).expect("valid config");
+    let evolving_session = [100, 101];
+    let recommendations = vmis.recommend(&evolving_session);
+
+    println!("\nsession {evolving_session:?} -> recommendations:");
+    for rec in &recommendations {
+        println!("  item {:>4}  score {:.4}", rec.item, rec.score);
+    }
+
+    // The depersonalised variant (no consent): current item only.
+    let mut scratch = vmis.scratch();
+    let depersonalised = vmis.recommend_depersonalised(100, &mut scratch);
+    println!("\ndepersonalised for item 100:");
+    for rec in depersonalised.iter().take(3) {
+        println!("  item {:>4}  score {:.4}", rec.item, rec.score);
+    }
+}

@@ -1,0 +1,103 @@
+//! Prediction-quality ordering tests — the directional claims of §5.1.1 on
+//! the synthetic workload. These are statistical statements, so they run on
+//! a fixed seed with comfortable margins rather than knife-edge thresholds.
+
+use std::sync::Arc;
+
+use serenade_baselines::itemknn::{ItemKnn, ItemKnnConfig};
+use serenade_baselines::Popularity;
+use serenade_core::{Recommender, SessionIndex, VmisConfig, VmisKnn};
+use serenade_dataset::{generate, split_last_days, EvaluationSplit, SyntheticConfig};
+use serenade_metrics::{evaluate_parallel, EvalConfig, EvalResult};
+
+fn split() -> EvaluationSplit {
+    let dataset = generate(&SyntheticConfig::ecom_1m().scaled(0.02));
+    split_last_days(&dataset.clicks, 1)
+}
+
+fn eval<R: Recommender>(rec: &R, split: &EvaluationSplit) -> EvalResult {
+    let cfg = EvalConfig { cutoff: 20, max_events: Some(2_000), record_latency: false };
+    evaluate_parallel(rec, &split.test, &cfg, 4)
+}
+
+#[test]
+fn vmis_knn_beats_popularity_and_itemknn() {
+    let split = split();
+    let index = Arc::new(SessionIndex::build(&split.train, 500).unwrap());
+    let vmis = VmisKnn::new(index, VmisConfig::default()).unwrap();
+    let popularity = Popularity::fit(&split.train);
+    let itemknn = ItemKnn::fit(&split.train, ItemKnnConfig::default());
+
+    let r_vmis = eval(&vmis, &split);
+    let r_pop = eval(&popularity, &split);
+    let r_item = eval(&itemknn, &split);
+
+    assert!(
+        r_vmis.mrr > r_pop.mrr * 1.2,
+        "vmis MRR {:.4} should clearly beat popularity {:.4}",
+        r_vmis.mrr,
+        r_pop.mrr
+    );
+    // Against the legacy item-to-item system, session-based kNN wins on the
+    // list-level metrics (which drive the paper's slot-engagement result);
+    // on this synthetic substrate item-knn keeps a small MRR edge because
+    // transitions are more Markovian than real traffic (see EXPERIMENTS.md).
+    assert!(
+        r_vmis.hit_rate > r_item.hit_rate,
+        "vmis HR {:.4} should beat item-knn {:.4} (the paper's legacy system)",
+        r_vmis.hit_rate,
+        r_item.hit_rate
+    );
+    assert!(
+        r_vmis.precision > r_item.precision,
+        "vmis Prec {:.4} vs item-knn {:.4}",
+        r_vmis.precision,
+        r_item.precision
+    );
+    assert!(
+        r_vmis.recall > r_pop.recall,
+        "vmis recall {:.4} vs popularity {:.4}",
+        r_vmis.recall,
+        r_pop.recall
+    );
+}
+
+#[test]
+fn recency_sampling_matters_under_drift() {
+    // With day-level popularity drift, a small-m (recent sessions only)
+    // model must not collapse versus using the entire history: the index's
+    // recency bias is the point of the m parameter. We check that a
+    // recency-sampled model stays within a whisker of (or beats) a much
+    // larger unsampled candidate set.
+    let split = split();
+    let index = Arc::new(SessionIndex::build(&split.train, 2_000).unwrap());
+    let mut small = VmisConfig::default();
+    small.m = 100;
+    small.k = 50;
+    let mut large = VmisConfig::default();
+    large.m = 2_000;
+    large.k = 50;
+    let small_model = VmisKnn::new(Arc::clone(&index), small).unwrap();
+    let large_model = VmisKnn::new(index, large).unwrap();
+    let r_small = eval(&small_model, &split);
+    let r_large = eval(&large_model, &split);
+    assert!(
+        r_small.mrr > r_large.mrr * 0.8,
+        "recency sample m=100 (MRR {:.4}) must stay competitive with m=2000 ({:.4})",
+        r_small.mrr,
+        r_large.mrr
+    );
+}
+
+#[test]
+fn longer_session_context_helps_over_popularity_everywhere() {
+    // The hit rate must be meaningfully positive — the synthetic coherence
+    // makes next items predictable, and VMIS-kNN must pick that signal up.
+    let split = split();
+    let index = Arc::new(SessionIndex::build(&split.train, 500).unwrap());
+    let vmis = VmisKnn::new(index, VmisConfig::default()).unwrap();
+    let r = eval(&vmis, &split);
+    assert!(r.hit_rate > 0.25, "hit rate {:.4}", r.hit_rate);
+    assert!(r.mrr > 0.05, "MRR {:.4}", r.mrr);
+    assert!(r.events >= 500);
+}
