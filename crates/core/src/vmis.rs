@@ -175,6 +175,14 @@ pub struct Scratch {
 }
 
 impl Scratch {
+    /// Creates scratch buffers sized for the default configuration. Buffers
+    /// grow on demand, so a `Scratch` works with any [`VmisKnn`]; sizing for
+    /// the actual config ([`Scratch::for_config`]) merely avoids the first
+    /// few reallocations.
+    pub fn new() -> Self {
+        Self::for_config(&VmisConfig::default())
+    }
+
     /// Creates scratch buffers sized for `config`.
     pub fn for_config(config: &VmisConfig) -> Self {
         let d = config.heap_arity.d();
@@ -197,6 +205,12 @@ impl Scratch {
         self.scores.clear();
         self.neighbors.clear();
         self.out.clear();
+    }
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

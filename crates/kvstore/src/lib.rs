@@ -15,7 +15,9 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod session;
 pub mod store;
 
 pub use clock::{Clock, ManualClock, SystemClock};
+pub use session::SessionStore;
 pub use store::{StoreConfig, StoreStats, TtlStore};

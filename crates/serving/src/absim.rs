@@ -23,7 +23,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use serenade_core::{ItemId, Recommender};
+use serenade_core::{ItemId, Recommender, Scratch};
 use serenade_dataset::Session;
 use serenade_metrics::{LatencyRecorder, LatencySummary};
 
@@ -170,6 +170,9 @@ pub fn run_ab_test(
         })
         .collect();
     let mut hourly = Vec::with_capacity(config.days as usize * 24);
+    // The simulation is single-threaded, so one scratch serves every
+    // recommendation call; VMIS-kNN variants skip per-call allocation.
+    let mut scratch = Scratch::new();
 
     for day in 0..config.days {
         for hour in 0..24u32 {
@@ -192,12 +195,16 @@ pub fn run_ab_test(
                     let view = variant.view.apply(prefix);
 
                     let t0 = Instant::now();
-                    let slot = variant.recommender.recommend(view, config.how_many);
+                    let slot =
+                        variant.recommender.recommend_with(view, config.how_many, &mut scratch);
                     recorder.record(t0.elapsed());
                     requests += 1;
 
-                    let other =
-                        other_slot.recommend(&prefix[prefix.len() - 1..], config.how_many);
+                    let other = other_slot.recommend_with(
+                        &prefix[prefix.len() - 1..],
+                        config.how_many,
+                        &mut scratch,
+                    );
 
                     reports[arm].events += 1;
                     let slot_hit = slot.iter().any(|r| r.item == next);

@@ -1,16 +1,24 @@
 //! A multi-pod serving cluster behind a sticky router.
 //!
 //! Mirrors the production deployment (Figure 1, right): every pod holds a
-//! replica of the session-similarity index (shared here via `Arc` — the
-//! in-process analogue of index replication) and its own partition of the
+//! replica of the session-similarity index and its own partition of the
 //! evolving-session state. The router guarantees stickiness, so a pod only
 //! ever sees its own sessions.
+//!
+//! Index replication is modelled with one shared [`IndexHandle`]: the daily
+//! rollover ([`ServingCluster::reload_index`]) builds the `VmisKnn` exactly
+//! once and publishes it atomically to every pod — there is no per-pod
+//! rebuild and no window where pods serve from different index versions.
+//! If the build or validation fails, nothing is published and every pod
+//! keeps serving the old index.
 
 use std::sync::Arc;
 
-use serenade_core::{CoreError, ItemScore, SessionIndex};
+use serenade_core::{CoreError, ItemScore, SessionIndex, VmisKnn};
 
-use crate::engine::{Engine, EngineConfig, RecommendRequest};
+use crate::context::RequestContext;
+use crate::engine::{build_recommender, Engine, EngineConfig, RecommendRequest};
+use crate::handle::IndexHandle;
 use crate::router::StickyRouter;
 use crate::rules::BusinessRules;
 
@@ -18,30 +26,42 @@ use crate::rules::BusinessRules;
 pub struct ServingCluster {
     pods: Vec<Arc<Engine>>,
     router: StickyRouter,
+    index: Arc<IndexHandle<VmisKnn>>,
+    config: EngineConfig,
 }
 
 impl ServingCluster {
-    /// Builds a cluster of `pods` engines sharing one index replica handle.
+    /// Builds a cluster of `pods` engines sharing one published index
+    /// (built once, here) while each keeps its own session store.
     pub fn new(
         index: Arc<SessionIndex>,
         pods: usize,
         config: EngineConfig,
         rules: BusinessRules,
     ) -> Result<Self, CoreError> {
+        let vmis = Arc::new(build_recommender(index, &config)?);
+        let handle = Arc::new(IndexHandle::new(vmis));
         let mut engines = Vec::with_capacity(pods);
         for _ in 0..pods {
-            engines.push(Arc::new(Engine::new(
-                Arc::clone(&index),
+            engines.push(Arc::new(Engine::with_shared_index(
+                Arc::clone(&handle),
                 config.clone(),
                 rules.clone(),
-            )?));
+            )));
         }
-        Ok(Self { pods: engines, router: StickyRouter::new(pods) })
+        Ok(Self { pods: engines, router: StickyRouter::new(pods), index: handle, config })
     }
 
-    /// Handles a request on the responsible pod.
+    /// Handles a request on the responsible pod with a per-thread context.
+    /// Prefer [`ServingCluster::handle_with`] on worker threads.
     pub fn handle(&self, req: RecommendRequest) -> Vec<ItemScore> {
         self.pod_for(req.session_id).handle(req)
+    }
+
+    /// Handles a request on the responsible pod, reusing the caller's
+    /// per-worker [`RequestContext`].
+    pub fn handle_with(&self, req: RecommendRequest, ctx: &mut RequestContext) -> Vec<ItemScore> {
+        self.pod_for(req.session_id).handle_with(req, ctx)
     }
 
     /// The pod a session is routed to.
@@ -64,12 +84,14 @@ impl ServingCluster {
         self.pods.iter().map(|p| p.evict_expired_sessions()).sum()
     }
 
-    /// Replicates a freshly built index to every pod (the daily rollover of
-    /// Figure 1's "index replication" arrow). Session state survives.
-    pub fn reload_index(&self, index: Arc<SessionIndex>) -> Result<(), serenade_core::CoreError> {
-        for pod in &self.pods {
-            pod.swap_index(Arc::clone(&index))?;
-        }
+    /// The daily rollover (Figure 1's "index replication" arrow): builds
+    /// the recommender from `index` exactly once and publishes it to all
+    /// pods atomically. Readers never block, in-flight requests finish on
+    /// the version they loaded, and session state survives. On error, no
+    /// pod is moved off the old index.
+    pub fn reload_index(&self, index: Arc<SessionIndex>) -> Result<(), CoreError> {
+        let fresh = Arc::new(build_recommender(index, &self.config)?);
+        self.index.store(fresh);
         Ok(())
     }
 }
@@ -135,6 +157,16 @@ mod tests {
     }
 
     #[test]
+    fn handle_with_matches_handle() {
+        let a = cluster(3);
+        let b = cluster(3);
+        let mut ctx = RequestContext::new();
+        for sid in 0..10u64 {
+            assert_eq!(a.handle_with(req(sid, sid % 6), &mut ctx), b.handle(req(sid, sid % 6)));
+        }
+    }
+
+    #[test]
     fn eviction_sweep_runs_on_all_pods() {
         let c = cluster(2);
         for sid in 0..10u64 {
@@ -143,6 +175,19 @@ mod tests {
         // Nothing has expired (default 30-minute TTL).
         assert_eq!(c.evict_expired_sessions(), 0);
         assert_eq!(c.live_sessions(), 10);
+    }
+
+    #[test]
+    fn pods_share_one_index_version() {
+        let c = cluster(4);
+        let expected = Arc::as_ptr(&c.pods()[0].index_handle().load());
+        for pod in c.pods() {
+            assert_eq!(
+                Arc::as_ptr(&pod.index_handle().load()),
+                expected,
+                "all pods must serve the same index instance",
+            );
+        }
     }
 }
 
@@ -189,6 +234,49 @@ mod rollover_tests {
     }
 
     #[test]
+    fn rollover_publishes_to_every_pod_at_once() {
+        let c = ServingCluster::new(
+            make_index(0),
+            3,
+            EngineConfig::default(),
+            BusinessRules::none(),
+        )
+        .unwrap();
+        c.reload_index(make_index(2)).unwrap();
+        let published = Arc::as_ptr(&c.pods()[0].index_handle().load());
+        for pod in c.pods() {
+            assert_eq!(Arc::as_ptr(&pod.index_handle().load()), published);
+        }
+    }
+
+    #[test]
+    fn failed_rollover_leaves_every_pod_on_the_old_index() {
+        let c = ServingCluster::new(
+            make_index(0),
+            3,
+            EngineConfig::default(),
+            BusinessRules::none(),
+        )
+        .unwrap();
+        let before: Vec<_> = (0..6u64).map(|i| c.handle(req(100 + i, i % 6))).collect();
+        let old = Arc::as_ptr(&c.pods()[0].index_handle().load());
+
+        // A broken artefact: posting capacity m_max = 2 cannot satisfy the
+        // configured sample size m = 500, so validation rejects it.
+        let clicks =
+            vec![Click::new(1, 0, 10), Click::new(1, 1, 11), Click::new(2, 0, 20)];
+        let broken = Arc::new(SessionIndex::build(&clicks, 2).unwrap());
+        c.reload_index(broken).expect_err("validation must reject the artefact");
+
+        // Atomic from the caller's view: no pod moved.
+        for pod in c.pods() {
+            assert_eq!(Arc::as_ptr(&pod.index_handle().load()), old);
+        }
+        let after: Vec<_> = (0..6u64).map(|i| c.handle(req(200 + i, i % 6))).collect();
+        assert_eq!(before, after, "predictions must be unchanged on every pod");
+    }
+
+    #[test]
     fn requests_keep_flowing_during_concurrent_rollovers() {
         let c = Arc::new(
             ServingCluster::new(
@@ -211,8 +299,9 @@ mod rollover_tests {
             .map(|sid| {
                 let c = Arc::clone(&c);
                 std::thread::spawn(move || {
+                    let mut ctx = RequestContext::new();
                     for i in 0..100u64 {
-                        let recs = c.handle(req(sid, i % 6));
+                        let recs = c.handle_with(req(sid, i % 6), &mut ctx);
                         assert!(recs.len() <= 21);
                     }
                 })
@@ -223,5 +312,89 @@ mod rollover_tests {
             w.join().unwrap();
         }
         assert_eq!(c.live_sessions(), 4);
+    }
+
+    #[test]
+    fn hot_swap_readers_observe_consistent_versions() {
+        // Requests racing reload_index: every response must come from one
+        // coherent index version (old or new), never a torn mixture, and
+        // readers must keep making progress while swaps happen.
+        let c = Arc::new(
+            ServingCluster::new(
+                make_index(0),
+                1,
+                EngineConfig::default(),
+                BusinessRules::none(),
+            )
+            .unwrap(),
+        );
+        let indices: Vec<_> = (0..4u64).map(make_index).collect();
+        // Expected response per index version, per probe item.
+        let expectations: Vec<Vec<_>> = indices
+            .iter()
+            .map(|idx| {
+                let probe = ServingCluster::new(
+                    Arc::clone(idx),
+                    1,
+                    EngineConfig::default(),
+                    BusinessRules::none(),
+                )
+                .unwrap();
+                (0..6u64).map(|item| probe.handle(req(item + 1, item))).collect()
+            })
+            .collect();
+
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        let stop = Arc::new(AtomicBool::new(false));
+        let progress: Arc<Vec<AtomicU64>> =
+            Arc::new((0..3).map(|_| AtomicU64::new(0)).collect());
+        let readers: Vec<_> = (0..3u64)
+            .map(|r| {
+                let c = Arc::clone(&c);
+                let stop = Arc::clone(&stop);
+                let progress = Arc::clone(&progress);
+                let expectations = expectations.clone();
+                std::thread::spawn(move || {
+                    let mut ctx = RequestContext::new();
+                    let mut reads = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let item = reads % 6;
+                        // Depersonalised requests leave no session state, so
+                        // every response is a pure function of (item, index).
+                        let recs = c.handle_with(
+                            RecommendRequest {
+                                session_id: 1_000 + r,
+                                item,
+                                consent: false,
+                                filter_adult: false,
+                            },
+                            &mut ctx,
+                        );
+                        assert!(
+                            expectations.iter().any(|e| e[item as usize] == recs),
+                            "response must match exactly one published version",
+                        );
+                        reads += 1;
+                        progress[r as usize].store(reads, Ordering::Relaxed);
+                    }
+                    reads
+                })
+            })
+            .collect();
+        // Keep swapping until every reader has made progress *while swaps
+        // were in flight* — a fixed swap count can finish before the reader
+        // threads are even scheduled.
+        let mut round = 0u64;
+        loop {
+            c.reload_index(Arc::clone(&indices[(round % 4) as usize])).unwrap();
+            round += 1;
+            if round >= 200 && progress.iter().all(|p| p.load(Ordering::Relaxed) > 0) {
+                break;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "readers must not be blocked by swaps");
+        }
     }
 }

@@ -1,0 +1,82 @@
+//! Per-worker request state threaded through `http → cluster → engine`.
+//!
+//! Each HTTP worker (and each load-generator or simulator thread) owns one
+//! [`RequestContext`]: the VMIS-kNN scratch buffers, the session-view
+//! buffer, and the per-stage timings of the last handled request. Because
+//! the context is exclusively borrowed for the duration of a request, the
+//! hot path shares no mutable state between workers — the seed's global
+//! scratch-pool mutex is gone.
+
+use std::time::Duration;
+
+use serenade_core::{ItemId, Scratch};
+
+/// Wall-clock time spent in each stage of the serving pipeline for one
+/// request (see `crate::engine::Engine::handle_with` for the stages).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Session layer: evolving-session update and view extraction.
+    pub session: Duration,
+    /// Prediction layer: VMIS-kNN over the session view.
+    pub predict: Duration,
+    /// Policy layer: business rules, truncation, bookkeeping.
+    pub policy: Duration,
+}
+
+impl StageTimings {
+    /// Total time across the three stages.
+    pub fn total(&self) -> Duration {
+        self.session + self.predict + self.policy
+    }
+}
+
+/// Reusable per-worker state for request handling. Create one per worker
+/// thread and pass it to every `handle_with` call; steady-state requests
+/// then allocate nothing.
+#[derive(Debug, Default)]
+pub struct RequestContext {
+    /// VMIS-kNN scratch buffers (grow to a high-water mark, then stabilise).
+    pub(crate) scratch: Scratch,
+    /// The session view handed from the session stage to the prediction
+    /// stage.
+    pub(crate) view: Vec<ItemId>,
+    /// Per-stage timings of the most recent request.
+    timings: StageTimings,
+}
+
+impl RequestContext {
+    /// Creates a fresh context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-stage timings of the most recently handled request.
+    pub fn last_timings(&self) -> StageTimings {
+        self.timings
+    }
+
+    pub(crate) fn set_timings(&mut self, timings: StageTimings) {
+        self.timings = timings;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_total_sums_stages() {
+        let t = StageTimings {
+            session: Duration::from_micros(10),
+            predict: Duration::from_micros(200),
+            policy: Duration::from_micros(5),
+        };
+        assert_eq!(t.total(), Duration::from_micros(215));
+    }
+
+    #[test]
+    fn fresh_context_reports_zero_timings() {
+        let ctx = RequestContext::new();
+        assert_eq!(ctx.last_timings(), StageTimings::default());
+    }
+}

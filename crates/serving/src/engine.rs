@@ -1,23 +1,36 @@
 //! The per-pod recommendation engine.
 //!
-//! Handles one shop-frontend request end to end (Section 4.2): update the
-//! evolving session in the machine-local TTL store, run VMIS-kNN over the
-//! configured view of the session, apply business rules, and return the 21
-//! items the product-detail-page slot needs.
+//! Handles one shop-frontend request end to end (Section 4.2) as a
+//! three-stage pipeline — see [`Engine::handle_with`]:
+//!
+//! 1. **Session stage** — update the evolving session in the pod's
+//!    [`SessionStore`] and extract the configured view of it.
+//! 2. **Prediction stage** — run VMIS-kNN over the view, against the
+//!    currently published index.
+//! 3. **Policy stage** — apply business rules and truncate to the 21 items
+//!    the product-detail-page slot needs.
 //!
 //! The two session views of the A/B test are first-class: `serenade-hist`
 //! predicts from the last *two* items of the evolving session and
 //! `serenade-recent` from the most recent item only (Section 5.2.3). Users
 //! without personalisation consent get the depersonalised variant, which
 //! uses only the currently displayed item and stores nothing.
+//!
+//! The engine is generic over its session store (defaulting to the sharded
+//! [`TtlStore`]) and reads the recommender through a lock-free
+//! [`IndexHandle`], which the daily rollover publishes to — the request
+//! path takes no lock besides the store's per-shard mutex.
 
-use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
-use serenade_core::{CoreError, ItemId, ItemScore, Scratch, SessionIndex, VmisConfig, VmisKnn};
-use serenade_kvstore::{StoreConfig, TtlStore};
+use serenade_core::{CoreError, ItemId, ItemScore, SessionIndex, VmisConfig, VmisKnn};
+use serenade_kvstore::{SessionStore, StoreConfig, TtlStore};
+use std::cell::RefCell;
 use std::sync::Arc;
+use std::time::Instant;
 
+use crate::context::{RequestContext, StageTimings};
+use crate::handle::IndexHandle;
 use crate::rules::BusinessRules;
 use crate::stats::ServingStats;
 
@@ -72,55 +85,83 @@ pub struct RecommendRequest {
     pub filter_adult: bool,
 }
 
+/// Builds the serving recommender for `config` over a session index. The
+/// engine owns the final list length; the algorithm is asked for a few
+/// extra items so business-rule filtering does not starve slots.
+pub(crate) fn build_recommender(
+    index: Arc<SessionIndex>,
+    config: &EngineConfig,
+) -> Result<VmisKnn, CoreError> {
+    let mut vmis_cfg = config.vmis.clone();
+    vmis_cfg.how_many = config.how_many * 2;
+    VmisKnn::new(index, vmis_cfg)
+}
+
 /// A stateful recommendation engine — one per serving pod.
 ///
-/// The recommender is held behind a reader-writer lock so the daily index
-/// rollover (Section 4.1: the offline job rebuilds the index once per day
-/// and the pods ingest the new artefact) can swap it in without downtime —
-/// see [`Engine::swap_index`]. Requests clone the `Arc` under a read lock,
-/// so in-flight requests finish against the index they started with.
-pub struct Engine {
-    vmis: RwLock<Arc<VmisKnn>>,
+/// Generic over the session store `S` so the request path is written purely
+/// against the [`SessionStore`] contract; the default is the sharded
+/// in-memory [`TtlStore`]. The recommender is read through a shared
+/// [`IndexHandle`]: the daily rollover (Section 4.1) builds the new index
+/// once and publishes it atomically to every pod holding the handle, and
+/// readers never block — in-flight requests finish against the index they
+/// started with.
+pub struct Engine<S: SessionStore<u64, Vec<ItemId>> = TtlStore<u64, Vec<ItemId>>> {
+    index: Arc<IndexHandle<VmisKnn>>,
     rules: BusinessRules,
-    sessions: TtlStore<u64, Vec<ItemId>>,
-    scratch_pool: Mutex<Vec<Scratch>>,
+    sessions: S,
     config: EngineConfig,
     stats: ServingStats,
 }
 
 impl Engine {
-    /// Creates an engine over a (replicated) session index.
+    /// Creates a standalone engine over a session index, with its own
+    /// default [`TtlStore`] and a private index handle.
     pub fn new(
         index: Arc<SessionIndex>,
         config: EngineConfig,
         rules: BusinessRules,
     ) -> Result<Self, CoreError> {
-        let mut vmis_cfg = config.vmis.clone();
-        // The engine owns the final list length; ask the algorithm for a
-        // few extra items so business-rule filtering does not starve slots.
-        vmis_cfg.how_many = config.how_many * 2;
-        let vmis = VmisKnn::new(index, vmis_cfg)?;
-        Ok(Self {
-            sessions: TtlStore::new(config.store),
-            scratch_pool: Mutex::new(Vec::new()),
-            vmis: RwLock::new(Arc::new(vmis)),
-            rules,
-            config,
-            stats: ServingStats::new(),
-        })
+        let vmis = Arc::new(build_recommender(index, &config)?);
+        Ok(Self::with_shared_index(Arc::new(IndexHandle::new(vmis)), config, rules))
     }
 
-    /// Swaps in a freshly built index (the daily rollover) without
-    /// interrupting request handling. The engine keeps its configuration;
-    /// evolving-session state is untouched — exactly the production
-    /// behaviour, where the serving pods reload the artefact the Spark job
-    /// shipped overnight.
+    /// Creates an engine with a default [`TtlStore`] that reads the
+    /// recommender from `index` — typically a handle shared by every pod of
+    /// a cluster, so one rollover publication reaches them all.
+    pub fn with_shared_index(
+        index: Arc<IndexHandle<VmisKnn>>,
+        config: EngineConfig,
+        rules: BusinessRules,
+    ) -> Self {
+        let sessions = TtlStore::new(config.store);
+        Engine::with_store(index, sessions, config, rules)
+    }
+}
+
+impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
+    /// Creates an engine over an explicit session store implementation.
+    pub fn with_store(
+        index: Arc<IndexHandle<VmisKnn>>,
+        sessions: S,
+        config: EngineConfig,
+        rules: BusinessRules,
+    ) -> Self {
+        Self { index, rules, sessions, config, stats: ServingStats::new() }
+    }
+
+    /// Builds a fresh recommender from `index` and publishes it to this
+    /// engine's index handle (shared handles propagate to all holders).
+    /// On error nothing is published and serving continues on the old index.
     pub fn swap_index(&self, index: Arc<SessionIndex>) -> Result<(), CoreError> {
-        let mut vmis_cfg = self.config.vmis.clone();
-        vmis_cfg.how_many = self.config.how_many * 2;
-        let fresh = Arc::new(VmisKnn::new(index, vmis_cfg)?);
-        *self.vmis.write() = fresh;
+        let fresh = Arc::new(build_recommender(index, &self.config)?);
+        self.index.store(fresh);
         Ok(())
+    }
+
+    /// The engine's index handle (shared with the publishing side).
+    pub fn index_handle(&self) -> &Arc<IndexHandle<VmisKnn>> {
+        &self.index
     }
 
     /// The engine's configuration.
@@ -128,47 +169,77 @@ impl Engine {
         &self.config
     }
 
-    /// Handles one frontend request: session update + prediction + rules.
+    /// Handles one frontend request through the three-stage pipeline,
+    /// reusing the caller's per-worker [`RequestContext`]. Per-stage
+    /// timings are recorded into the pod's stats and left on the context.
+    pub fn handle_with(&self, req: RecommendRequest, ctx: &mut RequestContext) -> Vec<ItemScore> {
+        let started = Instant::now();
+        self.session_stage(&req, ctx);
+        let session_done = Instant::now();
+        let mut recs = self.prediction_stage(ctx);
+        let predict_done = Instant::now();
+        self.policy_stage(&mut recs, req.filter_adult);
+        let timings = StageTimings {
+            session: session_done - started,
+            predict: predict_done - session_done,
+            policy: predict_done.elapsed(),
+        };
+        ctx.set_timings(timings);
+        self.stats.record(timings, !req.consent, recs.len());
+        recs
+    }
+
+    /// Handles one request with a per-thread context. Convenience wrapper
+    /// over [`Engine::handle_with`] for callers without worker state.
     pub fn handle(&self, req: RecommendRequest) -> Vec<ItemScore> {
-        let started = std::time::Instant::now();
-        let session_view: Vec<ItemId> = if req.consent {
+        thread_local! {
+            static CTX: RefCell<RequestContext> = RefCell::new(RequestContext::new());
+        }
+        CTX.with(|ctx| self.handle_with(req, &mut ctx.borrow_mut()))
+    }
+
+    /// Session stage: update the evolving session (or drop it, for
+    /// no-consent requests) and write the configured view into `ctx`.
+    fn session_stage(&self, req: &RecommendRequest, ctx: &mut RequestContext) {
+        let view = &mut ctx.view;
+        view.clear();
+        if req.consent {
             let max_len = self.config.max_stored_session_len;
             let variant = self.config.variant;
-            self.sessions.update_or_insert(
-                req.session_id,
-                Vec::new,
-                |items| {
-                    items.push(req.item);
-                    if items.len() > max_len {
-                        let excess = items.len() - max_len;
-                        items.drain(..excess);
+            let item = req.item;
+            self.sessions.update_or_insert(req.session_id, Vec::new, |items| {
+                items.push(item);
+                if items.len() > max_len {
+                    let excess = items.len() - max_len;
+                    items.drain(..excess);
+                }
+                match variant {
+                    ServingVariant::Hist(n) => {
+                        view.extend_from_slice(&items[items.len().saturating_sub(n)..]);
                     }
-                    match variant {
-                        ServingVariant::Hist(n) => {
-                            items[items.len().saturating_sub(n)..].to_vec()
-                        }
-                        ServingVariant::Recent => vec![*items.last().expect("just pushed")],
-                        ServingVariant::Full => items.clone(),
-                    }
-                },
-            )
+                    ServingVariant::Recent => view.push(*items.last().expect("just pushed")),
+                    ServingVariant::Full => view.extend_from_slice(items),
+                }
+            });
         } else {
             // Depersonalised: predict from the displayed item only, and drop
             // any previously stored state for this session.
             self.sessions.remove(&req.session_id);
-            vec![req.item]
-        };
+            view.push(req.item);
+        }
+    }
 
-        // Pin the current index replica for the duration of this request.
-        let vmis = Arc::clone(&self.vmis.read());
-        let mut scratch = self.scratch_pool.lock().pop().unwrap_or_else(|| vmis.scratch());
-        let mut recs = vmis.recommend_with_scratch(&session_view, &mut scratch);
-        self.scratch_pool.lock().push(scratch);
+    /// Prediction stage: VMIS-kNN over the session view, against the index
+    /// version published at this instant.
+    fn prediction_stage(&self, ctx: &mut RequestContext) -> Vec<ItemScore> {
+        let vmis = self.index.load();
+        vmis.recommend_with_scratch(&ctx.view, &mut ctx.scratch)
+    }
 
-        self.rules.apply(&mut recs, req.filter_adult);
+    /// Policy stage: business rules, then truncation to the response size.
+    fn policy_stage(&self, recs: &mut Vec<ItemScore>, filter_adult: bool) {
+        self.rules.apply(recs, filter_adult);
         recs.truncate(self.config.how_many);
-        self.stats.record(started.elapsed(), !req.consent, recs.len());
-        recs
     }
 
     /// Request/latency statistics of this pod.
@@ -178,12 +249,12 @@ impl Engine {
 
     /// Number of clicks currently stored for a session.
     pub fn stored_session_len(&self, session_id: u64) -> usize {
-        self.sessions.with_value(&session_id, |v| v.len()).unwrap_or(0)
+        self.sessions.with_value(&session_id, Vec::len).unwrap_or(0)
     }
 
     /// Count of live sessions on this pod.
     pub fn live_sessions(&self) -> usize {
-        self.sessions.stats().live_entries
+        self.sessions.live_entries()
     }
 
     /// Sweeps expired sessions (the paper's 30-minute-inactivity cleanup).
@@ -306,8 +377,9 @@ mod tests {
             .map(|sid| {
                 let e = Arc::clone(&e);
                 std::thread::spawn(move || {
+                    let mut ctx = RequestContext::new();
                     for i in 0..20 {
-                        e.handle(req(sid, (sid + i) % 5));
+                        e.handle_with(req(sid, (sid + i) % 5), &mut ctx);
                     }
                 })
             })
@@ -319,6 +391,122 @@ mod tests {
         for sid in 0..8u64 {
             assert_eq!(e.stored_session_len(sid), 20);
         }
+    }
+
+    #[test]
+    fn per_stage_timings_reach_stats_and_context() {
+        let e = engine(ServingVariant::Full, BusinessRules::none());
+        let mut ctx = RequestContext::new();
+        for i in 0..5 {
+            e.handle_with(req(1, i % 5), &mut ctx);
+        }
+        let timings = ctx.last_timings();
+        assert_eq!(
+            timings.total(),
+            timings.session + timings.predict + timings.policy,
+        );
+        let snap = e.stats();
+        assert_eq!(snap.requests, 5);
+        assert_eq!(snap.latency.unwrap().count, 5);
+        assert_eq!(snap.session_latency.unwrap().count, 5);
+        assert_eq!(snap.predict_latency.unwrap().count, 5);
+        assert_eq!(snap.policy_latency.unwrap().count, 5);
+    }
+
+    #[test]
+    fn handle_with_matches_handle() {
+        let a = engine(ServingVariant::Full, BusinessRules::none());
+        let b = engine(ServingVariant::Full, BusinessRules::none());
+        let mut ctx = RequestContext::new();
+        for i in 0..6u64 {
+            assert_eq!(a.handle_with(req(3, i % 5), &mut ctx), b.handle(req(3, i % 5)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod store_abstraction_tests {
+    //! The engine must run unchanged over any [`SessionStore`] — exercised
+    //! here with a deliberately naive mutex-over-hashmap store.
+
+    use super::*;
+    use parking_lot::Mutex;
+    use serenade_core::Click;
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct NaiveStore {
+        map: Mutex<HashMap<u64, Vec<ItemId>>>,
+    }
+
+    impl SessionStore<u64, Vec<ItemId>> for NaiveStore {
+        fn update_or_insert<T>(
+            &self,
+            key: u64,
+            default: impl FnOnce() -> Vec<ItemId>,
+            f: impl FnOnce(&mut Vec<ItemId>) -> T,
+        ) -> T {
+            f(self.map.lock().entry(key).or_insert_with(default))
+        }
+
+        fn with_value<T>(&self, key: &u64, f: impl FnOnce(&Vec<ItemId>) -> T) -> Option<T> {
+            self.map.lock().get(key).map(f)
+        }
+
+        fn remove(&self, key: &u64) -> Option<Vec<ItemId>> {
+            self.map.lock().remove(key)
+        }
+
+        fn contains(&self, key: &u64) -> bool {
+            self.map.lock().contains_key(key)
+        }
+
+        fn evict_expired(&self) -> usize {
+            0 // never expires
+        }
+
+        fn live_entries(&self) -> usize {
+            self.map.lock().len()
+        }
+
+        fn clear(&self) {
+            self.map.lock().clear()
+        }
+    }
+
+    #[test]
+    fn engine_runs_on_any_session_store() {
+        let mut clicks = Vec::new();
+        for s in 0..30u64 {
+            let ts = 100 + s * 10;
+            clicks.push(Click::new(s + 1, s % 5, ts));
+            clicks.push(Click::new(s + 1, (s + 1) % 5, ts + 1));
+        }
+        let index = Arc::new(SessionIndex::build(&clicks, 500).unwrap());
+        let config = EngineConfig {
+            variant: ServingVariant::Full,
+            how_many: 3,
+            ..Default::default()
+        };
+        let vmis = Arc::new(build_recommender(Arc::clone(&index), &config).unwrap());
+        let naive: Engine<NaiveStore> = Engine::with_store(
+            Arc::new(IndexHandle::new(vmis)),
+            NaiveStore::default(),
+            config.clone(),
+            BusinessRules::none(),
+        );
+        let ttl = Engine::new(index, config, BusinessRules::none()).unwrap();
+        for i in 0..6u64 {
+            let r = RecommendRequest {
+                session_id: 1,
+                item: i % 5,
+                consent: true,
+                filter_adult: false,
+            };
+            assert_eq!(naive.handle(r), ttl.handle(r), "store choice must not change results");
+        }
+        assert_eq!(naive.live_sessions(), 1);
+        assert_eq!(naive.stored_session_len(1), 6);
     }
 }
 

@@ -27,8 +27,14 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, Receiver, Sender};
 
 use crate::cluster::ServingCluster;
+use crate::context::RequestContext;
 use crate::engine::RecommendRequest;
 use crate::json::{self, JsonValue};
+
+/// Largest request body accepted; bigger requests get `413` and the
+/// connection is closed (the unread body would desynchronise keep-alive
+/// framing otherwise).
+const MAX_BODY_BYTES: usize = 1 << 20;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -67,8 +73,12 @@ impl HttpServer {
             let cluster = Arc::clone(&cluster);
             let stop = Arc::clone(&stop);
             threads.push(std::thread::spawn(move || {
+                // One context per worker: scratch buffers and the session
+                // view live for the thread's lifetime, so the request path
+                // shares no mutable state with other workers.
+                let mut ctx = RequestContext::new();
                 while let Ok(stream) = rx.recv() {
-                    let _ = handle_connection(stream, &cluster, &stop);
+                    let _ = handle_connection(stream, &cluster, &stop, &mut ctx);
                 }
             }));
         }
@@ -127,6 +137,7 @@ fn handle_connection(
     stream: TcpStream,
     cluster: &ServingCluster,
     stop: &AtomicBool,
+    ctx: &mut RequestContext,
 ) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
@@ -135,8 +146,17 @@ fn handle_connection(
             return Ok(());
         }
         let request = match read_request(&mut reader) {
-            Ok(Some(r)) => r,
-            Ok(None) => return Ok(()), // clean close
+            Ok(Inbound::Request(r)) => r,
+            Ok(Inbound::Closed) => return Ok(()), // clean close
+            Ok(Inbound::Reject { status, message }) => {
+                // Protocol error: the body was not (fully) read, so the
+                // stream position is unknown — answer and close rather than
+                // desynchronise keep-alive framing.
+                let body =
+                    JsonValue::object([("error", JsonValue::String(message.into()))]).to_json();
+                write_response(&mut writer, status, &body, true)?;
+                return Ok(());
+            }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock
                 || e.kind() == std::io::ErrorKind::TimedOut =>
             {
@@ -145,7 +165,7 @@ fn handle_connection(
             Err(_) => return Ok(()),
         };
         let close = request.close;
-        let (status, body) = respond(&request, cluster);
+        let (status, body) = respond(&request, cluster, ctx);
         write_response(&mut writer, status, &body, close)?;
         if close {
             return Ok(());
@@ -160,10 +180,20 @@ struct Request {
     close: bool,
 }
 
-fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
+/// What [`read_request`] produced from the stream.
+enum Inbound {
+    /// A well-framed request.
+    Request(Request),
+    /// The peer closed the connection between requests.
+    Closed,
+    /// A framing violation; respond with `status` and close.
+    Reject { status: u16, message: &'static str },
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Inbound> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
+        return Ok(Inbound::Closed);
     }
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_string();
@@ -174,7 +204,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Req
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
-            return Ok(None);
+            return Ok(Inbound::Closed);
         }
         let header = header.trim_end();
         if header.is_empty() {
@@ -184,20 +214,31 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Req
             let name = name.trim().to_ascii_lowercase();
             let value = value.trim();
             if name == "content-length" {
-                content_length = value.parse().unwrap_or(0);
+                content_length = match value.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Ok(Inbound::Reject {
+                            status: 400,
+                            message: "malformed content-length",
+                        })
+                    }
+                };
             } else if name == "connection" && value.eq_ignore_ascii_case("close") {
                 close = true;
             }
         }
     }
-    let mut body = vec![0u8; content_length.min(1 << 20)];
+    if content_length > MAX_BODY_BYTES {
+        return Ok(Inbound::Reject { status: 413, message: "request body too large" });
+    }
+    let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     let body = String::from_utf8(body)
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 body"))?;
-    Ok(Some(Request { method, path, body, close }))
+    Ok(Inbound::Request(Request { method, path, body, close }))
 }
 
-fn respond(request: &Request, cluster: &ServingCluster) -> (u16, String) {
+fn respond(request: &Request, cluster: &ServingCluster, ctx: &mut RequestContext) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => {
             (200, JsonValue::object([("status", JsonValue::String("ok".into()))]).to_json())
@@ -222,6 +263,16 @@ fn respond(request: &Request, cluster: &ServingCluster) -> (u16, String) {
                         fields.push(("p90_us", JsonValue::Number(l.p90_us as f64)));
                         fields.push(("p995_us", JsonValue::Number(l.p995_us as f64)));
                     }
+                    for (p50_name, p90_name, summary) in [
+                        ("session_p50_us", "session_p90_us", s.session_latency),
+                        ("predict_p50_us", "predict_p90_us", s.predict_latency),
+                        ("policy_p50_us", "policy_p90_us", s.policy_latency),
+                    ] {
+                        if let Some(l) = summary {
+                            fields.push((p50_name, JsonValue::Number(l.p50_us as f64)));
+                            fields.push((p90_name, JsonValue::Number(l.p90_us as f64)));
+                        }
+                    }
                     JsonValue::object(fields)
                 })
                 .collect();
@@ -229,7 +280,7 @@ fn respond(request: &Request, cluster: &ServingCluster) -> (u16, String) {
         }
         ("POST", "/recommend") => match parse_recommend_request(&request.body) {
             Ok(req) => {
-                let recs = cluster.handle(req);
+                let recs = cluster.handle_with(req, ctx);
                 let items: Vec<JsonValue> = recs
                     .iter()
                     .map(|r| {
@@ -269,6 +320,7 @@ fn write_response(
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        413 => "Payload Too Large",
         _ => "Internal Server Error",
     };
     let connection = if close { "close" } else { "keep-alive" };
@@ -468,10 +520,73 @@ mod tests {
             .map(|p| p.get("requests").unwrap().as_u64().unwrap())
             .sum();
         assert_eq!(total, 4);
-        // The pod that served traffic exposes latency percentiles.
+        // The pod that served traffic exposes latency percentiles, end to
+        // end and per pipeline stage.
         assert!(pods
             .iter()
             .any(|p| p.get("p90_us").and_then(json::JsonValue::as_u64).is_some()));
+        for field in ["session_p50_us", "predict_p90_us", "policy_p50_us"] {
+            assert!(
+                pods.iter().any(|p| p.get(field).and_then(json::JsonValue::as_u64).is_some()),
+                "missing stage breakdown field {field}",
+            );
+        }
+        server.shutdown();
+    }
+
+    /// Sends raw bytes and reads until the server closes the connection.
+    /// EOF within the timeout therefore asserts the close itself.
+    fn raw_exchange(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        BufReader::new(stream).read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn oversized_body_gets_413_and_the_connection_closes() {
+        let (server, _cluster) = start_server(1);
+        // Announce a 2 MiB body but send none: the server must answer
+        // immediately (it cannot safely skip the unread body) and close.
+        let response = raw_exchange(
+            server.addr(),
+            "POST /recommend HTTP/1.1\r\nhost: t\r\ncontent-length: 2097152\r\n\r\n",
+        );
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+        assert!(response.contains("connection: close"), "{response}");
+        assert!(response.contains("too large"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_content_length_gets_400_and_the_connection_closes() {
+        let (server, _cluster) = start_server(1);
+        let response = raw_exchange(
+            server.addr(),
+            "POST /recommend HTTP/1.1\r\nhost: t\r\ncontent-length: abc\r\n\r\n{}",
+        );
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("connection: close"), "{response}");
+        assert!(response.contains("malformed content-length"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_stays_healthy_after_rejected_requests() {
+        let (server, _cluster) = start_server(1);
+        raw_exchange(
+            server.addr(),
+            "POST /recommend HTTP/1.1\r\nhost: t\r\ncontent-length: 9999999\r\n\r\n",
+        );
+        // A fresh connection is served normally afterwards.
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let (status, _) = client
+            .post("/recommend", r#"{"session_id": 1, "item_id": 0, "consent": true}"#)
+            .unwrap();
+        assert_eq!(status, 200);
         server.shutdown();
     }
 

@@ -9,9 +9,13 @@
 //!
 //! * [`json`] — a minimal hand-rolled JSON codec for the REST wire format;
 //! * [`rules`] — business-rule filtering (unavailable / adult products);
-//! * [`engine`] — the per-pod recommendation engine: session update +
-//!   VMIS-kNN prediction + rules, with the `serenade-hist` /
-//!   `serenade-recent` variants of the A/B test and the depersonalised mode;
+//! * [`engine`] — the per-pod recommendation engine: a three-stage pipeline
+//!   (session update → VMIS-kNN prediction → policy) over a pluggable
+//!   session store, with the `serenade-hist` / `serenade-recent` variants
+//!   of the A/B test and the depersonalised mode;
+//! * [`handle`] — lock-free index publication for the daily rollover;
+//! * [`context`] — per-worker request state (scratch buffers, session view,
+//!   per-stage timings) threaded through `http → cluster → engine`;
 //! * [`router`] — sticky-session partitioning across pods;
 //! * [`cluster`] — a multi-pod cluster façade used by the benchmarks;
 //! * [`http`] — a threaded HTTP/1.1 server exposing the engine as a REST
@@ -27,7 +31,9 @@
 
 pub mod absim;
 pub mod cluster;
+pub mod context;
 pub mod engine;
+pub mod handle;
 pub mod http;
 pub mod json;
 pub mod loadgen;
@@ -36,7 +42,9 @@ pub mod rules;
 pub mod stats;
 
 pub use cluster::ServingCluster;
+pub use context::{RequestContext, StageTimings};
 pub use engine::{Engine, EngineConfig, ServingVariant};
+pub use handle::IndexHandle;
 pub use json::JsonValue;
 pub use router::StickyRouter;
 pub use rules::BusinessRules;

@@ -18,6 +18,7 @@ use serenade_dataset::Session;
 use serenade_metrics::{LatencyRecorder, LatencySummary};
 
 use crate::cluster::ServingCluster;
+use crate::context::RequestContext;
 use crate::engine::RecommendRequest;
 
 /// Load-test parameters.
@@ -123,6 +124,9 @@ pub fn run_load_test(
                     let mut window_counts = vec![0usize; num_windows];
                     let mut busy = Duration::ZERO;
                     let mut completed = 0usize;
+                    // One context per worker: scratch buffers are reused
+                    // across all requests this worker fires.
+                    let mut ctx = RequestContext::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let scheduled = interval.mul_f64(i as f64);
@@ -144,7 +148,7 @@ pub fn run_load_test(
                         }
                         let req = traffic[i % traffic.len()];
                         let t0 = Instant::now();
-                        let _recs = cluster.handle(req);
+                        let _recs = cluster.handle_with(req, &mut ctx);
                         let elapsed = t0.elapsed();
                         busy += elapsed;
                         completed += 1;

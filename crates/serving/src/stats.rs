@@ -5,22 +5,58 @@
 //! This module provides the in-process equivalent: a lock-striped stats
 //! collector every [`crate::engine::Engine`] feeds, exposed over HTTP as
 //! `GET /stats` and queryable in-process for the dashboards the benchmarks
-//! print.
+//! print. Latency is recorded per pipeline stage (session / predict /
+//! policy), so the breakdown of where a request's time went is first-class.
+//!
+//! Recording takes one stripe lock chosen per thread: concurrent workers
+//! land on different stripes, so the collector never serialises the request
+//! path the way a single recorder mutex would.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use parking_lot::Mutex;
 use serenade_metrics::{LatencyRecorder, LatencySummary};
 
-/// Thread-safe request statistics for one engine/pod.
+use crate::context::StageTimings;
+
+/// Number of independently locked recorder stripes.
+const STRIPES: usize = 8;
+
+/// Keeps each stripe's mutex on its own cache line.
+#[repr(align(64))]
 #[derive(Debug, Default)]
+struct Stripe(Mutex<StageRecorders>);
+
+/// One stripe's latency recorders: total plus the three pipeline stages.
+#[derive(Debug, Default)]
+struct StageRecorders {
+    total: LatencyRecorder,
+    session: LatencyRecorder,
+    predict: LatencyRecorder,
+    policy: LatencyRecorder,
+}
+
+/// Thread-safe request statistics for one engine/pod.
+#[derive(Debug)]
 pub struct ServingStats {
     requests: AtomicU64,
     depersonalised: AtomicU64,
     empty_responses: AtomicU64,
     busy_ns: AtomicU64,
-    latency: Mutex<LatencyRecorder>,
+    stripes: Box<[Stripe]>,
+}
+
+impl Default for ServingStats {
+    fn default() -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            depersonalised: AtomicU64::new(0),
+            empty_responses: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            stripes: (0..STRIPES).map(|_| Stripe::default()).collect(),
+        }
+    }
 }
 
 /// A point-in-time snapshot of [`ServingStats`].
@@ -34,8 +70,14 @@ pub struct StatsSnapshot {
     pub empty_responses: u64,
     /// Total busy time spent inside request handling.
     pub busy: Duration,
-    /// Latency percentiles, if any requests were recorded.
+    /// End-to-end latency percentiles, if any requests were recorded.
     pub latency: Option<LatencySummary>,
+    /// Session-stage latency (evolving-session update + view).
+    pub session_latency: Option<LatencySummary>,
+    /// Prediction-stage latency (VMIS-kNN).
+    pub predict_latency: Option<LatencySummary>,
+    /// Policy-stage latency (business rules + truncation).
+    pub policy_latency: Option<LatencySummary>,
 }
 
 impl ServingStats {
@@ -44,8 +86,22 @@ impl ServingStats {
         Self::default()
     }
 
-    /// Records one handled request.
-    pub fn record(&self, elapsed: Duration, depersonalised: bool, response_len: usize) {
+    #[inline]
+    fn stripe(&self) -> &Mutex<StageRecorders> {
+        // Round-robin stripe assignment at first use per thread: workers
+        // spread evenly regardless of how the OS hashes thread ids.
+        thread_local! {
+            static STRIPE: usize = {
+                static NEXT: AtomicUsize = AtomicUsize::new(0);
+                NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES
+            };
+        }
+        &self.stripes[STRIPE.with(|s| *s)].0
+    }
+
+    /// Records one handled request with its per-stage timing breakdown.
+    pub fn record(&self, timings: StageTimings, depersonalised: bool, response_len: usize) {
+        let total = timings.total();
         self.requests.fetch_add(1, Ordering::Relaxed);
         if depersonalised {
             self.depersonalised.fetch_add(1, Ordering::Relaxed);
@@ -53,18 +109,34 @@ impl ServingStats {
         if response_len == 0 {
             self.empty_responses.fetch_add(1, Ordering::Relaxed);
         }
-        self.busy_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
-        self.latency.lock().record(elapsed);
+        self.busy_ns.fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
+        let mut recorders = self.stripe().lock();
+        recorders.total.record(total);
+        recorders.session.record(timings.session);
+        recorders.predict.record(timings.predict);
+        recorders.policy.record(timings.policy);
     }
 
-    /// Takes a snapshot (percentiles computed on the samples so far).
+    /// Takes a snapshot (percentiles computed on the samples so far, merged
+    /// across all stripes).
     pub fn snapshot(&self) -> StatsSnapshot {
+        let mut merged = StageRecorders::default();
+        for stripe in self.stripes.iter() {
+            let recorders = stripe.0.lock();
+            merged.total.merge(&recorders.total);
+            merged.session.merge(&recorders.session);
+            merged.predict.merge(&recorders.predict);
+            merged.policy.merge(&recorders.policy);
+        }
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             depersonalised: self.depersonalised.load(Ordering::Relaxed),
             empty_responses: self.empty_responses.load(Ordering::Relaxed),
             busy: Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
-            latency: self.latency.lock().summary(),
+            latency: merged.total.summary(),
+            session_latency: merged.session.summary(),
+            predict_latency: merged.predict.summary(),
+            policy_latency: merged.policy.summary(),
         }
     }
 }
@@ -73,11 +145,19 @@ impl ServingStats {
 mod tests {
     use super::*;
 
+    fn timings(session_us: u64, predict_us: u64, policy_us: u64) -> StageTimings {
+        StageTimings {
+            session: Duration::from_micros(session_us),
+            predict: Duration::from_micros(predict_us),
+            policy: Duration::from_micros(policy_us),
+        }
+    }
+
     #[test]
     fn counters_accumulate() {
         let s = ServingStats::new();
-        s.record(Duration::from_micros(100), false, 21);
-        s.record(Duration::from_micros(300), true, 0);
+        s.record(timings(20, 70, 10), false, 21);
+        s.record(timings(50, 200, 50), true, 0);
         let snap = s.snapshot();
         assert_eq!(snap.requests, 2);
         assert_eq!(snap.depersonalised, 1);
@@ -89,10 +169,25 @@ mod tests {
     }
 
     #[test]
+    fn per_stage_breakdowns_are_recorded() {
+        let s = ServingStats::new();
+        s.record(timings(10, 100, 1), false, 5);
+        s.record(timings(30, 300, 3), false, 5);
+        let snap = s.snapshot();
+        assert_eq!(snap.session_latency.unwrap().max_us, 30);
+        assert_eq!(snap.predict_latency.unwrap().max_us, 300);
+        assert_eq!(snap.policy_latency.unwrap().max_us, 3);
+        assert_eq!(snap.latency.unwrap().max_us, 333);
+    }
+
+    #[test]
     fn empty_stats_have_no_latency() {
         let snap = ServingStats::new().snapshot();
         assert_eq!(snap.requests, 0);
         assert!(snap.latency.is_none());
+        assert!(snap.session_latency.is_none());
+        assert!(snap.predict_latency.is_none());
+        assert!(snap.policy_latency.is_none());
     }
 
     #[test]
@@ -103,7 +198,7 @@ mod tests {
                 let s = std::sync::Arc::clone(&s);
                 std::thread::spawn(move || {
                     for _ in 0..1_000 {
-                        s.record(Duration::from_micros(10), false, 5);
+                        s.record(timings(2, 7, 1), false, 5);
                     }
                 })
             })
@@ -114,5 +209,6 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.requests, 4_000);
         assert_eq!(snap.latency.unwrap().count, 4_000);
+        assert_eq!(snap.predict_latency.unwrap().count, 4_000);
     }
 }

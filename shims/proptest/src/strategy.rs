@@ -1,0 +1,428 @@
+//! Value-generation strategies: primitive ranges, string patterns, tuples,
+//! mapping, unions and bounded recursion. Generation only — no shrinking.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy behind a cheaply cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+
+    /// Builds a recursive strategy: `recurse` wraps the current strategy into
+    /// a deeper one, applied `depth` times; each level draws 50/50 between
+    /// recursing and staying shallow, so all depths up to `depth` occur.
+    /// (`_desired_size`/`_expected_branch` are accepted for signature parity
+    /// with proptest and ignored — sizes are governed by the inner
+    /// strategies themselves.)
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            let deeper = recurse(current.clone()).boxed();
+            let shallow = current;
+            current = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                if rng.next_u64() & 1 == 0 {
+                    deeper.generate(rng)
+                } else {
+                    shallow.generate(rng)
+                }
+            }));
+        }
+        current
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+    {
+        self
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniformly picks one of the given strategies per generated value; the
+/// expansion target of `prop_oneof!`.
+pub fn union<T>(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    Union { arms }
+}
+
+/// See [`union`].
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.arms.len());
+        self.arms[pick].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.in_inclusive(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.in_inclusive(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// String patterns: proptest treats `&str` as a regex-like strategy. The shim
+// supports the subset used here — literal characters and one-level character
+// classes `[...]` (with `a-z` ranges and `\x` escapes) followed by an
+// optional `{m,n}` / `{n}` repetition.
+// ---------------------------------------------------------------------------
+
+enum Segment {
+    Literal(char),
+    Class { alphabet: Vec<char>, min: usize, max: usize },
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Segment> {
+    let mut segments = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '[' => {
+                let mut alphabet = Vec::new();
+                loop {
+                    let c = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in pattern {pattern:?}")
+                    });
+                    match c {
+                        ']' => break,
+                        '\\' => alphabet.push(
+                            chars.next().expect("escape at end of character class"),
+                        ),
+                        lo => {
+                            // `a-z` range (a literal `-` appears escaped or last).
+                            if chars.peek() == Some(&'-') {
+                                let mut lookahead = chars.clone();
+                                lookahead.next(); // the '-'
+                                match lookahead.peek() {
+                                    Some(&hi) if hi != ']' => {
+                                        chars.next();
+                                        chars.next();
+                                        for v in lo as u32..=hi as u32 {
+                                            alphabet
+                                                .push(char::from_u32(v).expect("valid range"));
+                                        }
+                                        continue;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            alphabet.push(lo);
+                        }
+                    }
+                }
+                assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+                let (min, max) = parse_repetition(&mut chars);
+                segments.push(Segment::Class { alphabet, min, max });
+            }
+            '\\' => segments
+                .push(Segment::Literal(chars.next().expect("escape at end of pattern"))),
+            literal => segments.push(Segment::Literal(literal)),
+        }
+    }
+    segments
+}
+
+fn parse_repetition(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    match spec.split_once(',') {
+        Some((min, max)) => (
+            min.trim().parse().expect("repetition minimum"),
+            max.trim().parse().expect("repetition maximum"),
+        ),
+        None => {
+            let n = spec.trim().parse().expect("repetition count");
+            (n, n)
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for segment in parse_pattern(self) {
+            match segment {
+                Segment::Literal(c) => out.push(c),
+                Segment::Class { alphabet, min, max } => {
+                    let count = rng.in_inclusive(min as i128, max as i128) as usize;
+                    for _ in 0..count {
+                        out.push(alphabet[rng.below(alphabet.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let v = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (1usize..=4).generate(&mut rng);
+            assert!((1..=4).contains(&w));
+            let s = (-10i64..10).generate(&mut rng);
+            assert!((-10..10).contains(&s));
+        }
+    }
+
+    #[test]
+    fn full_width_ranges_do_not_overflow() {
+        let mut rng = rng();
+        let _ = (0u64..=u64::MAX).generate(&mut rng);
+        let _ = (i64::MIN..=i64::MAX).generate(&mut rng);
+    }
+
+    #[test]
+    fn map_and_just_and_union() {
+        let mut rng = rng();
+        let doubled = (1u64..5).prop_map(|v| v * 2).generate(&mut rng);
+        assert!(doubled % 2 == 0 && doubled < 10);
+        assert_eq!(Just(7u8).generate(&mut rng), 7);
+        let u = union(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        for _ in 0..50 {
+            assert!(matches!(u.generate(&mut rng), 1 | 2));
+        }
+    }
+
+    #[test]
+    fn string_patterns_cover_classes_ranges_and_escapes() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[a-c]{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+        let tricky = "[a-zA-Z0-9 _\\-\"\\\\\n\u{e9}]{0,12}";
+        for _ in 0..200 {
+            let s = tricky.generate(&mut rng);
+            assert!(s.chars().count() <= 12);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric()
+                        || matches!(c, ' ' | '_' | '-' | '"' | '\\' | '\n' | '\u{e9}'),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+        assert_eq!("ab".generate(&mut rng), "ab", "literals pass through");
+    }
+
+    #[test]
+    fn tuples_generate_elementwise() {
+        let mut rng = rng();
+        let (a, b, c) = (1u64..3, 10u64..12, 100usize..102).generate(&mut rng);
+        assert!((1..3).contains(&a) && (10..12).contains(&b) && (100..102).contains(&c));
+    }
+
+    #[test]
+    fn recursive_strategies_reach_multiple_depths() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(children) => {
+                    1 + children.iter().map(depth).max().unwrap_or(0)
+                }
+            }
+        }
+        let strat = Just(0u8).prop_map(|_| Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        let mut rng = rng();
+        let depths: Vec<usize> = (0..300).map(|_| depth(&strat.generate(&mut rng))).collect();
+        assert!(depths.iter().any(|&d| d == 0));
+        assert!(depths.iter().any(|&d| d >= 2));
+        assert!(depths.iter().all(|&d| d <= 3), "bounded by the declared depth");
+    }
+}

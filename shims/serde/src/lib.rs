@@ -1,0 +1,11 @@
+//! Offline shim for `serde`: the workspace imports the traits and derives as
+//! markers on config structs but never serializes through them, so marker
+//! traits plus empty-output derive macros cover the whole used surface.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive`: the workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as a marker on config structs (no
+//! actual serialization happens anywhere), so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
