@@ -17,6 +17,7 @@
 pub mod clock;
 pub mod session;
 pub mod store;
+pub mod sync;
 
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use session::SessionStore;

@@ -105,7 +105,7 @@ where
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod conformance {
     //! A reusable conformance suite: any [`SessionStore`] implementation
     //! paired with a manual clock must pass `check_conformance`. Run here

@@ -12,12 +12,12 @@
 //! "configures RocksDB to remove the data for a session after 30 minutes of
 //! inactivity".
 
+use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
 
-use parking_lot::Mutex;
-
 use crate::clock::{Clock, SystemClock};
+use crate::sync::Mutex;
 
 /// FxHash-style hasher (local copy; `serenade-kvstore` is dependency-free).
 #[derive(Debug, Default, Clone, Copy)]
@@ -182,22 +182,22 @@ impl<K: Hash + Eq, V, C: Clock> TtlStore<K, V, C> {
     ) -> T {
         let now = self.clock.now_ms();
         let expires = now + self.config.ttl_ms;
-        let mut default_cell = Some(default);
         let mut shard = self.shard_of(&key).lock();
-        let entry = shard
-            .entry(key)
-            .and_modify(|e| {
-                if e.expires_at_ms <= now {
+        match shard.entry(key) {
+            MapEntry::Occupied(mut occupied) => {
+                let entry = occupied.get_mut();
+                if entry.expires_at_ms <= now {
                     // Expired: restart from the default value.
-                    e.value = default_cell.take().expect("default used once")();
+                    entry.value = default();
                 }
-            })
-            .or_insert_with(|| Entry {
-                value: default_cell.take().expect("default used once")(),
-                expires_at_ms: expires,
-            });
-        entry.expires_at_ms = expires;
-        f(&mut entry.value)
+                entry.expires_at_ms = expires;
+                f(&mut entry.value)
+            }
+            MapEntry::Vacant(vacant) => {
+                let entry = vacant.insert(Entry { value: default(), expires_at_ms: expires });
+                f(&mut entry.value)
+            }
+        }
     }
 
     /// Removes every expired entry; returns how many were evicted.
@@ -240,7 +240,7 @@ impl<K: Hash + Eq, V: Clone, C: Clock> TtlStore<K, V, C> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
     use crate::clock::ManualClock;
@@ -396,5 +396,33 @@ mod tests {
         // 8 threads x 1000 appends over 64 keys: every append must survive.
         let total: usize = (0..64u64).map(|k| s.get(&k).map_or(0, |v| v.len())).sum();
         assert_eq!(total, 8_000);
+    }
+
+    /// Std-threaded twin of `tests/loom_ttl.rs` (which explores the same
+    /// race exhaustively under `--features loom`): readers racing an
+    /// expired session's restart must never surface the stale pre-expiry
+    /// value.
+    #[test]
+    fn expired_entry_read_racing_restart_never_surfaces_stale_value() {
+        let (s, clock) = store(1_000, false);
+        s.put(7, vec![1]);
+        clock.advance_ms(2_000); // session now expired
+        let s = std::sync::Arc::new(s);
+        let reader = {
+            let s = std::sync::Arc::clone(&s);
+            std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    match s.get(&7) {
+                        None => {}
+                        Some(v) => assert_eq!(v, vec![2], "stale pre-expiry session surfaced"),
+                    }
+                }
+            })
+        };
+        for _ in 0..10_000 {
+            s.update_or_insert(7, || vec![2], |_| ());
+        }
+        reader.join().unwrap();
+        assert_eq!(s.get(&7), Some(vec![2]));
     }
 }

@@ -1,0 +1,15 @@
+//! Facade over the concurrency primitives used by the TTL store.
+//!
+//! [`crate::store`] takes its shard mutexes from here instead of
+//! `parking_lot` directly (enforced by the `xtask` lint): normal builds get
+//! the real lock at zero cost, `--features loom` builds get the
+//! model-checker shim so store operations can be explored schedule-by-
+//! schedule inside `loom::model`.
+
+#[cfg(feature = "loom")]
+pub use loom::sync::{Arc, Mutex, MutexGuard};
+
+#[cfg(not(feature = "loom"))]
+pub use parking_lot::{Mutex, MutexGuard};
+#[cfg(not(feature = "loom"))]
+pub use std::sync::Arc;

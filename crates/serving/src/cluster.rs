@@ -18,6 +18,7 @@ use serenade_core::{CoreError, ItemScore, SessionIndex, VmisKnn};
 
 use crate::context::RequestContext;
 use crate::engine::{build_recommender, Engine, EngineConfig, RecommendRequest};
+use crate::error::ServingError;
 use crate::handle::IndexHandle;
 use crate::router::StickyRouter;
 use crate::rules::BusinessRules;
@@ -39,7 +40,7 @@ impl ServingCluster {
         config: EngineConfig,
         rules: BusinessRules,
     ) -> Result<Self, CoreError> {
-        let vmis = Arc::new(build_recommender(index, &config)?);
+        let vmis = crate::sync::Arc::new(build_recommender(index, &config)?);
         let handle = Arc::new(IndexHandle::new(vmis));
         let mut engines = Vec::with_capacity(pods);
         for _ in 0..pods {
@@ -54,13 +55,17 @@ impl ServingCluster {
 
     /// Handles a request on the responsible pod with a per-thread context.
     /// Prefer [`ServingCluster::handle_with`] on worker threads.
-    pub fn handle(&self, req: RecommendRequest) -> Vec<ItemScore> {
+    pub fn handle(&self, req: RecommendRequest) -> Result<Vec<ItemScore>, ServingError> {
         self.pod_for(req.session_id).handle(req)
     }
 
     /// Handles a request on the responsible pod, reusing the caller's
     /// per-worker [`RequestContext`].
-    pub fn handle_with(&self, req: RecommendRequest, ctx: &mut RequestContext) -> Vec<ItemScore> {
+    pub fn handle_with(
+        &self,
+        req: RecommendRequest,
+        ctx: &mut RequestContext,
+    ) -> Result<Vec<ItemScore>, ServingError> {
         self.pod_for(req.session_id).handle_with(req, ctx)
     }
 
@@ -90,13 +95,13 @@ impl ServingCluster {
     /// the version they loaded, and session state survives. On error, no
     /// pod is moved off the old index.
     pub fn reload_index(&self, index: Arc<SessionIndex>) -> Result<(), CoreError> {
-        let fresh = Arc::new(build_recommender(index, &self.config)?);
+        let fresh = crate::sync::Arc::new(build_recommender(index, &self.config)?);
         self.index.store(fresh);
         Ok(())
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
     use serenade_core::Click;
@@ -121,7 +126,7 @@ mod tests {
     fn sticky_sessions_accumulate_on_one_pod() {
         let c = cluster(3);
         for i in 0..5 {
-            c.handle(req(42, i % 6));
+            c.handle(req(42, i % 6)).unwrap();
         }
         // Exactly one pod holds session 42, with all 5 clicks.
         let with_state: Vec<usize> = c
@@ -138,7 +143,7 @@ mod tests {
     fn sessions_spread_across_pods() {
         let c = cluster(4);
         for sid in 0..200u64 {
-            c.handle(req(sid, sid % 6));
+            c.handle(req(sid, sid % 6)).unwrap();
         }
         assert_eq!(c.live_sessions(), 200);
         let per_pod: Vec<usize> = c.pods().iter().map(|p| p.live_sessions()).collect();
@@ -151,7 +156,7 @@ mod tests {
         let multi = cluster(4);
         for sid in [1u64, 2, 3] {
             for item in [0u64, 1, 2] {
-                assert_eq!(single.handle(req(sid, item)), multi.handle(req(sid, item)));
+                assert_eq!(single.handle(req(sid, item)).unwrap(), multi.handle(req(sid, item)).unwrap());
             }
         }
     }
@@ -162,7 +167,7 @@ mod tests {
         let b = cluster(3);
         let mut ctx = RequestContext::new();
         for sid in 0..10u64 {
-            assert_eq!(a.handle_with(req(sid, sid % 6), &mut ctx), b.handle(req(sid, sid % 6)));
+            assert_eq!(a.handle_with(req(sid, sid % 6), &mut ctx).unwrap(), b.handle(req(sid, sid % 6)).unwrap());
         }
     }
 
@@ -170,7 +175,7 @@ mod tests {
     fn eviction_sweep_runs_on_all_pods() {
         let c = cluster(2);
         for sid in 0..10u64 {
-            c.handle(req(sid, 0));
+            c.handle(req(sid, 0)).unwrap();
         }
         // Nothing has expired (default 30-minute TTL).
         assert_eq!(c.evict_expired_sessions(), 0);
@@ -191,7 +196,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod rollover_tests {
     use super::*;
     use serenade_core::Click;
@@ -219,7 +224,7 @@ mod rollover_tests {
             BusinessRules::none(),
         )
         .unwrap();
-        let before = c.handle(req(7, 1));
+        let before = c.handle(req(7, 1)).unwrap();
         assert_eq!(c.pod_for(7).stored_session_len(7), 1);
 
         // Overnight: a new index arrives and is replicated to every pod.
@@ -228,7 +233,7 @@ mod rollover_tests {
         // Session state survived the rollover...
         assert_eq!(c.pod_for(7).stored_session_len(7), 1);
         // ...and predictions now come from the new index.
-        let after = c.handle(req(8, 1));
+        let after = c.handle(req(8, 1)).unwrap();
         assert_ne!(before, after, "rollover must change the model");
         assert_eq!(c.pod_for(7).stored_session_len(7), 1);
     }
@@ -258,7 +263,7 @@ mod rollover_tests {
             BusinessRules::none(),
         )
         .unwrap();
-        let before: Vec<_> = (0..6u64).map(|i| c.handle(req(100 + i, i % 6))).collect();
+        let before: Vec<_> = (0..6u64).map(|i| c.handle(req(100 + i, i % 6)).unwrap()).collect();
         let old = Arc::as_ptr(&c.pods()[0].index_handle().load());
 
         // A broken artefact: posting capacity m_max = 2 cannot satisfy the
@@ -272,7 +277,7 @@ mod rollover_tests {
         for pod in c.pods() {
             assert_eq!(Arc::as_ptr(&pod.index_handle().load()), old);
         }
-        let after: Vec<_> = (0..6u64).map(|i| c.handle(req(200 + i, i % 6))).collect();
+        let after: Vec<_> = (0..6u64).map(|i| c.handle(req(200 + i, i % 6)).unwrap()).collect();
         assert_eq!(before, after, "predictions must be unchanged on every pod");
     }
 
@@ -301,7 +306,7 @@ mod rollover_tests {
                 std::thread::spawn(move || {
                     let mut ctx = RequestContext::new();
                     for i in 0..100u64 {
-                        let recs = c.handle_with(req(sid, i % 6), &mut ctx);
+                        let recs = c.handle_with(req(sid, i % 6), &mut ctx).unwrap();
                         assert!(recs.len() <= 21);
                     }
                 })
@@ -340,7 +345,7 @@ mod rollover_tests {
                     BusinessRules::none(),
                 )
                 .unwrap();
-                (0..6u64).map(|item| probe.handle(req(item + 1, item))).collect()
+                (0..6u64).map(|item| probe.handle(req(item + 1, item)).unwrap()).collect()
             })
             .collect();
 
@@ -369,7 +374,8 @@ mod rollover_tests {
                                 filter_adult: false,
                             },
                             &mut ctx,
-                        );
+                        )
+                        .unwrap();
                         assert!(
                             expectations.iter().any(|e| e[item as usize] == recs),
                             "response must match exactly one published version",

@@ -30,6 +30,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::context::{RequestContext, StageTimings};
+use crate::error::ServingError;
 use crate::handle::IndexHandle;
 use crate::rules::BusinessRules;
 use crate::stats::ServingStats;
@@ -122,7 +123,9 @@ impl Engine {
         config: EngineConfig,
         rules: BusinessRules,
     ) -> Result<Self, CoreError> {
-        let vmis = Arc::new(build_recommender(index, &config)?);
+        // The published value uses the sync-facade Arc: under the loom
+        // feature the handle's reclamation protocol is model-checked.
+        let vmis = crate::sync::Arc::new(build_recommender(index, &config)?);
         Ok(Self::with_shared_index(Arc::new(IndexHandle::new(vmis)), config, rules))
     }
 
@@ -154,7 +157,7 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
     /// engine's index handle (shared handles propagate to all holders).
     /// On error nothing is published and serving continues on the old index.
     pub fn swap_index(&self, index: Arc<SessionIndex>) -> Result<(), CoreError> {
-        let fresh = Arc::new(build_recommender(index, &self.config)?);
+        let fresh = crate::sync::Arc::new(build_recommender(index, &self.config)?);
         self.index.store(fresh);
         Ok(())
     }
@@ -172,9 +175,19 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
     /// Handles one frontend request through the three-stage pipeline,
     /// reusing the caller's per-worker [`RequestContext`]. Per-stage
     /// timings are recorded into the pod's stats and left on the context.
-    pub fn handle_with(&self, req: RecommendRequest, ctx: &mut RequestContext) -> Vec<ItemScore> {
+    ///
+    /// Errors are pipeline invariant violations; the HTTP layer maps them
+    /// to a `500` response (and they bump the pod's error counter here).
+    pub fn handle_with(
+        &self,
+        req: RecommendRequest,
+        ctx: &mut RequestContext,
+    ) -> Result<Vec<ItemScore>, ServingError> {
         let started = Instant::now();
-        self.session_stage(&req, ctx);
+        if let Err(e) = self.session_stage(&req, ctx) {
+            self.stats.record_error();
+            return Err(e);
+        }
         let session_done = Instant::now();
         let mut recs = self.prediction_stage(ctx);
         let predict_done = Instant::now();
@@ -186,12 +199,12 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
         };
         ctx.set_timings(timings);
         self.stats.record(timings, !req.consent, recs.len());
-        recs
+        Ok(recs)
     }
 
     /// Handles one request with a per-thread context. Convenience wrapper
     /// over [`Engine::handle_with`] for callers without worker state.
-    pub fn handle(&self, req: RecommendRequest) -> Vec<ItemScore> {
+    pub fn handle(&self, req: RecommendRequest) -> Result<Vec<ItemScore>, ServingError> {
         thread_local! {
             static CTX: RefCell<RequestContext> = RefCell::new(RequestContext::new());
         }
@@ -200,7 +213,11 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
 
     /// Session stage: update the evolving session (or drop it, for
     /// no-consent requests) and write the configured view into `ctx`.
-    fn session_stage(&self, req: &RecommendRequest, ctx: &mut RequestContext) {
+    fn session_stage(
+        &self,
+        req: &RecommendRequest,
+        ctx: &mut RequestContext,
+    ) -> Result<(), ServingError> {
         let view = &mut ctx.view;
         view.clear();
         if req.consent {
@@ -217,15 +234,26 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
                     ServingVariant::Hist(n) => {
                         view.extend_from_slice(&items[items.len().saturating_sub(n)..]);
                     }
-                    ServingVariant::Recent => view.push(*items.last().expect("just pushed")),
+                    // `items` is never empty here (we just pushed), so an
+                    // empty tail is an invariant violation, not a panic.
+                    ServingVariant::Recent => match items.last() {
+                        Some(last) => view.push(*last),
+                        None => {
+                            return Err(ServingError::Internal(
+                                "session empty after update in Recent variant",
+                            ))
+                        }
+                    },
                     ServingVariant::Full => view.extend_from_slice(items),
                 }
-            });
+                Ok(())
+            })
         } else {
             // Depersonalised: predict from the displayed item only, and drop
             // any previously stored state for this session.
             self.sessions.remove(&req.session_id);
             view.push(req.item);
+            Ok(())
         }
     }
 
@@ -263,7 +291,7 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
     use serenade_core::Click;
@@ -291,8 +319,8 @@ mod tests {
     #[test]
     fn consented_requests_accumulate_session_state() {
         let e = engine(ServingVariant::Full, BusinessRules::none());
-        assert!(!e.handle(req(7, 0)).is_empty());
-        assert!(!e.handle(req(7, 1)).is_empty());
+        assert!(!e.handle(req(7, 0)).unwrap().is_empty());
+        assert!(!e.handle(req(7, 1)).unwrap().is_empty());
         assert_eq!(e.stored_session_len(7), 2);
         assert_eq!(e.live_sessions(), 1);
     }
@@ -300,50 +328,51 @@ mod tests {
     #[test]
     fn no_consent_clears_state_and_uses_current_item_only() {
         let e = engine(ServingVariant::Full, BusinessRules::none());
-        e.handle(req(7, 0));
-        e.handle(req(7, 1));
+        e.handle(req(7, 0)).unwrap();
+        e.handle(req(7, 1)).unwrap();
         let depersonalised = e.handle(RecommendRequest {
             session_id: 7,
             item: 2,
             consent: false,
             filter_adult: false,
-        });
+        })
+        .unwrap();
         assert_eq!(e.stored_session_len(7), 0, "state must be dropped");
         // Result equals a fresh single-item prediction.
         let e2 = engine(ServingVariant::Full, BusinessRules::none());
-        let fresh = e2.handle(req(99, 2));
+        let fresh = e2.handle(req(99, 2)).unwrap();
         assert_eq!(depersonalised, fresh);
     }
 
     #[test]
     fn recent_variant_matches_single_item_prediction() {
         let recent = engine(ServingVariant::Recent, BusinessRules::none());
-        recent.handle(req(1, 0));
-        let from_recent = recent.handle(req(1, 3));
-        let fresh = engine(ServingVariant::Recent, BusinessRules::none()).handle(req(2, 3));
+        recent.handle(req(1, 0)).unwrap();
+        let from_recent = recent.handle(req(1, 3)).unwrap();
+        let fresh = engine(ServingVariant::Recent, BusinessRules::none()).handle(req(2, 3)).unwrap();
         assert_eq!(from_recent, fresh, "recent variant only sees the last item");
     }
 
     #[test]
     fn hist_variant_uses_last_two_items() {
         let hist = engine(ServingVariant::Hist(2), BusinessRules::none());
-        hist.handle(req(1, 0));
-        hist.handle(req(1, 1));
-        let from_hist = hist.handle(req(1, 2)); // view = [1, 2]
+        hist.handle(req(1, 0)).unwrap();
+        hist.handle(req(1, 1)).unwrap();
+        let from_hist = hist.handle(req(1, 2)).unwrap(); // view = [1, 2]
         let pair = engine(ServingVariant::Hist(2), BusinessRules::none());
-        pair.handle(req(5, 1));
-        let fresh = pair.handle(req(5, 2)); // view = [1, 2]
+        pair.handle(req(5, 1)).unwrap();
+        let fresh = pair.handle(req(5, 2)).unwrap(); // view = [1, 2]
         assert_eq!(from_hist, fresh);
     }
 
     #[test]
     fn business_rules_filter_responses() {
         let clean = engine(ServingVariant::Recent, BusinessRules::none());
-        let baseline = clean.handle(req(1, 0));
+        let baseline = clean.handle(req(1, 0)).unwrap();
         assert!(!baseline.is_empty());
         let banned = baseline[0].item;
         let filtered = engine(ServingVariant::Recent, BusinessRules::new([banned], []));
-        let recs = filtered.handle(req(1, 0));
+        let recs = filtered.handle(req(1, 0)).unwrap();
         assert!(recs.iter().all(|r| r.item != banned));
     }
 
@@ -357,7 +386,7 @@ mod tests {
         };
         let e = Engine::new(index(), config, BusinessRules::none()).unwrap();
         for i in 0..10 {
-            e.handle(req(1, i % 5));
+            e.handle(req(1, i % 5)).unwrap();
         }
         assert_eq!(e.stored_session_len(1), 4);
     }
@@ -365,7 +394,7 @@ mod tests {
     #[test]
     fn responses_respect_how_many() {
         let e = engine(ServingVariant::Full, BusinessRules::none());
-        let recs = e.handle(req(1, 0));
+        let recs = e.handle(req(1, 0)).unwrap();
         assert!(recs.len() <= 3);
         assert!(recs.windows(2).all(|w| w[0].score >= w[1].score));
     }
@@ -379,7 +408,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut ctx = RequestContext::new();
                     for i in 0..20 {
-                        e.handle_with(req(sid, (sid + i) % 5), &mut ctx);
+                        e.handle_with(req(sid, (sid + i) % 5), &mut ctx).unwrap();
                     }
                 })
             })
@@ -398,7 +427,7 @@ mod tests {
         let e = engine(ServingVariant::Full, BusinessRules::none());
         let mut ctx = RequestContext::new();
         for i in 0..5 {
-            e.handle_with(req(1, i % 5), &mut ctx);
+            e.handle_with(req(1, i % 5), &mut ctx).unwrap();
         }
         let timings = ctx.last_timings();
         assert_eq!(
@@ -419,12 +448,12 @@ mod tests {
         let b = engine(ServingVariant::Full, BusinessRules::none());
         let mut ctx = RequestContext::new();
         for i in 0..6u64 {
-            assert_eq!(a.handle_with(req(3, i % 5), &mut ctx), b.handle(req(3, i % 5)));
+            assert_eq!(a.handle_with(req(3, i % 5), &mut ctx).unwrap(), b.handle(req(3, i % 5)).unwrap());
         }
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod store_abstraction_tests {
     //! The engine must run unchanged over any [`SessionStore`] — exercised
     //! here with a deliberately naive mutex-over-hashmap store.
@@ -510,7 +539,7 @@ mod store_abstraction_tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod ttl_tests {
     use super::*;
     use serenade_core::Click;
@@ -533,13 +562,15 @@ mod ttl_tests {
             ..Default::default()
         };
         let e = Engine::new(tiny_index(), config, BusinessRules::none()).unwrap();
-        e.handle(RecommendRequest { session_id: 5, item: 0, consent: true, filter_adult: false });
+        e.handle(RecommendRequest { session_id: 5, item: 0, consent: true, filter_adult: false })
+            .unwrap();
         assert_eq!(e.stored_session_len(5), 1);
         std::thread::sleep(std::time::Duration::from_millis(80));
         assert_eq!(e.stored_session_len(5), 0, "session must expire after the TTL");
         assert_eq!(e.evict_expired_sessions(), 0, "lazy expiry already removed it");
         // A new request restarts the session from scratch.
-        e.handle(RecommendRequest { session_id: 5, item: 1, consent: true, filter_adult: false });
+        e.handle(RecommendRequest { session_id: 5, item: 1, consent: true, filter_adult: false })
+            .unwrap();
         assert_eq!(e.stored_session_len(5), 1);
     }
 
@@ -556,7 +587,8 @@ mod ttl_tests {
                 item: 0,
                 consent: true,
                 filter_adult: false,
-            });
+            })
+            .unwrap();
         }
         std::thread::sleep(std::time::Duration::from_millis(60));
         assert_eq!(e.evict_expired_sessions(), 6);
@@ -582,14 +614,16 @@ mod ttl_tests {
             item: 0,
             consent: false,
             filter_adult: true,
-        });
+        })
+        .unwrap();
         assert!(filtered.iter().all(|r| r.item != 7));
         let unfiltered = e.handle(RecommendRequest {
             session_id: 2,
             item: 0,
             consent: false,
             filter_adult: false,
-        });
+        })
+        .unwrap();
         assert!(unfiltered.iter().any(|r| r.item == 7));
     }
 }

@@ -19,13 +19,61 @@
 //! own strong reference, so dropping the writer's reference is safe. The
 //! guard is held only across two atomic increments — the writer's wait is
 //! bounded and tiny, and rollovers are daily.
+//!
+//! The protocol is model-checked: `tests/loom_models.rs` explores the
+//! reader/writer interleavings under the `loom` shim (build with
+//! `--features loom`), including two seeded mutations — skipping
+//! [`IndexHandle::wait_for_readers`] and weakening the orderings below —
+//! that the checker must catch.
 
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use crate::sync::{self, Arc};
 
 /// Number of reader guard slots. Readers hash their thread onto a slot, so
 /// guard traffic from different cores rarely shares a cache line.
+#[cfg(not(feature = "loom"))]
 const SLOTS: usize = 16;
+/// Under the model checker two slots keep the schedule tree tractable while
+/// still exercising the multi-slot drain loop.
+#[cfg(feature = "loom")]
+const SLOTS: usize = 2;
+
+/// Memory orderings of the four atomic operations the reclamation protocol
+/// stands on, named so the model checker can prove which ones are
+/// load-bearing (the `mutation-weak-orderings` feature swaps in the weaker
+/// set below and `tests/loom_models.rs` asserts the checker rejects it).
+///
+/// Why SeqCst everywhere here: reader (`pin` then `ptr load`) and writer
+/// (`ptr swap` then `guard load`) form a Dekker-style store/load pattern.
+/// With anything weaker than SeqCst the writer's guard load may read a
+/// *stale zero* from before the reader's pin — the writer then frees the
+/// value while the reader, which loaded the old pointer, is still about to
+/// bump its strong count: use-after-free. Acquire/Release only orders
+/// loads *after* stores it synchronises with; it does not forbid the
+/// store→load reordering this protocol must exclude.
+#[cfg(not(feature = "mutation-weak-orderings"))]
+mod ord {
+    use super::Ordering;
+    /// Reader's guard increment (`fetch_add`).
+    pub const PIN: Ordering = Ordering::SeqCst;
+    /// Reader's pointer load.
+    pub const PTR_LOAD: Ordering = Ordering::SeqCst;
+    /// Writer's pointer swap.
+    pub const PTR_SWAP: Ordering = Ordering::SeqCst;
+    /// Writer's guard drain loads.
+    pub const GUARD_WAIT: Ordering = Ordering::SeqCst;
+}
+/// Seeded mutation: the plausible-looking Acquire/Release variant. The
+/// model checker must find the stale-guard-read schedule that makes it
+/// unsound.
+#[cfg(feature = "mutation-weak-orderings")]
+mod ord {
+    use super::Ordering;
+    pub const PIN: Ordering = Ordering::Relaxed;
+    pub const PTR_LOAD: Ordering = Ordering::Acquire;
+    pub const PTR_SWAP: Ordering = Ordering::AcqRel;
+    pub const GUARD_WAIT: Ordering = Ordering::Acquire;
+}
 
 /// Pads a guard counter to its own cache line to prevent false sharing.
 #[repr(align(64))]
@@ -49,13 +97,7 @@ impl<T> IndexHandle<T> {
     #[inline]
     fn slot(&self) -> &AtomicUsize {
         // Cheap per-thread slot choice; collisions only cost some sharing.
-        thread_local! {
-            static SLOT: usize = {
-                static NEXT: AtomicUsize = AtomicUsize::new(0);
-                NEXT.fetch_add(1, Ordering::Relaxed) % SLOTS
-            };
-        }
-        &self.guards[SLOT.with(|s| *s)].0
+        &self.guards[sync::reader_slot(SLOTS)].0
     }
 
     /// Returns the currently published value. Wait-free: two atomic
@@ -63,16 +105,25 @@ impl<T> IndexHandle<T> {
     /// concurrent [`IndexHandle::store`] calls.
     pub fn load(&self) -> Arc<T> {
         let guard = self.slot();
-        guard.fetch_add(1, Ordering::SeqCst);
-        // While the guard is held the writer cannot drop the pointee, so
-        // reconstructing an extra strong reference from the raw pointer is
-        // sound even if the pointer is swapped out concurrently.
-        let ptr = self.current.load(Ordering::SeqCst);
+        guard.fetch_add(1, ord::PIN);
+        let ptr = self.current.load(ord::PTR_LOAD);
+        // SAFETY: guard-counter protocol, reader side. Our slot counter is
+        // non-zero (the SeqCst `fetch_add` above is globally ordered before
+        // this load), so a writer that swapped `current` before our load
+        // cannot have passed `wait_for_readers` yet and has not dropped its
+        // reference: `ptr` points at a live allocation with strong count
+        // ≥ 1 for the whole window until the `fetch_sub` below. Bumping the
+        // strong count first and then claiming it with `from_raw` therefore
+        // never revives a freed Arc, and the handle's own reference (or the
+        // writer's pre-drop reference) keeps the count balanced.
         let value = unsafe {
             Arc::increment_strong_count(ptr);
             Arc::from_raw(ptr)
         };
-        guard.fetch_sub(1, Ordering::SeqCst);
+        // Release is sufficient for the unpin: it keeps the strong-count
+        // increment above ordered before the guard drop that lets the
+        // writer proceed; nothing after this line touches the pointee.
+        guard.fetch_sub(1, Ordering::Release);
         value
     }
 
@@ -80,22 +131,32 @@ impl<T> IndexHandle<T> {
     /// (on any thread) returns it. Waits for readers currently inside their
     /// two-instruction pin window, then releases the previous value.
     pub fn store(&self, value: Arc<T>) {
-        let old = self.current.swap(Arc::into_raw(value).cast_mut(), Ordering::SeqCst);
+        let old = self.current.swap(Arc::into_raw(value).cast_mut(), ord::PTR_SWAP);
+        #[cfg(not(feature = "mutation-skip-wait-for-readers"))]
         self.wait_for_readers();
-        // Safe: no reader can still dereference `old` without having taken
-        // its own strong count, per the guard protocol.
+        // SAFETY: guard-counter protocol, writer side. `old` came out of
+        // the swap above, so no future reader can load it any more, and
+        // `wait_for_readers` has observed every guard slot at zero after
+        // the swap — any reader that loaded `old` inside its pin window has
+        // already executed its `increment_strong_count` (the increment is
+        // ordered before its guard release). The strong count we reclaim
+        // here is the one `Arc::into_raw` leaked when `old` was published,
+        // so this `from_raw` is the unique reclamation of that reference.
         drop(unsafe { Arc::from_raw(old) });
     }
 
+    /// Spins until every reader guard slot reads zero. Bounded and tiny:
+    /// guards are only held across two atomic increments.
+    #[cfg_attr(feature = "mutation-skip-wait-for-readers", allow(dead_code))]
     fn wait_for_readers(&self) {
         for guard in &self.guards {
             let mut spins = 0u32;
-            while guard.0.load(Ordering::SeqCst) != 0 {
+            while guard.0.load(ord::GUARD_WAIT) != 0 {
                 spins += 1;
                 if spins > 64 {
-                    std::thread::yield_now();
+                    sync::yield_now();
                 } else {
-                    std::hint::spin_loop();
+                    sync::spin_loop_hint();
                 }
             }
         }
@@ -104,7 +165,14 @@ impl<T> IndexHandle<T> {
 
 impl<T> Drop for IndexHandle<T> {
     fn drop(&mut self) {
-        drop(unsafe { Arc::from_raw(self.current.load(Ordering::SeqCst)) });
+        // Relaxed is enough: `&mut self` proves no reader or writer is
+        // concurrent with the drop, so there is nothing to order against.
+        //
+        // SAFETY: `current` always holds the pointer leaked by the
+        // `Arc::into_raw` of the most recent `new`/`store` publication, and
+        // exclusive access means no reader is inside its pin window, so
+        // reclaiming that reference exactly once here is sound.
+        drop(unsafe { Arc::from_raw(self.current.load(Ordering::Relaxed)) });
     }
 }
 
@@ -114,7 +182,7 @@ impl<T: std::fmt::Debug> std::fmt::Debug for IndexHandle<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
 

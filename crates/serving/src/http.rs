@@ -26,9 +26,12 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 
+use serenade_core::ItemScore;
+
 use crate::cluster::ServingCluster;
 use crate::context::RequestContext;
 use crate::engine::RecommendRequest;
+use crate::error::ServingError;
 use crate::json::{self, JsonValue};
 
 /// Largest request body accepted; bigger requests get `413` and the
@@ -255,6 +258,7 @@ fn respond(request: &Request, cluster: &ServingCluster, ctx: &mut RequestContext
                         ("requests", JsonValue::Number(s.requests as f64)),
                         ("depersonalised", JsonValue::Number(s.depersonalised as f64)),
                         ("empty_responses", JsonValue::Number(s.empty_responses as f64)),
+                        ("errors", JsonValue::Number(s.errors as f64)),
                         ("live_sessions", JsonValue::Number(pod.live_sessions() as f64)),
                         ("busy_ms", JsonValue::Number(s.busy.as_millis() as f64)),
                     ];
@@ -279,25 +283,57 @@ fn respond(request: &Request, cluster: &ServingCluster, ctx: &mut RequestContext
             (200, JsonValue::object([("pods", JsonValue::Array(pods))]).to_json())
         }
         ("POST", "/recommend") => match parse_recommend_request(&request.body) {
-            Ok(req) => {
-                let recs = cluster.handle_with(req, ctx);
-                let items: Vec<JsonValue> = recs
-                    .iter()
-                    .map(|r| {
-                        JsonValue::object([
-                            ("item_id", JsonValue::Number(r.item as f64)),
-                            ("score", JsonValue::Number(f64::from(r.score))),
-                        ])
-                    })
-                    .collect();
-                (200, JsonValue::object([("recommendations", JsonValue::Array(items))]).to_json())
-            }
+            Ok(req) => match recommend_guarded(cluster, req, ctx) {
+                Ok(recs) => {
+                    let items: Vec<JsonValue> = recs
+                        .iter()
+                        .map(|r| {
+                            JsonValue::object([
+                                ("item_id", JsonValue::Number(r.item as f64)),
+                                ("score", JsonValue::Number(f64::from(r.score))),
+                            ])
+                        })
+                        .collect();
+                    (
+                        200,
+                        JsonValue::object([("recommendations", JsonValue::Array(items))])
+                            .to_json(),
+                    )
+                }
+                Err(e) => (
+                    e.status(),
+                    JsonValue::object([("error", JsonValue::String(e.to_string()))]).to_json(),
+                ),
+            },
             Err(message) => {
                 (400, JsonValue::object([("error", JsonValue::String(message))]).to_json())
             }
         },
         _ => (404, JsonValue::object([("error", JsonValue::String("not found".into()))]).to_json()),
     }
+}
+
+/// Runs `f` behind an unwind barrier: a panic becomes a typed error (and a
+/// `500`) instead of unwinding the worker's keep-alive loop and killing
+/// every request multiplexed on the connection.
+fn unwind_barrier<R>(f: impl FnOnce() -> Result<R, ServingError>) -> Result<R, ServingError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|m| (*m).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| String::from("unknown panic"));
+        Err(ServingError::Panicked(msg))
+    })
+}
+
+/// Engine dispatch for `POST /recommend`, panic-proofed by [`unwind_barrier`].
+fn recommend_guarded(
+    cluster: &ServingCluster,
+    req: RecommendRequest,
+    ctx: &mut RequestContext,
+) -> Result<Vec<ItemScore>, ServingError> {
+    unwind_barrier(|| cluster.handle_with(req, ctx))
 }
 
 fn parse_recommend_request(body: &str) -> Result<RecommendRequest, String> {
@@ -417,8 +453,35 @@ impl HttpClient {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
+    mod barrier {
+        use crate::error::ServingError;
+        use crate::http::unwind_barrier;
+
+        #[test]
+        fn passes_ok_and_typed_errors_through() {
+            assert_eq!(unwind_barrier(|| Ok(3)), Ok(3));
+            assert_eq!(
+                unwind_barrier(|| Err::<(), _>(ServingError::Internal("x"))),
+                Err(ServingError::Internal("x"))
+            );
+        }
+
+        #[test]
+        fn converts_panics_to_500_errors() {
+            let err = unwind_barrier(|| -> Result<(), ServingError> {
+                panic!("boom at item {}", 7)
+            })
+            .unwrap_err();
+            assert_eq!(err.status(), 500, "panics map to an internal server error");
+            match err {
+                ServingError::Panicked(msg) => assert!(msg.contains("boom at item 7")),
+                other => panic!("expected Panicked, got {other:?}"),
+            }
+        }
+    }
+
     use super::*;
     use crate::engine::EngineConfig;
     use crate::rules::BusinessRules;

@@ -276,7 +276,10 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // The scanned range is ASCII by construction, but a lexer bug must
+        // surface as a parse error on this request, never a worker panic.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| String::from("invalid number encoding"))?;
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| format!("invalid number {text:?} at offset {start}"))

@@ -33,6 +33,7 @@ pub mod absim;
 pub mod cluster;
 pub mod context;
 pub mod engine;
+pub mod error;
 pub mod handle;
 pub mod http;
 pub mod json;
@@ -40,10 +41,12 @@ pub mod loadgen;
 pub mod router;
 pub mod rules;
 pub mod stats;
+pub mod sync;
 
 pub use cluster::ServingCluster;
 pub use context::{RequestContext, StageTimings};
 pub use engine::{Engine, EngineConfig, ServingVariant};
+pub use error::ServingError;
 pub use handle::IndexHandle;
 pub use json::JsonValue;
 pub use router::StickyRouter;

@@ -195,7 +195,7 @@ pub fn run_load_test(
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
     use crate::engine::EngineConfig;

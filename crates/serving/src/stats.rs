@@ -12,11 +12,12 @@
 //! land on different stripes, so the collector never serialises the request
 //! path the way a single recorder mutex would.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
-use parking_lot::Mutex;
 use serenade_metrics::{LatencyRecorder, LatencySummary};
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{self, Mutex};
 
 use crate::context::StageTimings;
 
@@ -43,6 +44,7 @@ pub struct ServingStats {
     requests: AtomicU64,
     depersonalised: AtomicU64,
     empty_responses: AtomicU64,
+    errors: AtomicU64,
     busy_ns: AtomicU64,
     stripes: Box<[Stripe]>,
 }
@@ -53,6 +55,7 @@ impl Default for ServingStats {
             requests: AtomicU64::new(0),
             depersonalised: AtomicU64::new(0),
             empty_responses: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
             busy_ns: AtomicU64::new(0),
             stripes: (0..STRIPES).map(|_| Stripe::default()).collect(),
         }
@@ -68,6 +71,8 @@ pub struct StatsSnapshot {
     pub depersonalised: u64,
     /// Requests that produced an empty recommendation list.
     pub empty_responses: u64,
+    /// Requests that failed with a serving error (HTTP 5xx).
+    pub errors: u64,
     /// Total busy time spent inside request handling.
     pub busy: Duration,
     /// End-to-end latency percentiles, if any requests were recorded.
@@ -88,15 +93,14 @@ impl ServingStats {
 
     #[inline]
     fn stripe(&self) -> &Mutex<StageRecorders> {
-        // Round-robin stripe assignment at first use per thread: workers
-        // spread evenly regardless of how the OS hashes thread ids.
-        thread_local! {
-            static STRIPE: usize = {
-                static NEXT: AtomicUsize = AtomicUsize::new(0);
-                NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES
-            };
-        }
-        &self.stripes[STRIPE.with(|s| *s)].0
+        // Per-thread stripe choice lives in the sync facade so the model
+        // checker can replay it deterministically.
+        &self.stripes[sync::stripe_slot(STRIPES)].0
+    }
+
+    /// Records one failed request (the engine returned a serving error).
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one handled request with its per-stage timing breakdown.
@@ -132,6 +136,7 @@ impl ServingStats {
             requests: self.requests.load(Ordering::Relaxed),
             depersonalised: self.depersonalised.load(Ordering::Relaxed),
             empty_responses: self.empty_responses.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
             busy: Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
             latency: merged.total.summary(),
             session_latency: merged.session.summary(),
@@ -141,7 +146,7 @@ impl ServingStats {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
 

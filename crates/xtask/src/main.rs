@@ -1,0 +1,68 @@
+//! `cargo run -p xtask -- lint` — run the workspace lint pass from the CLI.
+//!
+//! The same pass is wired into tier-1 `cargo test` via
+//! `crates/xtask/tests/workspace_lint.rs`; this binary exists for quick
+//! local runs and for `scripts/check.sh`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`; available tasks: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = match workspace_root() {
+        Some(r) => r,
+        None => {
+            eprintln!("xtask: could not locate the workspace root Cargo.toml");
+            return ExitCode::FAILURE;
+        }
+    };
+    match xtask::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Walks up from the manifest dir (under cargo) or cwd to the `[workspace]`
+/// manifest.
+fn workspace_root() -> Option<PathBuf> {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    let mut dir = start.as_path();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(content) = std::fs::read_to_string(&manifest) {
+            if content.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        dir = dir.parent()?;
+    }
+}

@@ -1,0 +1,21 @@
+//! Tier-1 wiring of the workspace lint: plain `cargo test` fails if any
+//! rule regresses, so the no-panic request path, the SAFETY-comment
+//! discipline, and the `sync`-facade boundary cannot rot silently.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_is_lint_clean() {
+    // crates/xtask -> workspace root.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask lives two levels under the workspace root")
+        .to_path_buf();
+    let violations = xtask::lint_workspace(&root).expect("lint pass must run");
+    assert!(
+        violations.is_empty(),
+        "workspace lint violations:\n{}",
+        violations.iter().map(|v| format!("  {v}\n")).collect::<String>()
+    );
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# One-command verification: tier-1 build+tests, the workspace lint pass, the
+# loom model checks, and the seeded-mutation kill tests (where the checker
+# must FAIL the mutated protocol — their test files assert exactly that).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace lint"
+cargo run -q -p xtask -- lint
+
+echo "==> loom models: serving (IndexHandle publication, stats stripes)"
+cargo test -q -p serenade-serving --features loom
+
+echo "==> loom models: kvstore (TtlStore expiry race)"
+cargo test -q -p serenade-kvstore --features loom
+
+echo "==> mutation kill: wait_for_readers removed"
+cargo test -q -p serenade-serving --features "loom mutation-skip-wait-for-readers" --test loom_models
+
+echo "==> mutation kill: weakened orderings"
+cargo test -q -p serenade-serving --features "loom mutation-weak-orderings" --test loom_models
+
+echo "All checks passed."

@@ -107,12 +107,14 @@ fn serving_variants_agree_with_direct_algorithm_calls() {
     let session: Vec<u64> = dataset.clicks.iter().take(4).map(|c| c.item_id).collect();
     let mut via_engine = Vec::new();
     for &item in &session {
-        via_engine = cluster.handle(RecommendRequest {
-            session_id: 99,
-            item,
-            consent: true,
-            filter_adult: false,
-        });
+        via_engine = cluster
+            .handle(RecommendRequest {
+                session_id: 99,
+                item,
+                consent: true,
+                filter_adult: false,
+            })
+            .unwrap();
     }
     let mut direct = Recommender::recommend(&vmis, &session, 10);
     direct.truncate(10);
