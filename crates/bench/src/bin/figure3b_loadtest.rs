@@ -7,8 +7,12 @@
 //! headline: ~500 requests per second per core with p90 < 7 ms.
 //!
 //! We run the same architecture in-process: a 2-pod sticky-routed cluster
-//! over a replicated index, driven by the open-loop load generator. Duration
-//! is scaled to seconds (`--quick` for a smoke run).
+//! over a replicated index, driven by the open-loop load generator. An HTTP
+//! frontend is started alongside so each ramp step also reports the
+//! *server-side* percentiles scraped from `GET /metrics` (the scrape delta
+//! covers exactly that step's requests) next to the client-side ones, and
+//! the run closes with the slowest request exemplars from `GET /debug/slow`.
+//! Duration is scaled to seconds (`--quick` for a smoke run).
 //!
 //! Run: `cargo run -p serenade-bench --release --bin figure3b_loadtest`
 
@@ -19,7 +23,10 @@ use serenade_bench::{fmt_us, prepare, print_table, BenchArgs};
 use serenade_core::SessionIndex;
 use serenade_dataset::SyntheticConfig;
 use serenade_serving::engine::EngineConfig;
-use serenade_serving::loadgen::{requests_from_sessions, run_load_test, LoadGenConfig};
+use serenade_serving::http::{HttpClient, HttpServer, HttpServerConfig};
+use serenade_serving::loadgen::{
+    requests_from_sessions, run_load_test_scraped, LoadGenConfig,
+};
 use serenade_serving::{BusinessRules, ServingCluster};
 
 fn main() {
@@ -40,22 +47,34 @@ fn main() {
         ServingCluster::new(index, pods, EngineConfig::default(), BusinessRules::none())
             .unwrap(),
     );
+    // HTTP frontend for the /metrics and /debug/slow scrapes; the load itself
+    // drives the cluster in-process, but both paths share the same engines
+    // and therefore the same telemetry registry.
+    let server = HttpServer::serve(Arc::clone(&cluster), HttpServerConfig::default())
+        .expect("metrics frontend");
+    let addr = server.addr();
     let traffic = requests_from_sessions(&split.test);
 
     // Ramp through three target rates like the paper's load curve.
     let seconds = if args.quick { 2 } else { 8 };
     let mut rows = Vec::new();
     for target_rps in [500.0, 1_000.0, 1_500.0] {
-        let report = run_load_test(
+        let scraped = run_load_test_scraped(
             &cluster,
+            addr,
             &traffic,
             LoadGenConfig {
                 target_rps,
                 duration: Duration::from_secs(seconds),
                 workers: 8,
                 window: Duration::from_secs(1),
+                seed: 0xF19_3B,
+                jitter: 0.0,
             },
-        );
+        )
+        .expect("scraped load test");
+        let report = &scraped.report;
+        let server_side = &scraped.server_latency;
         let total = report.total.expect("load test produced samples");
         rows.push(vec![
             format!("{target_rps:.0}"),
@@ -64,8 +83,14 @@ fn main() {
             fmt_us(total.p75_us),
             fmt_us(total.p90_us),
             fmt_us(total.p995_us),
+            fmt_us(server_side.quantile_us(0.75)),
+            fmt_us(server_side.quantile_us(0.90)),
+            fmt_us(server_side.quantile_us(0.995)),
         ]);
-        eprintln!("target {target_rps} rps done ({} requests)", report.completed);
+        eprintln!(
+            "target {target_rps} rps done ({} requests, {} server-side samples)",
+            report.completed, server_side.count as u64
+        );
 
         if target_rps == 1_000.0 {
             println!("per-second windows at 1,000 rps:");
@@ -86,11 +111,36 @@ fn main() {
         }
     }
     print_table(
-        &["target rps", "achieved rps", "core usage", "p75", "p90", "p99.5"],
+        &[
+            "target rps",
+            "achieved rps",
+            "core usage",
+            "p75",
+            "p90",
+            "p99.5",
+            "srv p75",
+            "srv p90",
+            "srv p99.5",
+        ],
         &rows,
     );
+    println!("\n(client-side percentiles from the load generator; srv columns are the");
+    println!("same run scraped from GET /metrics — paper-style server-side view.)");
+
+    // Slow-request exemplars: where did the tail requests spend their time?
+    match HttpClient::connect(addr).and_then(|mut c| c.get("/debug/slow")) {
+        Ok((200, body)) => {
+            println!("\nslowest recent requests (GET /debug/slow, first 200 chars):");
+            let end = body.char_indices().nth(200).map_or(body.len(), |(i, _)| i);
+            println!("{}…", &body[..end]);
+        }
+        Ok((status, _)) => eprintln!("GET /debug/slow returned status {status}"),
+        Err(e) => eprintln!("GET /debug/slow failed: {e}"),
+    }
+
     println!(
         "\nPaper (Fig. 3b): >1,000 rps handled on 2 pods, ~500 rps per busy core,\n\
          p90 < 7ms and p99.5 < 15ms throughout."
     );
+    server.shutdown();
 }

@@ -63,6 +63,13 @@ pub trait SessionStore<K, V>: Send + Sync {
 
     /// Drops every entry, live or expired.
     fn clear(&self);
+
+    /// Cumulative `(lazily expired, swept)` reclamation counts, for
+    /// observability. Implementations that do not track reclamation may
+    /// keep the default `(0, 0)`.
+    fn expiry_counts(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 impl<K, V, C> SessionStore<K, V> for TtlStore<K, V, C>
@@ -102,6 +109,10 @@ where
 
     fn clear(&self) {
         TtlStore::clear(self)
+    }
+
+    fn expiry_counts(&self) -> (u64, u64) {
+        TtlStore::expiry_counts(self)
     }
 }
 

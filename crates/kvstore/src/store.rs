@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
 
 use crate::clock::{Clock, SystemClock};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::Mutex;
 
 /// FxHash-style hasher (local copy; `serenade-kvstore` is dependency-free).
@@ -79,6 +80,12 @@ pub struct StoreStats {
     pub live_entries: usize,
     /// Number of shards.
     pub shards: usize,
+    /// Entries reclaimed lazily: found expired during a read/write/remove
+    /// and dropped (or restarted) on the spot, since startup.
+    pub expired: u64,
+    /// Entries reclaimed eagerly by [`TtlStore::evict_expired`] sweeps,
+    /// since startup.
+    pub swept: u64,
 }
 
 struct Entry<V> {
@@ -95,6 +102,10 @@ pub struct TtlStore<K, V, C: Clock = SystemClock> {
     config: StoreConfig,
     clock: C,
     hasher: FxBuildHasher,
+    /// Entries reclaimed lazily (found expired on access).
+    expired: AtomicU64,
+    /// Entries reclaimed by explicit [`TtlStore::evict_expired`] sweeps.
+    swept: AtomicU64,
 }
 
 impl<K: Hash + Eq, V> TtlStore<K, V, SystemClock> {
@@ -118,6 +129,8 @@ impl<K: Hash + Eq, V, C: Clock> TtlStore<K, V, C> {
             config,
             clock,
             hasher: FxBuildHasher::default(),
+            expired: AtomicU64::new(0),
+            swept: AtomicU64::new(0),
         }
     }
 
@@ -139,7 +152,13 @@ impl<K: Hash + Eq, V, C: Clock> TtlStore<K, V, C> {
         let now = self.clock.now_ms();
         let mut shard = self.shard_of(key).lock();
         let entry = shard.remove(key)?;
-        (entry.expires_at_ms > now).then_some(entry.value)
+        if entry.expires_at_ms > now {
+            Some(entry.value)
+        } else {
+            drop(shard);
+            self.expired.fetch_add(1, Ordering::Relaxed);
+            None
+        }
     }
 
     /// `true` if a live entry exists (does not refresh the TTL).
@@ -163,6 +182,8 @@ impl<K: Hash + Eq, V, C: Clock> TtlStore<K, V, C> {
             }
             Some(_) => {
                 shard.remove(key);
+                drop(shard);
+                self.expired.fetch_add(1, Ordering::Relaxed);
                 None
             }
             None => None,
@@ -189,6 +210,7 @@ impl<K: Hash + Eq, V, C: Clock> TtlStore<K, V, C> {
                 if entry.expires_at_ms <= now {
                     // Expired: restart from the default value.
                     entry.value = default();
+                    self.expired.fetch_add(1, Ordering::Relaxed);
                 }
                 entry.expires_at_ms = expires;
                 f(&mut entry.value)
@@ -210,6 +232,7 @@ impl<K: Hash + Eq, V, C: Clock> TtlStore<K, V, C> {
             shard.retain(|_, e| e.expires_at_ms > now);
             evicted += before - shard.len();
         }
+        self.swept.fetch_add(evicted as u64, Ordering::Relaxed);
         evicted
     }
 
@@ -221,7 +244,18 @@ impl<K: Hash + Eq, V, C: Clock> TtlStore<K, V, C> {
             .iter()
             .map(|s| s.lock().values().filter(|e| e.expires_at_ms > now).count())
             .sum();
-        StoreStats { live_entries: live, shards: self.shards.len() }
+        StoreStats {
+            live_entries: live,
+            shards: self.shards.len(),
+            expired: self.expired.load(Ordering::Relaxed),
+            swept: self.swept.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cumulative `(lazily expired, swept)` reclamation counts — the inputs
+    /// for the serving layer's eviction counters. Lock-free.
+    pub fn expiry_counts(&self) -> (u64, u64) {
+        (self.expired.load(Ordering::Relaxed), self.swept.load(Ordering::Relaxed))
     }
 
     /// Removes all entries.
@@ -270,6 +304,46 @@ mod tests {
         clock.advance_ms(1);
         assert_eq!(s.get(&1), None);
         assert!(!s.contains(&1));
+    }
+
+    #[test]
+    fn expiry_counts_track_lazy_and_swept_reclamation() {
+        let (s, clock) = store(1_000, false);
+        assert_eq!(s.expiry_counts(), (0, 0));
+
+        // Lazy reclamation: a read of an expired entry removes it.
+        s.put(1, vec![1]);
+        clock.advance_ms(1_001);
+        assert_eq!(s.get(&1), None);
+        assert_eq!(s.expiry_counts(), (1, 0));
+
+        // A write landing on an expired entry counts as a lazy expiry too.
+        s.put(2, vec![2]);
+        clock.advance_ms(1_001);
+        s.update_or_insert(2, Vec::new, |v| v.push(3));
+        assert_eq!(s.expiry_counts(), (2, 0));
+
+        // remove() of an expired entry is a lazy expiry, not a removal.
+        s.put(3, vec![3]);
+        clock.advance_ms(1_001);
+        assert_eq!(s.remove(&3), None);
+        assert_eq!(s.expiry_counts(), (3, 0));
+
+        // The sweep accounts for everything it reclaims.
+        for k in 10..15 {
+            s.put(k, vec![k]);
+        }
+        clock.advance_ms(1_001);
+        assert_eq!(s.evict_expired(), 6); // 5 fresh + key 2's rewritten entry
+        let (expired, swept) = s.expiry_counts();
+        assert_eq!((expired, swept), (3, 6));
+        assert_eq!(s.stats().expired, expired);
+        assert_eq!(s.stats().swept, swept);
+
+        // Removing a live entry counts nowhere.
+        s.put(4, vec![4]);
+        assert_eq!(s.remove(&4), Some(vec![4]));
+        assert_eq!(s.expiry_counts(), (3, 6));
     }
 
     #[test]

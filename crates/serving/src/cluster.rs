@@ -13,8 +13,10 @@
 //! keeps serving the old index.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use serenade_core::{CoreError, ItemScore, SessionIndex, VmisKnn};
+use serenade_telemetry::{TraceConfig, TraceSample};
 
 use crate::context::RequestContext;
 use crate::engine::{build_recommender, Engine, EngineConfig, RecommendRequest};
@@ -22,6 +24,7 @@ use crate::error::ServingError;
 use crate::handle::IndexHandle;
 use crate::router::StickyRouter;
 use crate::rules::BusinessRules;
+use crate::telemetry::ClusterTelemetry;
 
 /// A set of serving pods plus the sticky router in front of them.
 pub struct ServingCluster {
@@ -29,6 +32,7 @@ pub struct ServingCluster {
     router: StickyRouter,
     index: Arc<IndexHandle<VmisKnn>>,
     config: EngineConfig,
+    telemetry: Arc<ClusterTelemetry>,
 }
 
 impl ServingCluster {
@@ -40,6 +44,18 @@ impl ServingCluster {
         config: EngineConfig,
         rules: BusinessRules,
     ) -> Result<Self, CoreError> {
+        Self::with_trace_config(index, pods, config, rules, TraceConfig::default())
+    }
+
+    /// [`ServingCluster::new`] with an explicit slow-request trace
+    /// configuration (ring size, sampling rate, slow threshold).
+    pub fn with_trace_config(
+        index: Arc<SessionIndex>,
+        pods: usize,
+        config: EngineConfig,
+        rules: BusinessRules,
+        trace: TraceConfig,
+    ) -> Result<Self, CoreError> {
         let vmis = crate::sync::Arc::new(build_recommender(index, &config)?);
         let handle = Arc::new(IndexHandle::new(vmis));
         let mut engines = Vec::with_capacity(pods);
@@ -50,7 +66,45 @@ impl ServingCluster {
                 rules.clone(),
             )));
         }
-        Ok(Self { pods: engines, router: StickyRouter::new(pods), index: handle, config })
+        let telemetry = Arc::new(ClusterTelemetry::new(trace));
+        for (i, pod) in engines.iter().enumerate() {
+            let label = i.to_string();
+            pod.stats_handle().register_into(telemetry.registry(), &label);
+            let live = Arc::clone(pod);
+            telemetry.registry().polled_gauge(
+                "serenade_live_sessions",
+                "Live (non-expired) sessions stored on the pod.",
+                &[("pod", &label)],
+                move || live.live_sessions() as u64,
+            );
+            let expirations = Arc::clone(pod);
+            telemetry.registry().polled_counter(
+                "serenade_session_expirations_total",
+                "Sessions reclaimed lazily on access after their TTL elapsed.",
+                &[("pod", &label)],
+                move || expirations.session_expiry_counts().0,
+            );
+            let evictions = Arc::clone(pod);
+            telemetry.registry().polled_counter(
+                "serenade_session_evictions_total",
+                "Sessions reclaimed by the eager TTL eviction sweep.",
+                &[("pod", &label)],
+                move || evictions.session_expiry_counts().1,
+            );
+        }
+        Ok(Self {
+            pods: engines,
+            router: StickyRouter::new(pods),
+            index: handle,
+            config,
+            telemetry,
+        })
+    }
+
+    /// The cluster's observability hub (metric registry, trace ring,
+    /// request-id source).
+    pub fn telemetry(&self) -> &Arc<ClusterTelemetry> {
+        &self.telemetry
     }
 
     /// Handles a request on the responsible pod with a per-thread context.
@@ -60,13 +114,33 @@ impl ServingCluster {
     }
 
     /// Handles a request on the responsible pod, reusing the caller's
-    /// per-worker [`RequestContext`].
+    /// per-worker [`RequestContext`]. Successful requests feed the
+    /// slow-request trace ring (subject to its sampling knobs) with the
+    /// per-stage breakdown left on the context.
     pub fn handle_with(
         &self,
         req: RecommendRequest,
         ctx: &mut RequestContext,
     ) -> Result<Vec<ItemScore>, ServingError> {
-        self.pod_for(req.session_id).handle_with(req, ctx)
+        let result = self.pod_for(req.session_id).handle_with(req, ctx);
+        let request_id = ctx.take_request_id();
+        if result.is_ok() {
+            let timings = ctx.last_timings();
+            self.telemetry.traces().record(&TraceSample {
+                request_id: if request_id == 0 {
+                    self.telemetry.next_request_id()
+                } else {
+                    request_id
+                },
+                total_us: timings.total().as_micros() as u64,
+                session_us: timings.session.as_micros() as u64,
+                predict_us: timings.predict.as_micros() as u64,
+                policy_us: timings.policy.as_micros() as u64,
+                session_len: ctx.session_len() as u64,
+                depersonalised: !req.consent,
+            });
+        }
+        result
     }
 
     /// The pod a session is routed to.
@@ -95,8 +169,10 @@ impl ServingCluster {
     /// the version they loaded, and session state survives. On error, no
     /// pod is moved off the old index.
     pub fn reload_index(&self, index: Arc<SessionIndex>) -> Result<(), CoreError> {
+        let started = Instant::now();
         let fresh = crate::sync::Arc::new(build_recommender(index, &self.config)?);
         self.index.store(fresh);
+        self.telemetry.record_rollover(started.elapsed());
         Ok(())
     }
 }

@@ -42,6 +42,12 @@ pub struct RequestContext {
     pub(crate) view: Vec<ItemId>,
     /// Per-stage timings of the most recent request.
     timings: StageTimings,
+    /// Request id assigned at HTTP ingress for the in-flight request
+    /// (0 = unassigned; consumed by the trace recorder).
+    request_id: u64,
+    /// Stored session length after the session stage of the most recent
+    /// request.
+    session_len: usize,
 }
 
 impl RequestContext {
@@ -57,6 +63,27 @@ impl RequestContext {
 
     pub(crate) fn set_timings(&mut self, timings: StageTimings) {
         self.timings = timings;
+    }
+
+    /// Tags the in-flight request with an id (assigned at HTTP ingress so
+    /// one id spans the whole `http → cluster → engine` path).
+    pub fn set_request_id(&mut self, id: u64) {
+        self.request_id = id;
+    }
+
+    /// Takes the in-flight request id, resetting it to 0 (unassigned) so a
+    /// stale id never leaks into the next request on this worker.
+    pub fn take_request_id(&mut self) -> u64 {
+        std::mem::take(&mut self.request_id)
+    }
+
+    /// Stored session length after the most recent request's session stage.
+    pub fn session_len(&self) -> usize {
+        self.session_len
+    }
+
+    pub(crate) fn set_session_len(&mut self, len: usize) {
+        self.session_len = len;
     }
 }
 

@@ -220,16 +220,19 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
     ) -> Result<(), ServingError> {
         let view = &mut ctx.view;
         view.clear();
+        let mut stored_len = 0usize;
         if req.consent {
             let max_len = self.config.max_stored_session_len;
             let variant = self.config.variant;
             let item = req.item;
-            self.sessions.update_or_insert(req.session_id, Vec::new, |items| {
+            let stored_len_out = &mut stored_len;
+            let result = self.sessions.update_or_insert(req.session_id, Vec::new, |items| {
                 items.push(item);
                 if items.len() > max_len {
                     let excess = items.len() - max_len;
                     items.drain(..excess);
                 }
+                *stored_len_out = items.len();
                 match variant {
                     ServingVariant::Hist(n) => {
                         view.extend_from_slice(&items[items.len().saturating_sub(n)..]);
@@ -247,12 +250,15 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
                     ServingVariant::Full => view.extend_from_slice(items),
                 }
                 Ok(())
-            })
+            });
+            ctx.set_session_len(stored_len);
+            result
         } else {
             // Depersonalised: predict from the displayed item only, and drop
             // any previously stored state for this session.
             self.sessions.remove(&req.session_id);
             view.push(req.item);
+            ctx.set_session_len(1);
             Ok(())
         }
     }
@@ -273,6 +279,18 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
     /// Request/latency statistics of this pod.
     pub fn stats(&self) -> crate::stats::StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The live stats collector, for registering this pod's counters and
+    /// histograms into a metrics [`serenade_telemetry::Registry`].
+    pub fn stats_handle(&self) -> &ServingStats {
+        &self.stats
+    }
+
+    /// Cumulative `(lazily expired, swept)` session reclamation counts from
+    /// this pod's store.
+    pub fn session_expiry_counts(&self) -> (u64, u64) {
+        self.sessions.expiry_counts()
     }
 
     /// Number of clicks currently stored for a session.

@@ -11,8 +11,16 @@
 //! * `POST /recommend` with body
 //!   `{"session_id": u64, "item_id": u64, "consent": bool, "filter_adult": bool}`
 //!   → `{"recommendations": [{"item_id": …, "score": …}, …]}`
-//! * `GET /health` → `{"status": "ok"}`
-//! * `GET /stats` → per-pod request counters and latency percentiles
+//! * `GET /health` → `{"status": "ok", "uptime_seconds": …, "index_generation": …}`
+//! * `GET /stats` → per-pod request counters and latency percentiles (JSON)
+//! * `GET /metrics` → the full metric registry in Prometheus text
+//!   exposition format (version 0.0.4)
+//! * `GET /debug/slow` → the slowest recently traced requests with their
+//!   per-stage latency breakdown
+//!
+//! Request ids are assigned here, at ingress, so one id identifies a
+//! request across the whole `http → cluster → engine` path and in the
+//! slow-request traces.
 //!
 //! A [`HttpClient`] with keep-alive support is included for the load
 //! generator and the tests.
@@ -157,7 +165,7 @@ fn handle_connection(
                 // desynchronise keep-alive framing.
                 let body =
                     JsonValue::object([("error", JsonValue::String(message.into()))]).to_json();
-                write_response(&mut writer, status, &body, true)?;
+                write_response(&mut writer, status, &body, CONTENT_TYPE_JSON, true)?;
                 return Ok(());
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock
@@ -168,8 +176,8 @@ fn handle_connection(
             Err(_) => return Ok(()),
         };
         let close = request.close;
-        let (status, body) = respond(&request, cluster, ctx);
-        write_response(&mut writer, status, &body, close)?;
+        let (status, body, content_type) = respond(&request, cluster, ctx);
+        write_response(&mut writer, status, &body, content_type, close)?;
         if close {
             return Ok(());
         }
@@ -241,10 +249,57 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Inbound> {
     Ok(Inbound::Request(Request { method, path, body, close }))
 }
 
-fn respond(request: &Request, cluster: &ServingCluster, ctx: &mut RequestContext) -> (u16, String) {
+/// Response content types. `/metrics` uses the Prometheus text exposition
+/// content type; everything else is JSON.
+const CONTENT_TYPE_JSON: &str = "application/json";
+const CONTENT_TYPE_METRICS: &str = "text/plain; version=0.0.4";
+
+fn respond(
+    request: &Request,
+    cluster: &ServingCluster,
+    ctx: &mut RequestContext,
+) -> (u16, String, &'static str) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/health") => {
-            (200, JsonValue::object([("status", JsonValue::String("ok".into()))]).to_json())
+        ("GET", "/health") => (
+            200,
+            JsonValue::object([
+                ("status", JsonValue::String("ok".into())),
+                (
+                    "uptime_seconds",
+                    JsonValue::Number(cluster.telemetry().uptime_seconds() as f64),
+                ),
+                (
+                    "index_generation",
+                    JsonValue::Number(cluster.telemetry().index_generation() as f64),
+                ),
+            ])
+            .to_json(),
+            CONTENT_TYPE_JSON,
+        ),
+        ("GET", "/metrics") => (200, cluster.telemetry().registry().render(), CONTENT_TYPE_METRICS),
+        ("GET", "/debug/slow") => {
+            let traces: Vec<JsonValue> = cluster
+                .telemetry()
+                .traces()
+                .snapshot()
+                .iter()
+                .map(|t| {
+                    JsonValue::object([
+                        ("request_id", JsonValue::Number(t.request_id as f64)),
+                        ("total_us", JsonValue::Number(t.total_us as f64)),
+                        ("session_us", JsonValue::Number(t.session_us as f64)),
+                        ("predict_us", JsonValue::Number(t.predict_us as f64)),
+                        ("policy_us", JsonValue::Number(t.policy_us as f64)),
+                        ("session_len", JsonValue::Number(t.session_len as f64)),
+                        ("depersonalised", JsonValue::Bool(t.depersonalised)),
+                    ])
+                })
+                .collect();
+            (
+                200,
+                JsonValue::object([("traces", JsonValue::Array(traces))]).to_json(),
+                CONTENT_TYPE_JSON,
+            )
         }
         ("GET", "/stats") => {
             let pods: Vec<JsonValue> = cluster
@@ -280,36 +335,53 @@ fn respond(request: &Request, cluster: &ServingCluster, ctx: &mut RequestContext
                     JsonValue::object(fields)
                 })
                 .collect();
-            (200, JsonValue::object([("pods", JsonValue::Array(pods))]).to_json())
+            (
+                200,
+                JsonValue::object([("pods", JsonValue::Array(pods))]).to_json(),
+                CONTENT_TYPE_JSON,
+            )
         }
         ("POST", "/recommend") => match parse_recommend_request(&request.body) {
-            Ok(req) => match recommend_guarded(cluster, req, ctx) {
-                Ok(recs) => {
-                    let items: Vec<JsonValue> = recs
-                        .iter()
-                        .map(|r| {
-                            JsonValue::object([
-                                ("item_id", JsonValue::Number(r.item as f64)),
-                                ("score", JsonValue::Number(f64::from(r.score))),
-                            ])
-                        })
-                        .collect();
-                    (
-                        200,
-                        JsonValue::object([("recommendations", JsonValue::Array(items))])
-                            .to_json(),
-                    )
+            Ok(req) => {
+                // Ingress id assignment: the trace recorded at the cluster
+                // layer carries this id back out via `GET /debug/slow`.
+                ctx.set_request_id(cluster.telemetry().next_request_id());
+                match recommend_guarded(cluster, req, ctx) {
+                    Ok(recs) => {
+                        let items: Vec<JsonValue> = recs
+                            .iter()
+                            .map(|r| {
+                                JsonValue::object([
+                                    ("item_id", JsonValue::Number(r.item as f64)),
+                                    ("score", JsonValue::Number(f64::from(r.score))),
+                                ])
+                            })
+                            .collect();
+                        (
+                            200,
+                            JsonValue::object([("recommendations", JsonValue::Array(items))])
+                                .to_json(),
+                            CONTENT_TYPE_JSON,
+                        )
+                    }
+                    Err(e) => (
+                        e.status(),
+                        JsonValue::object([("error", JsonValue::String(e.to_string()))]).to_json(),
+                        CONTENT_TYPE_JSON,
+                    ),
                 }
-                Err(e) => (
-                    e.status(),
-                    JsonValue::object([("error", JsonValue::String(e.to_string()))]).to_json(),
-                ),
-            },
-            Err(message) => {
-                (400, JsonValue::object([("error", JsonValue::String(message))]).to_json())
             }
+            Err(message) => (
+                400,
+                JsonValue::object([("error", JsonValue::String(message))]).to_json(),
+                CONTENT_TYPE_JSON,
+            ),
         },
-        _ => (404, JsonValue::object([("error", JsonValue::String("not found".into()))]).to_json()),
+        _ => (
+            404,
+            JsonValue::object([("error", JsonValue::String("not found".into()))]).to_json(),
+            CONTENT_TYPE_JSON,
+        ),
     }
 }
 
@@ -350,6 +422,7 @@ fn write_response(
     writer: &mut TcpStream,
     status: u16,
     body: &str,
+    content_type: &str,
     close: bool,
 ) -> std::io::Result<()> {
     let reason = match status {
@@ -362,7 +435,7 @@ fn write_response(
     let connection = if close { "close" } else { "keep-alive" };
     write!(
         writer,
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
         body.len()
     )?;
     writer.flush()
@@ -511,6 +584,93 @@ mod tests {
         let (status, body) = client.get("/health").unwrap();
         assert_eq!(status, 200);
         assert!(body.contains("ok"));
+        let v = json::parse(&body).unwrap();
+        assert!(v.get("uptime_seconds").and_then(JsonValue::as_u64).is_some(), "{body}");
+        assert_eq!(v.get("index_generation").and_then(JsonValue::as_u64), Some(1), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_is_valid_prometheus_exposition() {
+        let (server, cluster) = start_server(2);
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        for item in 0..6u64 {
+            let (status, _) = client
+                .post(
+                    "/recommend",
+                    &format!(
+                        r#"{{"session_id": {item}, "item_id": {}, "consent": true}}"#,
+                        item % 6
+                    ),
+                )
+                .unwrap();
+            assert_eq!(status, 200);
+        }
+        cluster.reload_index(Arc::new(SessionIndex::build(
+            &[Click::new(1, 0, 10), Click::new(1, 1, 11), Click::new(2, 0, 20), Click::new(2, 1, 21)],
+            500,
+        ).unwrap()))
+        .unwrap();
+        let (status, body) = client.get("/metrics").unwrap();
+        assert_eq!(status, 200);
+        // Structural conformance: unique family names with `# TYPE` lines,
+        // unique series, per-series monotone cumulative buckets, `+Inf`
+        // present and equal to `_count`.
+        let exposition = serenade_telemetry::parse(&body).unwrap();
+        exposition.validate().unwrap();
+        assert_eq!(exposition.kind("serenade_requests_total"), Some("counter"));
+        assert_eq!(exposition.kind("serenade_request_duration_seconds"), Some("histogram"));
+        assert_eq!(exposition.sum_values("serenade_requests_total", &[]), 6.0, "{body}");
+        let total = exposition
+            .histogram("serenade_request_duration_seconds", &[("stage", "total")])
+            .unwrap();
+        assert_eq!(total.count, 6.0);
+        assert!(total.quantile_us(0.9) > 0);
+        assert_eq!(exposition.value("serenade_index_generation", &[]), Some(2.0));
+        assert_eq!(
+            exposition.sum_values("serenade_index_rollover_duration_seconds_count", &[]),
+            1.0
+        );
+        assert_eq!(exposition.sum_values("serenade_live_sessions", &[]), 6.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_slow_reports_per_stage_breakdowns() {
+        let (server, _cluster) = start_server(1);
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        for item in 0..5u64 {
+            let (status, _) = client
+                .post(
+                    "/recommend",
+                    &format!(r#"{{"session_id": 3, "item_id": {}, "consent": true}}"#, item % 6),
+                )
+                .unwrap();
+            assert_eq!(status, 200);
+        }
+        let (status, body) = client.get("/debug/slow").unwrap();
+        assert_eq!(status, 200, "{body}");
+        let v = json::parse(&body).unwrap();
+        let traces = v.get("traces").unwrap().as_array().unwrap();
+        assert!(!traces.is_empty(), "{body}");
+        for t in traces {
+            assert!(t.get("request_id").and_then(JsonValue::as_u64).unwrap() > 0);
+            let total = t.get("total_us").and_then(JsonValue::as_u64).unwrap();
+            let stages = ["session_us", "predict_us", "policy_us"]
+                .iter()
+                .map(|f| t.get(f).and_then(JsonValue::as_u64).unwrap())
+                .sum::<u64>();
+            // Stage micros are truncated individually, so they can undershoot
+            // the (also truncated) total by at most the number of stages.
+            assert!(stages <= total + 3, "stages {stages} vs total {total}");
+            assert!(t.get("session_len").and_then(JsonValue::as_u64).unwrap() >= 1);
+        }
+        // Traces are sorted slowest-first.
+        let totals: Vec<u64> = traces
+            .iter()
+            .map(|t| t.get("total_us").and_then(JsonValue::as_u64).unwrap())
+            .collect();
+        assert!(totals.windows(2).all(|w| w[0] >= w[1]), "{totals:?}");
         server.shutdown();
     }
 

@@ -20,12 +20,16 @@
 //! * [`cluster`] — a multi-pod cluster façade used by the benchmarks;
 //! * [`http`] — a threaded HTTP/1.1 server exposing the engine as a REST
 //!   application (the paper uses Actix; the protocol surface is the same);
-//! * [`loadgen`] — a closed-loop load generator replaying session traffic at
-//!   a target request rate, recording latency percentiles and worker
-//!   busy-time (Figure 3b);
+//! * [`loadgen`] — an open-loop load generator replaying session traffic at
+//!   a target request rate with a seedable, reproducible schedule, recording
+//!   latency percentiles and worker busy-time and optionally scraping
+//!   server-side percentiles from `/metrics` (Figure 3b);
 //! * [`absim`] — a discrete-event A/B-test simulator with a diurnal traffic
 //!   curve and an engagement model (Figure 3c, Section 5.2.3);
-//! * [`stats`] — per-pod request/latency statistics, exposed at `GET /stats`.
+//! * [`stats`] — per-pod request/latency statistics, exposed at `GET /stats`;
+//! * [`telemetry`] — the cluster-wide observability hub: Prometheus metric
+//!   registry (`GET /metrics`), request-id source and slow-request trace
+//!   ring (`GET /debug/slow`).
 
 #![warn(missing_docs)]
 
@@ -42,6 +46,7 @@ pub mod router;
 pub mod rules;
 pub mod stats;
 pub mod sync;
+pub mod telemetry;
 
 pub use cluster::ServingCluster;
 pub use context::{RequestContext, StageTimings};
@@ -52,3 +57,4 @@ pub use json::JsonValue;
 pub use router::StickyRouter;
 pub use rules::BusinessRules;
 pub use stats::{ServingStats, StatsSnapshot};
+pub use telemetry::ClusterTelemetry;

@@ -9,17 +9,30 @@
 //! Besides latency percentiles per reporting window, the generator tracks
 //! worker busy time, from which the benchmark derives the core-usage curve
 //! the paper plots (one core ≙ 100%).
+//!
+//! Runs are **reproducible**: per-request send-time jitter comes from a
+//! seeded hash of the request index ([`scheduled_offset`]), not from worker
+//! timing, so two runs with the same [`LoadGenConfig::seed`] issue the
+//! identical request schedule regardless of thread interleaving.
+//!
+//! When the cluster is also fronted by an [`crate::http::HttpServer`], the
+//! generator can scrape `GET /metrics` before and after a run
+//! ([`run_load_test_scraped`]) and report the *server-side* latency
+//! distribution of exactly the run's window alongside the client-side one.
 
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serenade_dataset::Session;
 use serenade_metrics::{LatencyRecorder, LatencySummary};
+use serenade_telemetry::ScrapedHistogram;
 
 use crate::cluster::ServingCluster;
 use crate::context::RequestContext;
 use crate::engine::RecommendRequest;
+use crate::http::HttpClient;
 
 /// Load-test parameters.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +45,11 @@ pub struct LoadGenConfig {
     pub workers: usize,
     /// Reporting-window length.
     pub window: Duration,
+    /// Seed for the send-time jitter (same seed → identical schedule).
+    pub seed: u64,
+    /// Send-time jitter as a fraction of the inter-request interval
+    /// (0.0 = perfectly periodic, 1.0 = up to one full interval late).
+    pub jitter: f64,
 }
 
 impl Default for LoadGenConfig {
@@ -41,8 +59,31 @@ impl Default for LoadGenConfig {
             duration: Duration::from_secs(10),
             workers: 8,
             window: Duration::from_secs(1),
+            seed: 0,
+            jitter: 0.0,
         }
     }
+}
+
+/// SplitMix64 finaliser: a cheap, high-quality u64 → u64 mixer.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The scheduled send time of request `i` on the test's global clock:
+/// `i × interval` plus seeded jitter. Pure function of its arguments —
+/// workers may pick requests in any order and the schedule is unchanged.
+pub fn scheduled_offset(i: usize, interval: Duration, seed: u64, jitter: f64) -> Duration {
+    let base = interval.mul_f64(i as f64);
+    if jitter <= 0.0 {
+        return base;
+    }
+    // 53 high bits → a uniform f64 in [0, 1).
+    let unit = (splitmix64(seed ^ i as u64) >> 11) as f64 / (1u64 << 53) as f64;
+    base + interval.mul_f64(unit * jitter.min(1.0))
 }
 
 /// Latency and throughput of one reporting window.
@@ -129,10 +170,14 @@ pub fn run_load_test(
                     let mut ctx = RequestContext::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        let scheduled = interval.mul_f64(i as f64);
-                        if scheduled >= config.duration {
+                        // Terminate on the un-jittered base offset so the
+                        // request *count* is independent of the seed; jitter
+                        // only moves send times within the run.
+                        if interval.mul_f64(i as f64) >= config.duration {
                             break;
                         }
+                        let scheduled =
+                            scheduled_offset(i, interval, config.seed, config.jitter);
                         // Open loop: wait for this request's slot.
                         loop {
                             let now = start.elapsed();
@@ -195,6 +240,49 @@ pub fn run_load_test(
     }
 }
 
+/// Scrapes `GET /metrics` at `addr` and returns the end-to-end request
+/// latency histogram (`serenade_request_duration_seconds{stage="total"}`),
+/// merged across all pods. Errors if the scrape fails or the family is
+/// missing from the exposition.
+pub fn scrape_total_latency(addr: SocketAddr) -> std::io::Result<ScrapedHistogram> {
+    let to_err = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut client = HttpClient::connect(addr)?;
+    let (status, body) = client.get("/metrics")?;
+    if status != 200 {
+        return Err(to_err(format!("GET /metrics returned status {status}")));
+    }
+    let exposition = serenade_telemetry::parse(&body).map_err(to_err)?;
+    exposition
+        .histogram("serenade_request_duration_seconds", &[("stage", "total")])
+        .ok_or_else(|| to_err("no serenade_request_duration_seconds{stage=\"total\"}".into()))
+}
+
+/// A [`LoadReport`] paired with the server-side latency distribution of the
+/// same run, obtained by scraping `/metrics` before and after the test and
+/// differencing the cumulative histograms.
+#[derive(Debug, Clone)]
+pub struct ScrapedLoadReport {
+    /// The client-side report.
+    pub report: LoadReport,
+    /// Server-side latency delta over the run window.
+    pub server_latency: ScrapedHistogram,
+}
+
+/// [`run_load_test`] bracketed by `/metrics` scrapes against the HTTP
+/// frontend at `addr`, so the report also carries the *server-side* view of
+/// exactly this run's requests (the scrape delta excludes earlier traffic).
+pub fn run_load_test_scraped(
+    cluster: &Arc<ServingCluster>,
+    addr: SocketAddr,
+    traffic: &[RecommendRequest],
+    config: LoadGenConfig,
+) -> std::io::Result<ScrapedLoadReport> {
+    let before = scrape_total_latency(addr)?;
+    let report = run_load_test(cluster, traffic, config);
+    let after = scrape_total_latency(addr)?;
+    Ok(ScrapedLoadReport { report, server_latency: after.delta(&before) })
+}
+
 #[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
@@ -246,6 +334,7 @@ mod tests {
             duration: Duration::from_millis(800),
             workers: 4,
             window: Duration::from_millis(200),
+            ..LoadGenConfig::default()
         };
         let report = run_load_test(&cluster, &traffic, config);
         // ~320 requests expected; allow generous slack for CI noise.
@@ -263,5 +352,63 @@ mod tests {
     fn empty_traffic_is_rejected() {
         let cluster = cluster();
         run_load_test(&cluster, &[], LoadGenConfig::default());
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let interval = Duration::from_micros(500);
+        let a: Vec<Duration> =
+            (0..256).map(|i| scheduled_offset(i, interval, 7, 0.5)).collect();
+        let b: Vec<Duration> =
+            (0..256).map(|i| scheduled_offset(i, interval, 7, 0.5)).collect();
+        assert_eq!(a, b, "same seed must produce the identical schedule");
+
+        let c: Vec<Duration> =
+            (0..256).map(|i| scheduled_offset(i, interval, 8, 0.5)).collect();
+        assert_ne!(a, c, "a different seed must move at least one send time");
+
+        // Jitter is bounded by one interval and never pulls a send earlier
+        // than its periodic slot.
+        for (i, &t) in a.iter().enumerate() {
+            let base = interval.mul_f64(i as f64);
+            assert!(t >= base && t < base + interval, "request {i} out of range");
+        }
+
+        // jitter = 0 degrades to the perfectly periodic schedule.
+        for i in 0..32 {
+            assert_eq!(
+                scheduled_offset(i, interval, 99, 0.0),
+                interval.mul_f64(i as f64)
+            );
+        }
+    }
+
+    #[test]
+    fn scraped_run_reports_server_side_latency() {
+        use crate::http::{HttpServer, HttpServerConfig};
+        let cluster = cluster();
+        let server =
+            HttpServer::serve(Arc::clone(&cluster), HttpServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let traffic = requests_from_sessions(&sessions());
+        let config = LoadGenConfig {
+            target_rps: 300.0,
+            duration: Duration::from_millis(400),
+            workers: 2,
+            window: Duration::from_millis(200),
+            seed: 42,
+            jitter: 0.3,
+        };
+        let scraped = run_load_test_scraped(&cluster, addr, &traffic, config).unwrap();
+        // The loadgen drives the cluster directly (not through HTTP), but the
+        // engines record into the same histograms the server exposes, so the
+        // scrape delta must cover exactly the run's requests.
+        assert_eq!(
+            scraped.server_latency.count as usize,
+            scraped.report.completed,
+            "scrape delta should match completed requests"
+        );
+        assert!(scraped.server_latency.quantile_us(0.9) >= scraped.server_latency.quantile_us(0.5));
+        server.shutdown();
     }
 }

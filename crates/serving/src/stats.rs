@@ -2,62 +2,73 @@
 //!
 //! The paper's operational story (Sections 5.2.2–5.2.3, 7) rests on being
 //! able to watch request rate, latency percentiles and core usage per pod.
-//! This module provides the in-process equivalent: a lock-striped stats
-//! collector every [`crate::engine::Engine`] feeds, exposed over HTTP as
-//! `GET /stats` and queryable in-process for the dashboards the benchmarks
-//! print. Latency is recorded per pipeline stage (session / predict /
-//! policy), so the breakdown of where a request's time went is first-class.
+//! This module provides the in-process equivalent: a stats collector every
+//! [`crate::engine::Engine`] feeds, exposed over HTTP as `GET /stats` and
+//! queryable in-process for the dashboards the benchmarks print. Latency is
+//! recorded per pipeline stage (session / predict / policy), so the
+//! breakdown of where a request's time went is first-class.
 //!
-//! Recording takes one stripe lock chosen per thread: concurrent workers
-//! land on different stripes, so the collector never serialises the request
-//! path the way a single recorder mutex would.
+//! Recording is lock-free: counters are relaxed atomics and latency goes
+//! into `serenade-telemetry`'s sharded log-linear histograms, so memory is
+//! bounded at O(buckets × shards) per stage regardless of how many requests
+//! the pod has served (the previous design kept every raw sample in striped
+//! `LatencyRecorder`s, growing without bound). Percentiles reported in
+//! [`StatsSnapshot`] are therefore estimates within
+//! [`serenade_telemetry::REL_ERROR_BOUND`] of the exact order statistics;
+//! `count`, `mean_us`, `min_us` and `max_us` stay exact.
+//!
+//! The same counter/histogram handles can be registered into a
+//! [`Registry`] (see [`ServingStats::register_into`]) so `GET /metrics`
+//! exposes them in Prometheus text format without double bookkeeping.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use serenade_metrics::{LatencyRecorder, LatencySummary};
-
-use crate::sync::atomic::{AtomicU64, Ordering};
-use crate::sync::{self, Mutex};
+use serenade_metrics::LatencySummary;
+use serenade_telemetry::{Counter, Histogram, HistogramConfig, HistogramSnapshot, Registry};
 
 use crate::context::StageTimings;
 
-/// Number of independently locked recorder stripes.
-const STRIPES: usize = 8;
-
-/// Keeps each stripe's mutex on its own cache line.
-#[repr(align(64))]
-#[derive(Debug, Default)]
-struct Stripe(Mutex<StageRecorders>);
-
-/// One stripe's latency recorders: total plus the three pipeline stages.
-#[derive(Debug, Default)]
-struct StageRecorders {
-    total: LatencyRecorder,
-    session: LatencyRecorder,
-    predict: LatencyRecorder,
-    policy: LatencyRecorder,
+/// Latency histogram sizing. Production tracks up to an hour at ≤2%
+/// relative error; the loom build shrinks the value range so a model
+/// schedule's step budget is spent on interleavings, not bucket loads.
+fn latency_config() -> HistogramConfig {
+    #[cfg(feature = "loom")]
+    {
+        HistogramConfig { max_value_us: 63, shards: 2 }
+    }
+    #[cfg(not(feature = "loom"))]
+    {
+        HistogramConfig::default()
+    }
 }
 
 /// Thread-safe request statistics for one engine/pod.
 #[derive(Debug)]
 pub struct ServingStats {
-    requests: AtomicU64,
-    depersonalised: AtomicU64,
-    empty_responses: AtomicU64,
-    errors: AtomicU64,
-    busy_ns: AtomicU64,
-    stripes: Box<[Stripe]>,
+    requests: Arc<Counter>,
+    depersonalised: Arc<Counter>,
+    empty_responses: Arc<Counter>,
+    errors: Arc<Counter>,
+    busy_ns: Arc<Counter>,
+    total: Arc<Histogram>,
+    session: Arc<Histogram>,
+    predict: Arc<Histogram>,
+    policy: Arc<Histogram>,
 }
 
 impl Default for ServingStats {
     fn default() -> Self {
         Self {
-            requests: AtomicU64::new(0),
-            depersonalised: AtomicU64::new(0),
-            empty_responses: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            busy_ns: AtomicU64::new(0),
-            stripes: (0..STRIPES).map(|_| Stripe::default()).collect(),
+            requests: Arc::new(Counter::new()),
+            depersonalised: Arc::new(Counter::new()),
+            empty_responses: Arc::new(Counter::new()),
+            errors: Arc::new(Counter::new()),
+            busy_ns: Arc::new(Counter::new()),
+            total: Arc::new(Histogram::new(latency_config())),
+            session: Arc::new(Histogram::new(latency_config())),
+            predict: Arc::new(Histogram::new(latency_config())),
+            policy: Arc::new(Histogram::new(latency_config())),
         }
     }
 }
@@ -85,63 +96,116 @@ pub struct StatsSnapshot {
     pub policy_latency: Option<LatencySummary>,
 }
 
+/// Converts a histogram snapshot into the `LatencySummary` shape the
+/// `/stats` JSON and the benchmark dashboards already consume.
+fn summary(snap: &HistogramSnapshot) -> Option<LatencySummary> {
+    if snap.is_empty() {
+        return None;
+    }
+    Some(LatencySummary {
+        count: snap.count as usize,
+        mean_us: snap.mean_us(),
+        min_us: snap.min_us,
+        p50_us: snap.quantile_us(0.50),
+        p75_us: snap.quantile_us(0.75),
+        p90_us: snap.quantile_us(0.90),
+        p99_us: snap.quantile_us(0.99),
+        p995_us: snap.quantile_us(0.995),
+        max_us: snap.max_us,
+    })
+}
+
 impl ServingStats {
     /// Creates zeroed statistics.
     pub fn new() -> Self {
         Self::default()
     }
 
-    #[inline]
-    fn stripe(&self) -> &Mutex<StageRecorders> {
-        // Per-thread stripe choice lives in the sync facade so the model
-        // checker can replay it deterministically.
-        &self.stripes[sync::stripe_slot(STRIPES)].0
-    }
-
     /// Records one failed request (the engine returned a serving error).
     pub fn record_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     /// Records one handled request with its per-stage timing breakdown.
     pub fn record(&self, timings: StageTimings, depersonalised: bool, response_len: usize) {
         let total = timings.total();
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
         if depersonalised {
-            self.depersonalised.fetch_add(1, Ordering::Relaxed);
+            self.depersonalised.inc();
         }
         if response_len == 0 {
-            self.empty_responses.fetch_add(1, Ordering::Relaxed);
+            self.empty_responses.inc();
         }
-        self.busy_ns.fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
-        let mut recorders = self.stripe().lock();
-        recorders.total.record(total);
-        recorders.session.record(timings.session);
-        recorders.predict.record(timings.predict);
-        recorders.policy.record(timings.policy);
+        self.busy_ns.add(total.as_nanos() as u64);
+        self.total.record(total);
+        self.session.record(timings.session);
+        self.predict.record(timings.predict);
+        self.policy.record(timings.policy);
     }
 
-    /// Takes a snapshot (percentiles computed on the samples so far, merged
-    /// across all stripes).
+    /// Takes a snapshot (quantiles estimated from the bounded histograms,
+    /// merged across recording shards; counts and extremes exact).
     pub fn snapshot(&self) -> StatsSnapshot {
-        let mut merged = StageRecorders::default();
-        for stripe in self.stripes.iter() {
-            let recorders = stripe.0.lock();
-            merged.total.merge(&recorders.total);
-            merged.session.merge(&recorders.session);
-            merged.predict.merge(&recorders.predict);
-            merged.policy.merge(&recorders.policy);
-        }
         StatsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            depersonalised: self.depersonalised.load(Ordering::Relaxed),
-            empty_responses: self.empty_responses.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            busy: Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
-            latency: merged.total.summary(),
-            session_latency: merged.session.summary(),
-            predict_latency: merged.predict.summary(),
-            policy_latency: merged.policy.summary(),
+            requests: self.requests.get(),
+            depersonalised: self.depersonalised.get(),
+            empty_responses: self.empty_responses.get(),
+            errors: self.errors.get(),
+            busy: Duration::from_nanos(self.busy_ns.get()),
+            latency: summary(&self.total.snapshot()),
+            session_latency: summary(&self.session.snapshot()),
+            predict_latency: summary(&self.predict.snapshot()),
+            policy_latency: summary(&self.policy.snapshot()),
+        }
+    }
+
+    /// Registers this pod's counters and stage histograms into `registry`
+    /// under the serenade metric names, labelled `pod=<pod>`. The registry
+    /// shares the live handles — no copying, no separate bookkeeping.
+    pub fn register_into(&self, registry: &Registry, pod: &str) {
+        let pod_label = [("pod", pod)];
+        registry.counter_shared(
+            "serenade_requests_total",
+            "Requests handled since startup.",
+            &pod_label,
+            Arc::clone(&self.requests),
+        );
+        registry.counter_shared(
+            "serenade_depersonalised_total",
+            "Requests served in depersonalised (no-consent) mode.",
+            &pod_label,
+            Arc::clone(&self.depersonalised),
+        );
+        registry.counter_shared(
+            "serenade_empty_responses_total",
+            "Requests that produced an empty recommendation list.",
+            &pod_label,
+            Arc::clone(&self.empty_responses),
+        );
+        registry.counter_shared(
+            "serenade_errors_total",
+            "Requests that failed with a serving error.",
+            &pod_label,
+            Arc::clone(&self.errors),
+        );
+        registry.counter_shared(
+            "serenade_handler_busy_nanoseconds_total",
+            "Cumulative busy time spent inside request handling.",
+            &pod_label,
+            Arc::clone(&self.busy_ns),
+        );
+        for (stage, histogram) in [
+            ("total", &self.total),
+            ("session", &self.session),
+            ("predict", &self.predict),
+            ("policy", &self.policy),
+        ] {
+            registry.histogram_shared(
+                "serenade_request_duration_seconds",
+                "Request latency by pipeline stage.",
+                &[("pod", pod), ("stage", stage)],
+                Arc::clone(histogram),
+            );
         }
     }
 }
@@ -193,6 +257,43 @@ mod tests {
         assert!(snap.session_latency.is_none());
         assert!(snap.predict_latency.is_none());
         assert!(snap.policy_latency.is_none());
+    }
+
+    #[test]
+    fn quantiles_stay_within_the_documented_bound() {
+        let s = ServingStats::new();
+        for us in 1..=1_000u64 {
+            s.record(timings(0, us, 0), false, 5);
+        }
+        let lat = s.snapshot().predict_latency.unwrap();
+        let tolerance = |exact: u64| (exact as f64 * serenade_telemetry::REL_ERROR_BOUND) as u64 + 1;
+        assert!(lat.p50_us.abs_diff(500) <= tolerance(500), "p50 {}", lat.p50_us);
+        assert!(lat.p90_us.abs_diff(900) <= tolerance(900), "p90 {}", lat.p90_us);
+        assert!(lat.p995_us.abs_diff(995) <= tolerance(995), "p995 {}", lat.p995_us);
+        assert_eq!(lat.min_us, 1);
+        assert_eq!(lat.max_us, 1_000);
+    }
+
+    #[test]
+    fn register_into_exposes_the_live_handles() {
+        let registry = Registry::new();
+        let s = ServingStats::new();
+        s.register_into(&registry, "0");
+        s.record(timings(10, 100, 1), true, 0);
+        s.record_error();
+        let text = registry.render();
+        assert!(text.contains("serenade_requests_total{pod=\"0\"} 1"), "{text}");
+        assert!(text.contains("serenade_depersonalised_total{pod=\"0\"} 1"), "{text}");
+        assert!(text.contains("serenade_empty_responses_total{pod=\"0\"} 1"), "{text}");
+        assert!(text.contains("serenade_errors_total{pod=\"0\"} 1"), "{text}");
+        assert!(
+            text.contains("serenade_request_duration_seconds_count{pod=\"0\",stage=\"total\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serenade_request_duration_seconds_count{pod=\"0\",stage=\"predict\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

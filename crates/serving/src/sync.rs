@@ -7,10 +7,11 @@
 //! re-exports the deterministic model-checker shims, so the same source is
 //! explored schedule-by-schedule inside `loom::model`.
 //!
-//! The facade also owns the two per-thread slot choosers
-//! ([`reader_slot`], [`stripe_slot`]): in std mode they are round-robin
-//! `thread_local!` assignments (which a model checker cannot replay), in
-//! loom mode they derive from the deterministic model thread index.
+//! The facade also owns the per-thread slot chooser ([`reader_slot`]): in
+//! std mode it is a round-robin `thread_local!` assignment (which a model
+//! checker cannot replay), in loom mode it derives from the deterministic
+//! model thread index. (Stats striping moved into `serenade-telemetry`'s
+//! sharded histograms, which carry their own facade.)
 
 /// Model-checked mode: every primitive routes through the `loom` shim.
 #[cfg(feature = "loom")]
@@ -38,11 +39,6 @@ mod imp {
     /// Deterministic reader-guard slot for [`crate::handle::IndexHandle`].
     pub fn reader_slot(slots: usize) -> usize {
         loom::thread::current_index() % slots
-    }
-
-    /// Deterministic stripe choice for [`crate::stats::ServingStats`].
-    pub fn stripe_slot(stripes: usize) -> usize {
-        loom::thread::current_index() % stripes
     }
 }
 
@@ -89,18 +85,6 @@ mod imp {
         }
         static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
         round_robin(&SLOT, &NEXT, slots)
-    }
-
-    /// Stripe choice for [`crate::stats::ServingStats`], independently
-    /// round-robined from [`reader_slot`] so the two stripings stay
-    /// uncorrelated.
-    pub fn stripe_slot(stripes: usize) -> usize {
-        thread_local! {
-            static STRIPE: std::cell::OnceCell<usize> =
-                const { std::cell::OnceCell::new() };
-        }
-        static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-        round_robin(&STRIPE, &NEXT, stripes)
     }
 }
 

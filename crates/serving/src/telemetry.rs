@@ -1,0 +1,149 @@
+//! Cluster-wide observability: the metric registry, request-id source and
+//! slow-request trace ring behind `GET /metrics` and `GET /debug/slow`.
+//!
+//! One [`ClusterTelemetry`] exists per [`crate::cluster::ServingCluster`].
+//! It owns the `serenade-telemetry` [`Registry`] every pod's counters and
+//! stage histograms are registered into (see
+//! [`crate::stats::ServingStats::register_into`]), the cluster-level
+//! metrics (index generation, uptime, rollover duration), and the
+//! [`TraceRing`] that keeps the N slowest recent requests with their
+//! per-stage breakdown.
+//!
+//! Request ids are assigned by the HTTP layer at ingress (so one id spans
+//! the whole `http → cluster → engine` path) from the monotonically
+//! increasing source here; in-process callers that skip HTTP get an id
+//! assigned at trace-record time instead.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serenade_telemetry::{Gauge, Histogram, HistogramConfig, Registry, TraceConfig, TraceRing};
+
+/// Atomic request-id source. Plain `std` atomics: the id source is not part
+/// of any loom model (the telemetry crate's own primitives are the
+/// model-checked ones).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Observability state shared by every pod of a serving cluster.
+#[derive(Debug)]
+pub struct ClusterTelemetry {
+    registry: Registry,
+    traces: TraceRing,
+    next_request_id: AtomicU64,
+    started: Instant,
+    generation: Arc<Gauge>,
+    rollover_seconds: Arc<Histogram>,
+}
+
+impl ClusterTelemetry {
+    /// Creates the telemetry hub and registers the cluster-level metrics:
+    /// `serenade_index_generation`, `serenade_uptime_seconds` and
+    /// `serenade_index_rollover_duration_seconds`.
+    pub fn new(trace: TraceConfig) -> Self {
+        let registry = Registry::new();
+        let started = Instant::now();
+        let generation = registry.gauge(
+            "serenade_index_generation",
+            "Monotone index version; bumps on every successful rollover.",
+            &[],
+        );
+        generation.set(1);
+        registry.polled_gauge(
+            "serenade_uptime_seconds",
+            "Seconds since the cluster was constructed.",
+            &[],
+            move || started.elapsed().as_secs(),
+        );
+        let rollover_seconds = registry.histogram(
+            "serenade_index_rollover_duration_seconds",
+            "Duration of index rollovers (build + atomic swap).",
+            &[],
+            HistogramConfig { shards: 1, ..HistogramConfig::default() },
+        );
+        Self {
+            registry,
+            traces: TraceRing::new(trace),
+            next_request_id: AtomicU64::new(0),
+            started,
+            generation,
+            rollover_seconds,
+        }
+    }
+
+    /// The metric registry rendered at `GET /metrics`.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The slow-request trace ring served at `GET /debug/slow`.
+    pub fn traces(&self) -> &TraceRing {
+        &self.traces
+    }
+
+    /// Allocates the next request id (monotone, starting at 1; 0 means
+    /// "unassigned" throughout the pipeline).
+    pub fn next_request_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Seconds since cluster construction.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// The currently published index generation (starts at 1).
+    pub fn index_generation(&self) -> u64 {
+        self.generation.get()
+    }
+
+    /// Records one successful rollover: bumps the generation gauge and
+    /// feeds the rollover-duration histogram. Rollovers are externally
+    /// serialised (one publisher), so read-modify-write on the gauge is
+    /// race-free by contract.
+    pub fn record_rollover(&self, took: Duration) {
+        self.generation.set(self.generation.get() + 1);
+        self.rollover_seconds.record(took);
+    }
+}
+
+impl Default for ClusterTelemetry {
+    fn default() -> Self {
+        Self::new(TraceConfig::default())
+    }
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_are_unique_and_nonzero() {
+        let t = ClusterTelemetry::default();
+        let a = t.next_request_id();
+        let b = t.next_request_id();
+        assert!(a > 0);
+        assert_eq!(b, a + 1);
+    }
+
+    #[test]
+    fn rollovers_bump_generation_and_histogram() {
+        let t = ClusterTelemetry::default();
+        assert_eq!(t.index_generation(), 1);
+        t.record_rollover(Duration::from_millis(120));
+        t.record_rollover(Duration::from_millis(80));
+        assert_eq!(t.index_generation(), 3);
+        let text = t.registry().render();
+        assert!(text.contains("serenade_index_generation 3"), "{text}");
+        assert!(
+            text.contains("serenade_index_rollover_duration_seconds_count 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn cluster_metrics_render_uptime() {
+        let t = ClusterTelemetry::default();
+        let text = t.registry().render();
+        assert!(text.contains("# TYPE serenade_uptime_seconds gauge"), "{text}");
+    }
+}

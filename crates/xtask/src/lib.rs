@@ -23,6 +23,11 @@
 //! * **R5 shim-wiring** — every directory in `shims/` must be wired into
 //!   the workspace by a `path` dependency, keyed by its package name, and
 //!   documented in `shims/README.md`.
+//! * **R6 record-no-alloc** — in telemetry hot-path modules, functions whose
+//!   name starts with `record` run on every request per worker and must stay
+//!   allocation- and lock-free: no `Vec::push`/`String`/`format!` and no
+//!   mutex acquisition (snapshot/render functions are naturally exempt —
+//!   the rule keys on the function name).
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -58,6 +63,38 @@ const REQUEST_PATH_MODULES: &[&str] = &[
     "crates/kvstore/src/store.rs",
     "crates/kvstore/src/session.rs",
     "crates/kvstore/src/clock.rs",
+    "crates/serving/src/stats.rs",
+    "crates/serving/src/telemetry.rs",
+    "crates/telemetry/src/histogram.rs",
+    "crates/telemetry/src/registry.rs",
+    "crates/telemetry/src/trace.rs",
+];
+
+/// Telemetry modules whose `record*` functions sit on the per-request hot
+/// path (R6). Recording a latency sample must never allocate or take a lock:
+/// an allocation stalls the worker under memory pressure and a mutex turns
+/// the per-shard atomics back into a convoy. Snapshot/render code in the
+/// same files is exempt — the rule keys on the `record` name prefix.
+const RECORD_PATH_MODULES: &[&str] = &[
+    "crates/telemetry/src/histogram.rs",
+    "crates/telemetry/src/registry.rs",
+    "crates/telemetry/src/trace.rs",
+    "crates/serving/src/stats.rs",
+    "crates/serving/src/telemetry.rs",
+];
+
+/// Needles R6 treats as allocation or locking inside a `record*` function.
+const RECORD_ALLOC_NEEDLES: &[&str] = &[
+    ".push(",
+    ".push_str(",
+    "String::",
+    ".to_string(",
+    ".to_owned(",
+    "format!(",
+    "vec![",
+    "Vec::new",
+    "Box::new",
+    ".lock(",
 ];
 
 /// Modules ported to the `sync` facade (R3). Their concurrency primitives
@@ -247,6 +284,7 @@ pub fn scan_file(relpath: &str, content: &str) -> Vec<Violation> {
     let request_path = REQUEST_PATH_MODULES.contains(&relpath);
     let facade = FACADE_MODULES.contains(&relpath);
     let sleep_ok = SLEEP_ALLOWED.contains(&relpath) || is_test_file;
+    let record_path = RECORD_PATH_MODULES.contains(&relpath);
 
     let mut lexer = Lexer::default();
     let mut violations = Vec::new();
@@ -263,6 +301,12 @@ pub fn scan_file(relpath: &str, content: &str) -> Vec<Violation> {
     // "attached" — comment-only lines extend it, any code or blank line
     // consumes/breaks it.
     let mut safety_pending = false;
+
+    // R6: region tracking for `fn record*` bodies, mirroring the test-region
+    // machinery — the region opens at the function's `{` and closes when the
+    // brace depth returns to the level outside it.
+    let mut record_region_until: Option<i32> = None;
+    let mut pending_record_fn = false;
 
     for (idx, raw) in content.lines().enumerate() {
         let lineno = idx + 1;
@@ -296,6 +340,28 @@ pub fn scan_file(relpath: &str, content: &str) -> Vec<Violation> {
             pending_test_attr = true;
         }
 
+        // R6 region transitions (before the depth update, like test regions).
+        let mut record_scan_line = record_region_until.is_some();
+        if record_path {
+            if record_region_until.is_none() && !pending_record_fn {
+                if let Some(pos) = find_token(code, "fn") {
+                    if code[pos + 2..].trim_start().starts_with("record") {
+                        pending_record_fn = true;
+                    }
+                }
+            }
+            if pending_record_fn {
+                if code.contains('{') {
+                    pending_record_fn = false;
+                    record_region_until = Some(depth);
+                    record_scan_line = true;
+                } else if code.contains(';') {
+                    // Bodyless declaration (trait method) — nothing to scan.
+                    pending_record_fn = false;
+                }
+            }
+        }
+
         let depth_before = depth;
         depth += braces(code);
         let in_test = is_test_file
@@ -312,6 +378,12 @@ pub fn scan_file(relpath: &str, content: &str) -> Vec<Violation> {
                 }
                 None => pending_test_attr && depth > depth_before,
             };
+        if let Some(limit) = record_region_until {
+            // The closing-brace line itself was already marked for scanning.
+            if depth <= limit {
+                record_region_until = None;
+            }
+        }
 
         // R1: `unsafe` needs a SAFETY comment attached — in the comment
         // block directly above (blank lines break it) or on the same line.
@@ -349,6 +421,23 @@ pub fn scan_file(relpath: &str, content: &str) -> Vec<Violation> {
                         message: format!(
                             "`{needle}` on the request path (a panic kills the worker's \
                              keep-alive connection); return a typed error or allowlist it"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // R6: no allocation or locking inside `record*` hot-path functions.
+        if record_scan_line && !in_test {
+            for needle in RECORD_ALLOC_NEEDLES {
+                if code.contains(needle) {
+                    violations.push(Violation {
+                        file: relpath.to_string(),
+                        line: lineno,
+                        rule: "record-no-alloc",
+                        message: format!(
+                            "`{needle}` inside a `record*` function; the record path runs \
+                             per request per worker and must not allocate or lock"
                         ),
                     });
                 }
@@ -758,6 +847,50 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "no-sleep");
         assert!(lint("crates/serving/src/loadgen.rs", src).is_empty());
+    }
+
+    #[test]
+    fn record_fn_allocation_is_flagged() {
+        let src = "impl H {\n    pub fn record_us(&self, us: u64) {\n        self.samples.lock().push(us);\n    }\n}\n";
+        let v = lint("crates/telemetry/src/histogram.rs", src);
+        let rules: Vec<_> = v.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"record-no-alloc"), "{v:?}");
+        // Both `.lock(` and `.push(` on the line are reported.
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn record_fn_single_line_body_is_scanned() {
+        let src = "impl H {\n    fn record(&self) { self.tags.push(format!(\"x\")) }\n}\n";
+        let v = lint("crates/telemetry/src/trace.rs", src);
+        assert!(v.iter().any(|x| x.rule == "record-no-alloc"), "{v:?}");
+    }
+
+    #[test]
+    fn allocation_outside_record_fns_is_fine() {
+        // snapshot/render allocate by design; only `record*` is restricted.
+        let src = "impl H {\n    pub fn record_us(&self, us: u64) {\n        self.count.fetch_add(1, Ordering::Relaxed);\n    }\n    pub fn snapshot(&self) -> Vec<u64> {\n        let mut out = Vec::new();\n        out.push(self.count.load(Ordering::Relaxed));\n        out\n    }\n    pub fn render(&self) -> String {\n        format!(\"{}\", self.count.load(Ordering::Relaxed))\n    }\n}\n";
+        assert!(lint("crates/telemetry/src/histogram.rs", src).is_empty());
+    }
+
+    #[test]
+    fn record_rule_only_applies_to_telemetry_hot_path_modules() {
+        // The offline metrics recorder pushes to a Vec by design.
+        let src = "impl R {\n    pub fn record_us(&mut self, us: u64) {\n        self.samples.push(us);\n    }\n}\n";
+        assert!(lint("crates/metrics/src/latency.rs", src).is_empty());
+    }
+
+    #[test]
+    fn record_fn_in_test_module_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn record_all(v: &mut Vec<u64>) { v.push(1); }\n}\n";
+        assert!(lint("crates/telemetry/src/histogram.rs", src).is_empty());
+    }
+
+    #[test]
+    fn telemetry_is_on_the_no_panic_request_path() {
+        let src = "fn record_us(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let v = lint("crates/telemetry/src/histogram.rs", src);
+        assert!(v.iter().any(|x| x.rule == "no-panic-request-path"), "{v:?}");
     }
 
     #[test]

@@ -14,11 +14,17 @@ cargo test -q
 echo "==> workspace lint"
 cargo run -q -p xtask -- lint
 
+echo "==> telemetry: histogram property tests + exposition conformance"
+cargo test -q -p serenade-telemetry
+
 echo "==> loom models: serving (IndexHandle publication, stats stripes)"
 cargo test -q -p serenade-serving --features loom
 
 echo "==> loom models: kvstore (TtlStore expiry race)"
 cargo test -q -p serenade-kvstore --features loom
+
+echo "==> loom models: telemetry (sharded histogram record/snapshot, trace ring)"
+cargo test -q -p serenade-telemetry --features loom
 
 echo "==> mutation kill: wait_for_readers removed"
 cargo test -q -p serenade-serving --features "loom mutation-skip-wait-for-readers" --test loom_models

@@ -106,6 +106,18 @@ pub mod atomic {
         pub fn swap(&self, v: u64, order: Ordering) -> u64 {
             rt::atomic_rmw(self.0.loc(), order, |_| v)
         }
+
+        /// Stores the maximum of the current value and `v`, returning the
+        /// previous value.
+        pub fn fetch_max(&self, v: u64, order: Ordering) -> u64 {
+            rt::atomic_rmw(self.0.loc(), order, |old| old.max(v))
+        }
+
+        /// Stores the minimum of the current value and `v`, returning the
+        /// previous value.
+        pub fn fetch_min(&self, v: u64, order: Ordering) -> u64 {
+            rt::atomic_rmw(self.0.loc(), order, |old| old.min(v))
+        }
     }
 
     /// Model-checked `AtomicBool`.
