@@ -137,7 +137,9 @@ impl ServingCluster {
                 predict_us: timings.predict.as_micros() as u64,
                 policy_us: timings.policy.as_micros() as u64,
                 session_len: ctx.session_len() as u64,
-                depersonalised: !req.consent,
+                // Degraded requests served the depersonalised fallback view,
+                // so the trace marks them the same way.
+                depersonalised: !req.consent || ctx.degraded(),
             });
         }
         result

@@ -7,7 +7,7 @@
 //! hot path shares no mutable state between workers — the seed's global
 //! scratch-pool mutex is gone.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serenade_core::{ItemId, Scratch};
 
@@ -48,6 +48,12 @@ pub struct RequestContext {
     /// Stored session length after the session stage of the most recent
     /// request.
     session_len: usize,
+    /// Absolute deadline for the in-flight request, set at HTTP ingress
+    /// from the first byte of the request frame. `None` = no budget.
+    deadline: Option<Instant>,
+    /// Whether the in-flight request was answered in degraded
+    /// (depersonalised-fallback) mode because its deadline expired.
+    degraded: bool,
 }
 
 impl RequestContext {
@@ -85,6 +91,41 @@ impl RequestContext {
     pub(crate) fn set_session_len(&mut self, len: usize) {
         self.session_len = len;
     }
+
+    /// Sets (or clears) the deadline budget for the in-flight request.
+    /// Assigned at HTTP ingress; stages downstream observe it through
+    /// [`Self::remaining_budget`] and degrade rather than blow the SLA.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+        self.degraded = false;
+    }
+
+    /// The absolute deadline of the in-flight request, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Budget left before the deadline (`None` = no deadline configured;
+    /// `Some(ZERO)` = already expired).
+    pub fn remaining_budget(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether the deadline had already passed at `now`. Takes the probe
+    /// instant as a parameter so stages reuse the `Instant` they already
+    /// captured for timings instead of another clock read.
+    pub fn deadline_expired_at(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+
+    /// Whether the in-flight request was served in degraded mode.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    pub(crate) fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
 }
 
 #[cfg(test)]
@@ -105,5 +146,20 @@ mod tests {
     fn fresh_context_reports_zero_timings() {
         let ctx = RequestContext::new();
         assert_eq!(ctx.last_timings(), StageTimings::default());
+    }
+
+    #[test]
+    fn deadline_budget_and_expiry() {
+        let mut ctx = RequestContext::new();
+        assert!(ctx.remaining_budget().is_none());
+        let now = Instant::now();
+        ctx.set_deadline(Some(now + Duration::from_secs(3600)));
+        assert!(ctx.remaining_budget().is_some_and(|b| b > Duration::from_secs(3000)));
+        assert!(!ctx.deadline_expired_at(now));
+        assert!(ctx.deadline_expired_at(now + Duration::from_secs(3601)));
+        ctx.set_degraded(true);
+        assert!(ctx.degraded());
+        ctx.set_deadline(None);
+        assert!(!ctx.degraded(), "set_deadline resets degraded for the next request");
     }
 }

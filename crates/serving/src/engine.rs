@@ -176,6 +176,14 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
     /// reusing the caller's per-worker [`RequestContext`]. Per-stage
     /// timings are recorded into the pod's stats and left on the context.
     ///
+    /// If the context carries a deadline budget (set at HTTP ingress) that
+    /// has already expired when the session stage completes, the pipeline
+    /// degrades instead of blowing the SLA: the prediction runs over the
+    /// displayed item only (the depersonalised view, whose cost is bounded
+    /// by a single-item query), the context is marked degraded, and the
+    /// pod's `serenade_deadline_degraded_total` counter is bumped. The
+    /// response stays valid — degraded, never dropped.
+    ///
     /// Errors are pipeline invariant violations; the HTTP layer maps them
     /// to a `500` response (and they bump the pod's error counter here).
     pub fn handle_with(
@@ -184,11 +192,20 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
         ctx: &mut RequestContext,
     ) -> Result<Vec<ItemScore>, ServingError> {
         let started = Instant::now();
+        ctx.set_degraded(false);
         if let Err(e) = self.session_stage(&req, ctx) {
             self.stats.record_error();
             return Err(e);
         }
         let session_done = Instant::now();
+        if ctx.deadline_expired_at(session_done) && ctx.view.len() > 1 {
+            // Budget already spent: fall back to the cheapest valid view —
+            // the displayed item alone, exactly the depersonalised shape.
+            let last = ctx.view.len() - 1;
+            ctx.view.drain(..last);
+            ctx.set_degraded(true);
+            self.stats.record_degraded();
+        }
         let mut recs = self.prediction_stage(ctx);
         let predict_done = Instant::now();
         self.policy_stage(&mut recs, req.filter_adult);
@@ -458,6 +475,32 @@ mod tests {
         assert_eq!(snap.session_latency.unwrap().count, 5);
         assert_eq!(snap.predict_latency.unwrap().count, 5);
         assert_eq!(snap.policy_latency.unwrap().count, 5);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_single_item_view() {
+        use std::time::Duration;
+        let e = engine(ServingVariant::Full, BusinessRules::none());
+        let mut ctx = RequestContext::new();
+        e.handle_with(req(7, 0), &mut ctx).unwrap();
+        e.handle_with(req(7, 1), &mut ctx).unwrap();
+        assert!(!ctx.degraded());
+        // A deadline that has already passed forces the fallback view.
+        ctx.set_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        let degraded = e.handle_with(req(7, 2), &mut ctx).unwrap();
+        assert!(ctx.degraded());
+        assert_eq!(e.stats().degraded, 1);
+        // The degraded response equals a fresh single-item prediction.
+        let fresh = engine(ServingVariant::Full, BusinessRules::none());
+        let expected = fresh.handle(req(99, 2)).unwrap();
+        assert_eq!(degraded, expected);
+        // Session state was still updated before the checkpoint.
+        assert_eq!(e.stored_session_len(7), 3);
+        // With budget left, the same engine serves the full view again.
+        ctx.set_deadline(Some(Instant::now() + Duration::from_secs(3600)));
+        e.handle_with(req(7, 3), &mut ctx).unwrap();
+        assert!(!ctx.degraded());
+        assert_eq!(e.stats().degraded, 1);
     }
 
     #[test]

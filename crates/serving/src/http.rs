@@ -1,10 +1,12 @@
-//! A threaded HTTP/1.1 REST front end for the serving cluster.
+//! The HTTP front end: façade over [`crate::server`] plus a test client.
 //!
 //! The paper implements the serving component as an Actix web application;
-//! this module provides the same protocol surface on a hand-rolled server:
-//! a listener thread accepts connections and hands them to a fixed worker
-//! pool over a crossbeam channel; workers speak persistent HTTP/1.1 with
-//! `Content-Length` framing.
+//! this crate provides the same protocol surface on a hand-rolled threaded
+//! server. The implementation lives in [`crate::server`] — a listener
+//! thread with queue-depth admission control, a fixed worker pool, an
+//! explicit per-connection state machine, deadline budgets and a graceful
+//! drain protocol; this module re-exports the public types so existing
+//! `serenade_serving::http::HttpServer` users keep working.
 //!
 //! Endpoints:
 //!
@@ -18,428 +20,29 @@
 //! * `GET /debug/slow` → the slowest recently traced requests with their
 //!   per-stage latency breakdown
 //!
-//! Request ids are assigned here, at ingress, so one id identifies a
-//! request across the whole `http → cluster → engine` path and in the
-//! slow-request traces.
+//! Overload and lifecycle behaviour (new in the request-lifecycle refactor):
+//!
+//! * admission control sheds with `503` + a `retry-after` header when the
+//!   pending-connection queue or the inflight watermark is exceeded, and
+//!   while the server drains;
+//! * framing violations answer a precise 4xx (`400` malformed request line
+//!   or header, `413` oversized body, `431` oversized head) and close;
+//! * slow clients get `408` after `request_read_timeout`; idle keep-alive
+//!   connections are reaped after `idle_timeout`;
+//! * admitted requests carry a deadline budget into the engine, which
+//!   degrades to a depersonalised prediction rather than miss it.
+//!
+//! Request ids are assigned at ingress, so one id identifies a request
+//! across the whole `http → cluster → engine` path and in the slow-request
+//! traces.
 //!
 //! A [`HttpClient`] with keep-alive support is included for the load
 //! generator and the tests.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-
-use serenade_core::ItemScore;
-
-use crate::cluster::ServingCluster;
-use crate::context::RequestContext;
-use crate::engine::RecommendRequest;
-use crate::error::ServingError;
-use crate::json::{self, JsonValue};
-
-/// Largest request body accepted; bigger requests get `413` and the
-/// connection is closed (the unread body would desynchronise keep-alive
-/// framing otherwise).
-const MAX_BODY_BYTES: usize = 1 << 20;
-
-/// Server configuration.
-#[derive(Debug, Clone)]
-pub struct HttpServerConfig {
-    /// Bind address; use port 0 for an ephemeral port.
-    pub addr: String,
-    /// Worker threads handling connections.
-    pub workers: usize,
-}
-
-impl Default for HttpServerConfig {
-    fn default() -> Self {
-        Self { addr: "127.0.0.1:0".to_string(), workers: 4 }
-    }
-}
-
-/// A running server; dropping it (or calling [`HttpServer::shutdown`])
-/// stops the listener and joins all workers.
-pub struct HttpServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    threads: Vec<JoinHandle<()>>,
-}
-
-impl HttpServer {
-    /// Starts serving `cluster` per `config`.
-    pub fn serve(cluster: Arc<ServingCluster>, config: HttpServerConfig) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(1024);
-
-        let mut threads = Vec::with_capacity(config.workers + 1);
-        for _ in 0..config.workers.max(1) {
-            let rx = rx.clone();
-            let cluster = Arc::clone(&cluster);
-            let stop = Arc::clone(&stop);
-            threads.push(std::thread::spawn(move || {
-                // One context per worker: scratch buffers and the session
-                // view live for the thread's lifetime, so the request path
-                // shares no mutable state with other workers.
-                let mut ctx = RequestContext::new();
-                while let Ok(stream) = rx.recv() {
-                    let _ = handle_connection(stream, &cluster, &stop, &mut ctx);
-                }
-            }));
-        }
-
-        let accept_stop = Arc::clone(&stop);
-        threads.push(std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                match stream {
-                    Ok(s) => {
-                        let _ = s.set_read_timeout(Some(Duration::from_millis(250)));
-                        if tx.send(s).is_err() {
-                            break;
-                        }
-                    }
-                    Err(_) => break,
-                }
-            }
-            drop(tx); // closes the channel, workers drain and exit
-        }));
-
-        Ok(Self { addr, stop, threads })
-    }
-
-    /// The bound address (useful with ephemeral ports).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Stops the server and joins all threads.
-    pub fn shutdown(mut self) {
-        self.stop_and_join();
-    }
-
-    fn stop_and_join(&mut self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Wake the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for HttpServer {
-    fn drop(&mut self) {
-        self.stop_and_join();
-    }
-}
-
-fn handle_connection(
-    stream: TcpStream,
-    cluster: &ServingCluster,
-    stop: &AtomicBool,
-    ctx: &mut RequestContext,
-) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        let request = match read_request(&mut reader) {
-            Ok(Inbound::Request(r)) => r,
-            Ok(Inbound::Closed) => return Ok(()), // clean close
-            Ok(Inbound::Reject { status, message }) => {
-                // Protocol error: the body was not (fully) read, so the
-                // stream position is unknown — answer and close rather than
-                // desynchronise keep-alive framing.
-                let body =
-                    JsonValue::object([("error", JsonValue::String(message.into()))]).to_json();
-                write_response(&mut writer, status, &body, CONTENT_TYPE_JSON, true)?;
-                return Ok(());
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock
-                || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue; // idle keep-alive connection; re-check stop flag
-            }
-            Err(_) => return Ok(()),
-        };
-        let close = request.close;
-        let (status, body, content_type) = respond(&request, cluster, ctx);
-        write_response(&mut writer, status, &body, content_type, close)?;
-        if close {
-            return Ok(());
-        }
-    }
-}
-
-struct Request {
-    method: String,
-    path: String,
-    body: String,
-    close: bool,
-}
-
-/// What [`read_request`] produced from the stream.
-enum Inbound {
-    /// A well-framed request.
-    Request(Request),
-    /// The peer closed the connection between requests.
-    Closed,
-    /// A framing violation; respond with `status` and close.
-    Reject { status: u16, message: &'static str },
-}
-
-fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Inbound> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(Inbound::Closed);
-    }
-    let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or_default().to_string();
-    let path = parts.next().unwrap_or_default().to_string();
-
-    let mut content_length = 0usize;
-    let mut close = false;
-    loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Ok(Inbound::Closed);
-        }
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = header.split_once(':') {
-            let name = name.trim().to_ascii_lowercase();
-            let value = value.trim();
-            if name == "content-length" {
-                content_length = match value.parse() {
-                    Ok(n) => n,
-                    Err(_) => {
-                        return Ok(Inbound::Reject {
-                            status: 400,
-                            message: "malformed content-length",
-                        })
-                    }
-                };
-            } else if name == "connection" && value.eq_ignore_ascii_case("close") {
-                close = true;
-            }
-        }
-    }
-    if content_length > MAX_BODY_BYTES {
-        return Ok(Inbound::Reject { status: 413, message: "request body too large" });
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    let body = String::from_utf8(body)
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 body"))?;
-    Ok(Inbound::Request(Request { method, path, body, close }))
-}
-
-/// Response content types. `/metrics` uses the Prometheus text exposition
-/// content type; everything else is JSON.
-const CONTENT_TYPE_JSON: &str = "application/json";
-const CONTENT_TYPE_METRICS: &str = "text/plain; version=0.0.4";
-
-fn respond(
-    request: &Request,
-    cluster: &ServingCluster,
-    ctx: &mut RequestContext,
-) -> (u16, String, &'static str) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/health") => (
-            200,
-            JsonValue::object([
-                ("status", JsonValue::String("ok".into())),
-                (
-                    "uptime_seconds",
-                    JsonValue::Number(cluster.telemetry().uptime_seconds() as f64),
-                ),
-                (
-                    "index_generation",
-                    JsonValue::Number(cluster.telemetry().index_generation() as f64),
-                ),
-            ])
-            .to_json(),
-            CONTENT_TYPE_JSON,
-        ),
-        ("GET", "/metrics") => (200, cluster.telemetry().registry().render(), CONTENT_TYPE_METRICS),
-        ("GET", "/debug/slow") => {
-            let traces: Vec<JsonValue> = cluster
-                .telemetry()
-                .traces()
-                .snapshot()
-                .iter()
-                .map(|t| {
-                    JsonValue::object([
-                        ("request_id", JsonValue::Number(t.request_id as f64)),
-                        ("total_us", JsonValue::Number(t.total_us as f64)),
-                        ("session_us", JsonValue::Number(t.session_us as f64)),
-                        ("predict_us", JsonValue::Number(t.predict_us as f64)),
-                        ("policy_us", JsonValue::Number(t.policy_us as f64)),
-                        ("session_len", JsonValue::Number(t.session_len as f64)),
-                        ("depersonalised", JsonValue::Bool(t.depersonalised)),
-                    ])
-                })
-                .collect();
-            (
-                200,
-                JsonValue::object([("traces", JsonValue::Array(traces))]).to_json(),
-                CONTENT_TYPE_JSON,
-            )
-        }
-        ("GET", "/stats") => {
-            let pods: Vec<JsonValue> = cluster
-                .pods()
-                .iter()
-                .enumerate()
-                .map(|(i, pod)| {
-                    let s = pod.stats();
-                    let mut fields = vec![
-                        ("pod", JsonValue::Number(i as f64)),
-                        ("requests", JsonValue::Number(s.requests as f64)),
-                        ("depersonalised", JsonValue::Number(s.depersonalised as f64)),
-                        ("empty_responses", JsonValue::Number(s.empty_responses as f64)),
-                        ("errors", JsonValue::Number(s.errors as f64)),
-                        ("live_sessions", JsonValue::Number(pod.live_sessions() as f64)),
-                        ("busy_ms", JsonValue::Number(s.busy.as_millis() as f64)),
-                    ];
-                    if let Some(l) = s.latency {
-                        fields.push(("p50_us", JsonValue::Number(l.p50_us as f64)));
-                        fields.push(("p90_us", JsonValue::Number(l.p90_us as f64)));
-                        fields.push(("p995_us", JsonValue::Number(l.p995_us as f64)));
-                    }
-                    for (p50_name, p90_name, summary) in [
-                        ("session_p50_us", "session_p90_us", s.session_latency),
-                        ("predict_p50_us", "predict_p90_us", s.predict_latency),
-                        ("policy_p50_us", "policy_p90_us", s.policy_latency),
-                    ] {
-                        if let Some(l) = summary {
-                            fields.push((p50_name, JsonValue::Number(l.p50_us as f64)));
-                            fields.push((p90_name, JsonValue::Number(l.p90_us as f64)));
-                        }
-                    }
-                    JsonValue::object(fields)
-                })
-                .collect();
-            (
-                200,
-                JsonValue::object([("pods", JsonValue::Array(pods))]).to_json(),
-                CONTENT_TYPE_JSON,
-            )
-        }
-        ("POST", "/recommend") => match parse_recommend_request(&request.body) {
-            Ok(req) => {
-                // Ingress id assignment: the trace recorded at the cluster
-                // layer carries this id back out via `GET /debug/slow`.
-                ctx.set_request_id(cluster.telemetry().next_request_id());
-                match recommend_guarded(cluster, req, ctx) {
-                    Ok(recs) => {
-                        let items: Vec<JsonValue> = recs
-                            .iter()
-                            .map(|r| {
-                                JsonValue::object([
-                                    ("item_id", JsonValue::Number(r.item as f64)),
-                                    ("score", JsonValue::Number(f64::from(r.score))),
-                                ])
-                            })
-                            .collect();
-                        (
-                            200,
-                            JsonValue::object([("recommendations", JsonValue::Array(items))])
-                                .to_json(),
-                            CONTENT_TYPE_JSON,
-                        )
-                    }
-                    Err(e) => (
-                        e.status(),
-                        JsonValue::object([("error", JsonValue::String(e.to_string()))]).to_json(),
-                        CONTENT_TYPE_JSON,
-                    ),
-                }
-            }
-            Err(message) => (
-                400,
-                JsonValue::object([("error", JsonValue::String(message))]).to_json(),
-                CONTENT_TYPE_JSON,
-            ),
-        },
-        _ => (
-            404,
-            JsonValue::object([("error", JsonValue::String("not found".into()))]).to_json(),
-            CONTENT_TYPE_JSON,
-        ),
-    }
-}
-
-/// Runs `f` behind an unwind barrier: a panic becomes a typed error (and a
-/// `500`) instead of unwinding the worker's keep-alive loop and killing
-/// every request multiplexed on the connection.
-fn unwind_barrier<R>(f: impl FnOnce() -> Result<R, ServingError>) -> Result<R, ServingError> {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|payload| {
-        let msg = payload
-            .downcast_ref::<&str>()
-            .map(|m| (*m).to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| String::from("unknown panic"));
-        Err(ServingError::Panicked(msg))
-    })
-}
-
-/// Engine dispatch for `POST /recommend`, panic-proofed by [`unwind_barrier`].
-fn recommend_guarded(
-    cluster: &ServingCluster,
-    req: RecommendRequest,
-    ctx: &mut RequestContext,
-) -> Result<Vec<ItemScore>, ServingError> {
-    unwind_barrier(|| cluster.handle_with(req, ctx))
-}
-
-fn parse_recommend_request(body: &str) -> Result<RecommendRequest, String> {
-    let v = json::parse(body).map_err(|e| format!("invalid json: {e}"))?;
-    let session_id =
-        v.get("session_id").and_then(JsonValue::as_u64).ok_or("missing session_id")?;
-    let item = v.get("item_id").and_then(JsonValue::as_u64).ok_or("missing item_id")?;
-    let consent = v.get("consent").and_then(JsonValue::as_bool).unwrap_or(true);
-    let filter_adult = v.get("filter_adult").and_then(JsonValue::as_bool).unwrap_or(false);
-    Ok(RecommendRequest { session_id, item, consent, filter_adult })
-}
-
-fn write_response(
-    writer: &mut TcpStream,
-    status: u16,
-    body: &str,
-    content_type: &str,
-    close: bool,
-) -> std::io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        413 => "Payload Too Large",
-        _ => "Internal Server Error",
-    };
-    let connection = if close { "close" } else { "keep-alive" };
-    write!(
-        writer,
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
-        body.len()
-    )?;
-    writer.flush()
-}
+pub use crate::server::{HttpServer, HttpServerConfig};
 
 /// A minimal keep-alive HTTP client for tests and the load generator.
 pub struct HttpClient {
@@ -528,37 +131,14 @@ impl HttpClient {
 
 #[cfg(all(test, not(feature = "loom")))]
 mod tests {
-    mod barrier {
-        use crate::error::ServingError;
-        use crate::http::unwind_barrier;
-
-        #[test]
-        fn passes_ok_and_typed_errors_through() {
-            assert_eq!(unwind_barrier(|| Ok(3)), Ok(3));
-            assert_eq!(
-                unwind_barrier(|| Err::<(), _>(ServingError::Internal("x"))),
-                Err(ServingError::Internal("x"))
-            );
-        }
-
-        #[test]
-        fn converts_panics_to_500_errors() {
-            let err = unwind_barrier(|| -> Result<(), ServingError> {
-                panic!("boom at item {}", 7)
-            })
-            .unwrap_err();
-            assert_eq!(err.status(), 500, "panics map to an internal server error");
-            match err {
-                ServingError::Panicked(msg) => assert!(msg.contains("boom at item 7")),
-                other => panic!("expected Panicked, got {other:?}"),
-            }
-        }
-    }
-
     use super::*;
+    use crate::cluster::ServingCluster;
     use crate::engine::EngineConfig;
+    use crate::json::{self, JsonValue};
     use crate::rules::BusinessRules;
     use serenade_core::{Click, SessionIndex};
+    use std::sync::Arc;
+    use std::time::Duration;
 
     fn start_server(pods: usize) -> (HttpServer, Arc<ServingCluster>) {
         let mut clicks = Vec::new();
@@ -632,6 +212,11 @@ mod tests {
             1.0
         );
         assert_eq!(exposition.sum_values("serenade_live_sessions", &[]), 6.0);
+        // The request-lifecycle metrics are registered and counted.
+        assert_eq!(exposition.kind("serenade_http_requests_total"), Some("counter"));
+        assert!(exposition.sum_values("serenade_http_requests_total", &[]) >= 7.0, "{body}");
+        assert_eq!(exposition.value("serenade_http_shed_total", &[("reason", "queue_full")]), Some(0.0));
+        assert!(exposition.value("serenade_http_inflight_requests", &[]).is_some(), "{body}");
         server.shutdown();
     }
 

@@ -18,8 +18,12 @@
 //!   per-stage timings) threaded through `http → cluster → engine`;
 //! * [`router`] — sticky-session partitioning across pods;
 //! * [`cluster`] — a multi-pod cluster façade used by the benchmarks;
-//! * [`http`] — a threaded HTTP/1.1 server exposing the engine as a REST
-//!   application (the paper uses Actix; the protocol surface is the same);
+//! * [`server`] — the request-lifecycle HTTP server: an incremental bounded
+//!   parser, a per-connection state machine, admission control with
+//!   `503 + Retry-After` shedding, deadline budgets and a graceful drain
+//!   protocol (model-checked with loom);
+//! * [`http`] — the REST façade over [`server`] (the paper uses Actix; the
+//!   protocol surface is the same) plus a keep-alive test client;
 //! * [`loadgen`] — an open-loop load generator replaying session traffic at
 //!   a target request rate with a seedable, reproducible schedule, recording
 //!   latency percentiles and worker busy-time and optionally scraping
@@ -44,6 +48,7 @@ pub mod json;
 pub mod loadgen;
 pub mod router;
 pub mod rules;
+pub mod server;
 pub mod stats;
 pub mod sync;
 pub mod telemetry;

@@ -19,6 +19,17 @@
 //! generator can scrape `GET /metrics` before and after a run
 //! ([`run_load_test_scraped`]) and report the *server-side* latency
 //! distribution of exactly the run's window alongside the client-side one.
+//!
+//! A second, **closed-loop** generator ([`run_overload_test`]) drives the
+//! HTTP front end itself past saturation: each client fires its next
+//! request as soon as the previous one is answered, reconnecting whenever
+//! the server closes the connection. Closed-loop is the right shape *for
+//! overload*: the point is not the latency an open-loop frontend would see
+//! (unbounded, by definition, past saturation) but the server's admission
+//! behaviour — every response is classified by status class
+//! ([`StatusBreakdown`]), `503` sheds are tracked separately from other
+//! server errors, and latency percentiles are reported for the *accepted*
+//! (2xx) requests only, which the admission control must keep bounded.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -283,6 +294,172 @@ pub fn run_load_test_scraped(
     Ok(ScrapedLoadReport { report, server_latency: after.delta(&before) })
 }
 
+/// Response counts by status class from a closed-loop overload run.
+/// `shed` counts `503`s separately from other 5xx: a shed is the admission
+/// control *working*, a `server_error` is it failing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusBreakdown {
+    /// 2xx responses (admitted and answered).
+    pub ok: usize,
+    /// 4xx responses (client/framing errors).
+    pub client_error: usize,
+    /// 5xx responses other than `503` sheds.
+    pub server_error: usize,
+    /// `503` responses (shed by admission control).
+    pub shed: usize,
+    /// Failed connection attempts (server unreachable or accept backlog
+    /// full at the OS level).
+    pub connect_failures: usize,
+}
+
+impl StatusBreakdown {
+    /// Total responses received (excluding connect failures).
+    pub fn responses(&self) -> usize {
+        self.ok + self.client_error + self.server_error + self.shed
+    }
+
+    fn classify(&mut self, status: u16) {
+        match status {
+            200..=299 => self.ok += 1,
+            503 => self.shed += 1,
+            400..=499 => self.client_error += 1,
+            500..=599 => self.server_error += 1,
+            _ => self.server_error += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &StatusBreakdown) {
+        self.ok += other.ok;
+        self.client_error += other.client_error;
+        self.server_error += other.server_error;
+        self.shed += other.shed;
+        self.connect_failures += other.connect_failures;
+    }
+}
+
+/// Parameters of a closed-loop overload run.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// Concurrent closed-loop clients. Size this past the server's worker
+    /// count (≈2× saturation) to exercise the admission control.
+    pub clients: usize,
+    /// Run duration.
+    pub duration: Duration,
+    /// Pause before a client retries after a failed connect.
+    pub reconnect_backoff: Duration,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        Self {
+            clients: 16,
+            duration: Duration::from_secs(2),
+            reconnect_backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Outcome of a closed-loop overload run.
+#[derive(Debug, Clone)]
+pub struct OverloadReport {
+    /// Responses by status class.
+    pub breakdown: StatusBreakdown,
+    /// Latency percentiles of the *accepted* (2xx) responses only — the
+    /// population whose tail the admission control promises to bound.
+    pub accepted_latency: Option<LatencySummary>,
+    /// Achieved response rate across all classes.
+    pub achieved_rps: f64,
+}
+
+/// Drives the HTTP front end at `addr` with closed-loop clients for
+/// `config.duration`, replaying `traffic` round-robin. Clients reconnect
+/// whenever the server closes the connection (sheds, rejects, keep-alive
+/// caps), so the run keeps pressure on the accept gate throughout.
+pub fn run_overload_test(
+    addr: SocketAddr,
+    traffic: &[RecommendRequest],
+    config: OverloadConfig,
+) -> OverloadReport {
+    assert!(!traffic.is_empty(), "traffic must not be empty");
+    let start = Instant::now();
+    let next = AtomicUsize::new(0);
+
+    struct ClientOut {
+        breakdown: StatusBreakdown,
+        latency: LatencyRecorder,
+    }
+
+    let outs: Vec<ClientOut> = crossbeam::thread::scope(|scope| {
+        let next = &next;
+        let handles: Vec<_> = (0..config.clients.max(1))
+            .map(|_| {
+                scope.spawn(move |_| {
+                    let mut out = ClientOut {
+                        breakdown: StatusBreakdown::default(),
+                        latency: LatencyRecorder::new(),
+                    };
+                    let mut client: Option<HttpClient> = None;
+                    while start.elapsed() < config.duration {
+                        let Some(c) = client.as_mut() else {
+                            match HttpClient::connect(addr) {
+                                Ok(c) => client = Some(c),
+                                Err(_) => {
+                                    out.breakdown.connect_failures += 1;
+                                    std::thread::sleep(config.reconnect_backoff);
+                                }
+                            }
+                            continue;
+                        };
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let req = traffic[i % traffic.len()];
+                        let body = format!(
+                            r#"{{"session_id": {}, "item_id": {}, "consent": {}, "filter_adult": {}}}"#,
+                            req.session_id, req.item, req.consent, req.filter_adult
+                        );
+                        let t0 = Instant::now();
+                        match c.post("/recommend", &body) {
+                            Ok((status, _)) => {
+                                out.breakdown.classify(status);
+                                if (200..=299).contains(&status) {
+                                    out.latency.record(t0.elapsed());
+                                }
+                                // Sheds and rejects close the connection
+                                // server-side; drop the client so the next
+                                // iteration reconnects instead of failing.
+                                if status != 200 {
+                                    client = None;
+                                }
+                            }
+                            Err(_) => {
+                                // The server closed mid-exchange (shed at
+                                // the accept gate after the response, or a
+                                // keep-alive cap); reconnect and continue.
+                                client = None;
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("overload client")).collect()
+    })
+    .expect("overload scope");
+
+    let elapsed = start.elapsed();
+    let mut breakdown = StatusBreakdown::default();
+    let mut latency = LatencyRecorder::new();
+    for o in &outs {
+        breakdown.merge(&o.breakdown);
+        latency.merge(&o.latency);
+    }
+    OverloadReport {
+        achieved_rps: breakdown.responses() as f64 / elapsed.as_secs_f64(),
+        accepted_latency: latency.summary(),
+        breakdown,
+    }
+}
+
 #[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
@@ -381,6 +558,46 @@ mod tests {
                 interval.mul_f64(i as f64)
             );
         }
+    }
+
+    #[test]
+    fn overload_run_sheds_with_503_and_keeps_serving() {
+        use crate::http::{HttpServer, HttpServerConfig};
+        let cluster = cluster();
+        // One worker, a one-slot queue and a keep-alive cap: eight
+        // closed-loop clients are far past saturation, so the accept gate
+        // must shed (and the cap forces churn so no client monopolises the
+        // single worker).
+        let config = HttpServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            keepalive_max_requests: 4,
+            ..HttpServerConfig::default()
+        };
+        let server = HttpServer::serve(Arc::clone(&cluster), config).unwrap();
+        let traffic = requests_from_sessions(&sessions());
+        let report = run_overload_test(
+            server.addr(),
+            &traffic,
+            OverloadConfig {
+                clients: 8,
+                duration: Duration::from_millis(600),
+                ..OverloadConfig::default()
+            },
+        );
+        assert!(report.breakdown.ok > 0, "some requests must be served: {report:?}");
+        assert!(report.breakdown.shed > 0, "overload must shed with 503: {report:?}");
+        assert_eq!(report.breakdown.server_error, 0, "sheds must not be 5xx: {report:?}");
+        assert!(report.accepted_latency.is_some());
+        // Server-side accounting matches: every shed was counted, none
+        // silently dropped.
+        let shed_seen = server.metrics().shed_total();
+        assert!(
+            shed_seen >= report.breakdown.shed as u64,
+            "server counted {shed_seen} sheds, clients saw {}",
+            report.breakdown.shed
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! The accept loop: non-blocking accepts, queue-depth admission, shedding.
+//!
+//! The listener is the single producer of the pending-connection queue, so
+//! its depth check against [`super::HttpServerConfig::queue_capacity`] is
+//! exact: only this thread increments `queue_depth`, therefore a connection
+//! is only enqueued when a slot is provably free and the channel send can
+//! never block. Connections over capacity are shed right here with
+//! `503 + Retry-After` — before they occupy a worker — which is what keeps
+//! accepted-request latency bounded at ~2× saturation.
+//!
+//! The socket is non-blocking and the loop waits on the server's wakeup
+//! condvar between empty accepts, so shutdown interrupts the wait directly
+//! — the seed's throwaway `TcpStream::connect` self-wake is gone.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::Sender;
+
+use crate::sync::atomic::Ordering;
+
+use super::{conn, Shared};
+
+/// How long an empty accept waits on the wakeup condvar before re-polling.
+/// Bounds fresh-connection latency while keeping the idle loop cold.
+const ACCEPT_TICK: Duration = Duration::from_millis(1);
+
+pub(super) fn run(listener: TcpListener, tx: Sender<TcpStream>, shared: Arc<Shared>) {
+    while shared.gate.is_running() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.queue_depth.load(Ordering::SeqCst) >= shared.config.queue_capacity {
+                    shed_at_accept(stream, &shared);
+                    continue;
+                }
+                shared.queue_depth.fetch_add(1, Ordering::SeqCst);
+                if tx.send(stream).is_err() {
+                    // Workers are gone; the server is coming down anyway.
+                    shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                shared.wakeup.wait_timeout(ACCEPT_TICK);
+            }
+            Err(_) => break,
+        }
+    }
+    // Dropping `tx` closes the channel: workers drain the already-queued
+    // connections, then exit on the receive error — no throwaway wake.
+}
+
+/// Sheds one connection at the accept gate: counted, answered
+/// `503 + Retry-After`, closed. Never silent.
+fn shed_at_accept(stream: TcpStream, shared: &Shared) {
+    shared.metrics.shed_queue_full.inc();
+    let mut stream = stream;
+    // Accepted sockets are blocking regardless of the listener's mode;
+    // bound the write so a non-reading client cannot wedge the accept loop.
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let body = crate::json::JsonValue::object([(
+        "error",
+        crate::json::JsonValue::String("server overloaded".into()),
+    )])
+    .to_json();
+    let _ = conn::write_response(
+        &mut stream,
+        503,
+        &body,
+        conn::CONTENT_TYPE_JSON,
+        true,
+        Some(shared.config.retry_after_seconds),
+    );
+}

@@ -1,0 +1,284 @@
+//! The request-lifecycle HTTP server.
+//!
+//! The serving front end, restructured from the seed's monolithic blocking
+//! loop into an explicit request lifecycle (the paper's production
+//! requirement is a hard latency SLA under heavy load, §5.6 — that demands
+//! defined behaviour *under overload*, not just on the happy path):
+//!
+//! * [`parser`] — incremental, bounded HTTP/1.1 parser (pure state machine
+//!   over bytes; head/header-count/body caps; property-tested);
+//! * [`conn`] — the per-connection state machine driver
+//!   (`Idle → ReadingHead → ReadingBody → Handling → Writing`, with
+//!   `Draining`/close terminal) plus endpoint dispatch; owns all socket,
+//!   timeout and deadline-budget concerns;
+//! * [`lifecycle`] — the admission/drain gate shared by listener, workers
+//!   and the shutdown controller (model-checked in `tests/loom_models.rs`);
+//! * [`listener`] — non-blocking accept loop with exact queue-depth
+//!   accounting; sheds over-capacity connections with `503 + Retry-After`;
+//! * [`worker`] — the fixed worker pool;
+//! * [`metrics`] — shed/timeout/reject counters and per-state histograms.
+//!
+//! # Shutdown protocol
+//!
+//! [`HttpServer::shutdown`] drains instead of aborting: the gate flips to
+//! DRAINING (new requests are shed with `503`), the listener wakes from its
+//! condvar wait and exits — dropping the channel sender, which lets workers
+//! finish the queued backlog and exit on the receive error — and the
+//! controller waits until nothing is inflight, queued or active (or the
+//! grace period expires, whereupon the gate is forced to STOPPED and
+//! connections close at their next poll tick). Every accepted request is
+//! answered or shed; none is silently dropped. The seed's throwaway
+//! self-connection wake is gone.
+
+pub mod lifecycle;
+pub mod metrics;
+pub mod parser;
+
+pub(crate) mod conn;
+mod listener;
+mod worker;
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::bounded;
+
+use crate::cluster::ServingCluster;
+use crate::sync::atomic::{AtomicUsize, Ordering};
+
+pub use lifecycle::{Admission, LifecycleGate};
+pub use metrics::{ConnState, ServerMetrics};
+
+/// Server configuration. [`Default`] keeps the seed's behaviour (generous
+/// limits, no inflight watermark); the overload and drain tests tighten the
+/// knobs they exercise.
+#[derive(Debug, Clone)]
+pub struct HttpServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Pending-connection queue capacity; connections beyond it are shed at
+    /// the accept gate with `503 + Retry-After` (min 1).
+    pub queue_capacity: usize,
+    /// Inflight-request watermark; requests beyond it are shed with
+    /// `503 + Retry-After`. `0` = unlimited.
+    pub max_inflight_requests: usize,
+    /// Largest accepted request body; bigger is `413` + close.
+    pub max_body_bytes: usize,
+    /// Cap on the request head (request line + headers); bigger is `431`.
+    pub max_head_bytes: usize,
+    /// Cap on the number of header lines; more is `431`.
+    pub max_headers: usize,
+    /// Requests served per connection before it is closed. `0` = unlimited.
+    pub keepalive_max_requests: usize,
+    /// Socket poll tick: how often a blocked read re-checks drain state and
+    /// timeout budgets. Bounds shutdown latency.
+    pub read_timeout: Duration,
+    /// Slow-client budget for one full request frame; exceeding it is
+    /// `408` + close. `Duration::ZERO` is never exceeded in practice —
+    /// pick a real budget.
+    pub request_read_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// Idle keep-alive reaping budget. `Duration::ZERO` = never reap.
+    pub idle_timeout: Duration,
+    /// Per-request deadline budget, measured from the frame's first byte;
+    /// threaded to the engine, which degrades (depersonalised fallback)
+    /// instead of missing it. `Duration::ZERO` = no budget.
+    pub request_deadline: Duration,
+    /// How long shutdown waits for inflight/queued work before forcing.
+    pub drain_grace: Duration,
+    /// Value of the `retry-after` header on `503` sheds.
+    pub retry_after_seconds: u32,
+}
+
+impl Default for HttpServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 1024,
+            max_inflight_requests: 0,
+            max_body_bytes: 1 << 20,
+            max_head_bytes: 8 * 1024,
+            max_headers: 64,
+            keepalive_max_requests: 0,
+            read_timeout: Duration::from_millis(50),
+            request_read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
+            request_deadline: Duration::from_secs(5),
+            drain_grace: Duration::from_secs(5),
+            retry_after_seconds: 1,
+        }
+    }
+}
+
+/// Coordination wakeup: the listener's empty-accept wait and the drain
+/// controller's quiescence wait both park here, and state changes notify.
+/// Uses `std::sync` directly (not `parking_lot`) because the vendored
+/// `parking_lot` shim carries no `Condvar`; lock poisoning is impossible to
+/// panic on — a poisoned guard is recovered, the protected state is `()`.
+#[derive(Debug, Default)]
+pub(crate) struct Wakeup {
+    lock: std::sync::Mutex<()>,
+    cond: std::sync::Condvar,
+}
+
+impl Wakeup {
+    pub(crate) fn notify_all(&self) {
+        // Take the lock so a notify cannot slip between a waiter's state
+        // check and its park.
+        drop(self.lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
+        self.cond.notify_all();
+    }
+
+    pub(crate) fn wait_timeout(&self, timeout: Duration) {
+        let guard = self.lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = self.cond.wait_timeout(guard, timeout);
+    }
+}
+
+/// State shared by the listener, workers and the shutdown controller.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) config: HttpServerConfig,
+    pub(crate) gate: LifecycleGate,
+    pub(crate) metrics: ServerMetrics,
+    /// Connections accepted but not yet picked up by a worker. The listener
+    /// is the only incrementer (single producer), workers decrement.
+    pub(crate) queue_depth: AtomicUsize,
+    /// Connections currently being driven by a worker.
+    pub(crate) active_connections: AtomicUsize,
+    pub(crate) wakeup: Wakeup,
+}
+
+/// How often the drain controller re-checks quiescence between wakeups.
+const DRAIN_TICK: Duration = Duration::from_millis(1);
+
+/// A running server; dropping it (or calling [`HttpServer::shutdown`])
+/// drains in-flight work and joins all threads.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Starts serving `cluster` per `config`.
+    ///
+    /// Registers the server's lifecycle metrics into the cluster's metric
+    /// registry — run one `HttpServer` per cluster, or the families would
+    /// be registered twice.
+    pub fn serve(cluster: Arc<ServingCluster>, config: HttpServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let mut config = config;
+        config.queue_capacity = config.queue_capacity.max(1);
+        let queue_capacity = config.queue_capacity;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            config,
+            gate: LifecycleGate::new(),
+            metrics: ServerMetrics::new(),
+            queue_depth: AtomicUsize::new(0),
+            active_connections: AtomicUsize::new(0),
+            wakeup: Wakeup::default(),
+        });
+
+        let registry = cluster.telemetry().registry();
+        shared.metrics.register_into(registry);
+        let gauge = Arc::clone(&shared);
+        registry.polled_gauge(
+            "serenade_http_inflight_requests",
+            "Requests currently between admission and completion.",
+            &[],
+            move || gauge.gate.inflight() as u64,
+        );
+        let gauge = Arc::clone(&shared);
+        registry.polled_gauge(
+            "serenade_http_queue_depth",
+            "Accepted connections waiting for a worker.",
+            &[],
+            move || gauge.queue_depth.load(Ordering::SeqCst) as u64,
+        );
+        let gauge = Arc::clone(&shared);
+        registry.polled_gauge(
+            "serenade_http_active_connections",
+            "Connections currently driven by a worker.",
+            &[],
+            move || gauge.active_connections.load(Ordering::SeqCst) as u64,
+        );
+
+        let (tx, rx) = bounded::<TcpStream>(queue_capacity);
+        let mut threads = Vec::with_capacity(workers + 1);
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let cluster = Arc::clone(&cluster);
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || worker::run(rx, cluster, shared)));
+        }
+        let accept_shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || listener::run(listener, tx, accept_shared)));
+
+        Ok(Self { addr, shared, threads })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's lifecycle metrics (sheds, timeouts, per-state time) —
+    /// live handles, also exported at `GET /metrics`.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// Requests currently between admission and completion.
+    pub fn inflight_requests(&self) -> usize {
+        self.shared.gate.inflight()
+    }
+
+    /// Stops the server: drain, then join all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// The drain protocol (see the module docs). Idempotent.
+    fn stop_and_join(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        if self.shared.gate.begin_drain() {
+            // Wake the listener's condvar wait so it stops accepting and
+            // drops the sender — which in turn unblocks every worker.
+            self.shared.wakeup.notify_all();
+            let grace_until = Instant::now() + self.shared.config.drain_grace;
+            loop {
+                let quiesced = self.shared.gate.inflight() == 0
+                    && self.shared.active_connections.load(Ordering::SeqCst) == 0
+                    && self.shared.queue_depth.load(Ordering::SeqCst) == 0;
+                if quiesced || Instant::now() >= grace_until {
+                    break;
+                }
+                self.shared.wakeup.wait_timeout(DRAIN_TICK);
+            }
+            self.shared.gate.force_stop();
+            self.shared.wakeup.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}

@@ -1,0 +1,40 @@
+//! Worker threads: receive queued connections and drive them to completion.
+//!
+//! Each worker owns one [`RequestContext`] for its lifetime — scratch
+//! buffers and the session view are reused across every request the worker
+//! handles, so the steady-state request path allocates nothing and shares
+//! no mutable state with other workers.
+//!
+//! Shutdown needs no flag check here: the listener drops the channel sender
+//! when it stops accepting, the channel hands out the already-queued
+//! connections, and `recv` then errors — the worker drains its share of the
+//! backlog (each connection observes the drain state itself) and exits.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+
+use crate::cluster::ServingCluster;
+use crate::context::RequestContext;
+use crate::sync::atomic::Ordering;
+
+use super::{conn, Shared};
+
+pub(super) fn run(rx: Receiver<TcpStream>, cluster: Arc<ServingCluster>, shared: Arc<Shared>) {
+    let mut ctx = RequestContext::new();
+    while let Ok(stream) = rx.recv() {
+        // Order matters for the drain controller's quiescence check: the
+        // connection becomes `active` *before* its queue slot is released,
+        // so there is no window where it is counted in neither gauge and a
+        // concurrent drain could declare the server empty.
+        shared.active_connections.fetch_add(1, Ordering::SeqCst);
+        shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        let _ = conn::drive(stream, &shared, &cluster, &mut ctx);
+        shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+        if !shared.gate.is_running() {
+            // The drain controller may be waiting for active == 0.
+            shared.wakeup.notify_all();
+        }
+    }
+}

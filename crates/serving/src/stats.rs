@@ -48,6 +48,7 @@ fn latency_config() -> HistogramConfig {
 pub struct ServingStats {
     requests: Arc<Counter>,
     depersonalised: Arc<Counter>,
+    degraded: Arc<Counter>,
     empty_responses: Arc<Counter>,
     errors: Arc<Counter>,
     busy_ns: Arc<Counter>,
@@ -62,6 +63,7 @@ impl Default for ServingStats {
         Self {
             requests: Arc::new(Counter::new()),
             depersonalised: Arc::new(Counter::new()),
+            degraded: Arc::new(Counter::new()),
             empty_responses: Arc::new(Counter::new()),
             errors: Arc::new(Counter::new()),
             busy_ns: Arc::new(Counter::new()),
@@ -80,6 +82,9 @@ pub struct StatsSnapshot {
     pub requests: u64,
     /// Requests served in depersonalised (no-consent) mode.
     pub depersonalised: u64,
+    /// Requests degraded to the depersonalised fallback because their
+    /// deadline budget expired mid-pipeline.
+    pub degraded: u64,
     /// Requests that produced an empty recommendation list.
     pub empty_responses: u64,
     /// Requests that failed with a serving error (HTTP 5xx).
@@ -126,6 +131,12 @@ impl ServingStats {
         self.errors.inc();
     }
 
+    /// Records one request that fell back to the degraded (depersonalised)
+    /// path because its deadline budget expired mid-pipeline.
+    pub fn record_degraded(&self) {
+        self.degraded.inc();
+    }
+
     /// Records one handled request with its per-stage timing breakdown.
     pub fn record(&self, timings: StageTimings, depersonalised: bool, response_len: usize) {
         let total = timings.total();
@@ -149,6 +160,7 @@ impl ServingStats {
         StatsSnapshot {
             requests: self.requests.get(),
             depersonalised: self.depersonalised.get(),
+            degraded: self.degraded.get(),
             empty_responses: self.empty_responses.get(),
             errors: self.errors.get(),
             busy: Duration::from_nanos(self.busy_ns.get()),
@@ -175,6 +187,12 @@ impl ServingStats {
             "Requests served in depersonalised (no-consent) mode.",
             &pod_label,
             Arc::clone(&self.depersonalised),
+        );
+        registry.counter_shared(
+            "serenade_deadline_degraded_total",
+            "Requests degraded to the depersonalised fallback on deadline expiry.",
+            &pod_label,
+            Arc::clone(&self.degraded),
         );
         registry.counter_shared(
             "serenade_empty_responses_total",
@@ -247,6 +265,21 @@ mod tests {
         assert_eq!(snap.predict_latency.unwrap().max_us, 300);
         assert_eq!(snap.policy_latency.unwrap().max_us, 3);
         assert_eq!(snap.latency.unwrap().max_us, 333);
+    }
+
+    #[test]
+    fn degraded_requests_are_counted_and_exported() {
+        let registry = Registry::new();
+        let s = ServingStats::new();
+        s.register_into(&registry, "0");
+        s.record_degraded();
+        s.record_degraded();
+        assert_eq!(s.snapshot().degraded, 2);
+        assert!(
+            registry.render().contains("serenade_deadline_degraded_total{pod=\"0\"} 2"),
+            "{}",
+            registry.render()
+        );
     }
 
     #[test]

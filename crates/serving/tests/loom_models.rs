@@ -1,4 +1,5 @@
-//! Model checks for the `IndexHandle` publication protocol.
+//! Model checks for the `IndexHandle` publication protocol and the HTTP
+//! server's admission/drain handshake.
 //!
 //! Run with `cargo test -p serenade-serving --features loom`. The checker
 //! (our in-tree `shims/loom`) exhaustively explores thread interleavings up
@@ -6,8 +7,8 @@
 //! visibility, and tracks every shimmed `Arc` allocation so use-after-free,
 //! double-free and leaks fail the schedule that produced them.
 //!
-//! Two seeded mutations prove the checker has teeth (a checker that passes
-//! everything is worthless):
+//! Three seeded mutations prove the checker has teeth (a checker that
+//! passes everything is worthless):
 //!
 //! * `--features "loom mutation-skip-wait-for-readers"` removes the
 //!   writer-side drain; the checker must find the schedule where the writer
@@ -15,6 +16,11 @@
 //! * `--features "loom mutation-weak-orderings"` demotes the protocol's
 //!   SeqCst fences to the plausible-looking Acquire/Release set; the checker
 //!   must find the stale-guard-read schedule that makes it unsound.
+//! * `--features "loom mutation-weak-admission"` demotes the lifecycle
+//!   gate's Dekker handshake to `Relaxed`; the checker must find the
+//!   schedule where the drain controller reads a stale `inflight == 0` and
+//!   declares the server quiesced while an admitted request is still
+//!   running (the "silently lost request" the drain protocol forbids).
 
 #![cfg(feature = "loom")]
 
@@ -118,6 +124,112 @@ fn weakened_orderings_are_caught() {
         .expect("checker failed to catch the weakened ordering set");
     assert!(
         failure.contains("freed") || failure.contains("free") || failure.contains("leak"),
+        "unexpected failure kind: {failure}"
+    );
+}
+
+/// The HTTP server's admission/drain handshake, reduced to its essential
+/// race: workers publish intent (`inflight.fetch_add`) then check state,
+/// the controller flips state (`begin_drain`) then checks intent. The
+/// `closed` flag models the drain controller declaring quiescence; an
+/// admitted request observing `closed == 1` is exactly the lost-request bug
+/// — it ran after shutdown said nothing was running. No spin loops: the
+/// controller checks inflight once, which keeps the schedule space small
+/// and the property sharp (a single stale read already breaks it).
+fn drain_handshake_model() {
+    use serenade_serving::server::{Admission, LifecycleGate};
+    use serenade_serving::sync::atomic::{AtomicUsize, Ordering};
+
+    let gate = StdArc::new(LifecycleGate::new());
+    let closed = StdArc::new(AtomicUsize::new(0));
+
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let gate = StdArc::clone(&gate);
+            let closed = StdArc::clone(&closed);
+            loom::thread::spawn(move || {
+                if gate.try_begin_request(0) == Admission::Admitted {
+                    // The request body runs here. The controller must not
+                    // have declared the server quiesced.
+                    assert_eq!(
+                        closed.load(Ordering::SeqCst),
+                        0,
+                        "admitted request ran after drain declared quiescence"
+                    );
+                    gate.finish_request();
+                }
+            })
+        })
+        .collect();
+
+    let controller = {
+        let gate = StdArc::clone(&gate);
+        let closed = StdArc::clone(&closed);
+        loom::thread::spawn(move || {
+            gate.begin_drain();
+            if gate.inflight() == 0 {
+                // Nothing in flight: declare quiescence and stop. With the
+                // SeqCst handshake this load cannot miss a concurrent
+                // admission — either the worker's increment is visible
+                // here, or the state flip was visible to the worker.
+                closed.store(1, Ordering::SeqCst);
+                gate.force_stop();
+            }
+        })
+    };
+
+    for w in workers {
+        w.join().unwrap();
+    }
+    controller.join().unwrap();
+    assert_eq!(gate.inflight(), 0, "inflight accounting must balance on every schedule");
+}
+
+fn explore_drain() -> loom::Report {
+    let mut builder = loom::Builder::default();
+    builder.preemption_bound = 3;
+    builder.max_iterations = 500_000;
+    builder.max_steps = 20_000;
+    builder.explore(drain_handshake_model)
+}
+
+/// The SeqCst Dekker handshake is sound on every explored schedule: no
+/// interleaving lets the drain controller declare quiescence while an
+/// admitted request still runs. The acceptance bar asks for >1,000 distinct
+/// interleavings; the model comfortably clears it.
+#[cfg(not(any(
+    feature = "mutation-skip-wait-for-readers",
+    feature = "mutation-weak-orderings",
+    feature = "mutation-weak-admission"
+)))]
+#[test]
+fn drain_handshake_is_sound() {
+    let report = explore_drain();
+    assert!(
+        report.failure.is_none(),
+        "checker found a bad schedule: {}",
+        report.failure.unwrap()
+    );
+    assert!(report.exhausted, "exploration must finish within the iteration budget");
+    assert!(
+        report.iterations >= 1_000,
+        "model too small to be meaningful: only {} interleavings explored",
+        report.iterations
+    );
+}
+
+/// Mutation kill: with the handshake demoted to `Relaxed`, the controller's
+/// `inflight` load may miss a concurrent admission (or the worker's state
+/// load may miss the drain flip), so a schedule exists where the server is
+/// declared quiesced with a request still running. The checker must find it.
+#[cfg(feature = "mutation-weak-admission")]
+#[test]
+fn weakened_admission_handshake_is_caught() {
+    let report = explore_drain();
+    let failure =
+        report.failure.expect("checker failed to catch the weakened admission handshake");
+    assert!(
+        failure.contains("quiescence") || failure.contains("balance"),
         "unexpected failure kind: {failure}"
     );
 }

@@ -56,6 +56,13 @@ impl fmt::Display for Violation {
 const REQUEST_PATH_MODULES: &[&str] = &[
     "crates/serving/src/engine.rs",
     "crates/serving/src/http.rs",
+    "crates/serving/src/server/mod.rs",
+    "crates/serving/src/server/parser.rs",
+    "crates/serving/src/server/conn.rs",
+    "crates/serving/src/server/lifecycle.rs",
+    "crates/serving/src/server/listener.rs",
+    "crates/serving/src/server/worker.rs",
+    "crates/serving/src/server/metrics.rs",
     "crates/serving/src/cluster.rs",
     "crates/serving/src/handle.rs",
     "crates/serving/src/json.rs",
@@ -81,6 +88,7 @@ const RECORD_PATH_MODULES: &[&str] = &[
     "crates/telemetry/src/trace.rs",
     "crates/serving/src/stats.rs",
     "crates/serving/src/telemetry.rs",
+    "crates/serving/src/server/metrics.rs",
 ];
 
 /// Needles R6 treats as allocation or locking inside a `record*` function.
@@ -104,6 +112,7 @@ const RECORD_ALLOC_NEEDLES: &[&str] = &[
 const FACADE_MODULES: &[&str] = &[
     "crates/serving/src/handle.rs",
     "crates/serving/src/stats.rs",
+    "crates/serving/src/server/lifecycle.rs",
     "crates/kvstore/src/store.rs",
 ];
 
@@ -884,6 +893,40 @@ mod tests {
     fn record_fn_in_test_module_is_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    fn record_all(v: &mut Vec<u64>) { v.push(1); }\n}\n";
         assert!(lint("crates/telemetry/src/histogram.rs", src).is_empty());
+    }
+
+    #[test]
+    fn server_tree_is_on_the_no_panic_request_path() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        for file in [
+            "crates/serving/src/server/mod.rs",
+            "crates/serving/src/server/parser.rs",
+            "crates/serving/src/server/conn.rs",
+            "crates/serving/src/server/lifecycle.rs",
+            "crates/serving/src/server/listener.rs",
+            "crates/serving/src/server/worker.rs",
+            "crates/serving/src/server/metrics.rs",
+        ] {
+            let v = lint(file, src);
+            assert!(
+                v.iter().any(|x| x.rule == "no-panic-request-path"),
+                "{file} must be on the request path: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lifecycle_gate_is_facade_only() {
+        let src = "use std::sync::atomic::AtomicUsize;\n";
+        let v = lint("crates/serving/src/server/lifecycle.rs", src);
+        assert!(v.iter().any(|x| x.rule == "facade-only-sync"), "{v:?}");
+    }
+
+    #[test]
+    fn server_metrics_record_path_must_not_allocate() {
+        let src = "impl M {\n    pub fn record_state(&self) { self.tags.push(1); }\n}\n";
+        let v = lint("crates/serving/src/server/metrics.rs", src);
+        assert!(v.iter().any(|x| x.rule == "record-no-alloc"), "{v:?}");
     }
 
     #[test]

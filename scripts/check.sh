@@ -17,7 +17,13 @@ cargo run -q -p xtask -- lint
 echo "==> telemetry: histogram property tests + exposition conformance"
 cargo test -q -p serenade-telemetry
 
-echo "==> loom models: serving (IndexHandle publication, stats stripes)"
+echo "==> serving conformance: overload shedding + graceful drain"
+cargo test -q -p serenade-serving --test overload_drain
+
+echo "==> serving conformance: HTTP parser properties"
+cargo test -q -p serenade-serving --test http_parser_props
+
+echo "==> loom models: serving (IndexHandle publication, drain handshake, stats stripes)"
 cargo test -q -p serenade-serving --features loom
 
 echo "==> loom models: kvstore (TtlStore expiry race)"
@@ -31,5 +37,8 @@ cargo test -q -p serenade-serving --features "loom mutation-skip-wait-for-reader
 
 echo "==> mutation kill: weakened orderings"
 cargo test -q -p serenade-serving --features "loom mutation-weak-orderings" --test loom_models
+
+echo "==> mutation kill: weakened admission/drain handshake"
+cargo test -q -p serenade-serving --features "loom mutation-weak-admission" --test loom_models
 
 echo "All checks passed."
