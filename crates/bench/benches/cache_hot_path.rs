@@ -1,0 +1,171 @@
+//! Hit-vs-miss latency of the generation-aware prediction cache.
+//!
+//! Builds a cache-enabled engine over the synthetic e-commerce dataset and
+//! measures the same depersonalised request twice: cold (full VMIS-kNN
+//! kernel, then store) and warm (cache probe only). The acceptance bar for
+//! the cache is structural *and* quantitative:
+//!
+//! * during the warm phase the miss counter must not move — a hit performs
+//!   no kernel work at all;
+//! * warm p50 must be at least 5× below cold p50.
+//!
+//! A third phase replays Zipf-skewed traffic (`loadgen::zipf_requests`) to
+//! report the hit rate the cache achieves under a realistic popularity
+//! curve. Results land in the repo-root `BENCH_cache.json`.
+//!
+//! Not a criterion bench on purpose: the in-tree criterion shim reports
+//! means but does not emit JSON, and this harness needs per-request
+//! percentiles plus a machine-readable artefact.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serenade_core::SessionIndex;
+use serenade_dataset::{generate, SyntheticConfig};
+use serenade_serving::engine::RecommendRequest;
+use serenade_serving::loadgen::zipf_requests;
+use serenade_serving::{BusinessRules, Engine, EngineConfig, RequestContext};
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+struct Phase {
+    p50: Duration,
+    p95: Duration,
+    mean: Duration,
+}
+
+fn summarise(mut samples: Vec<Duration>) -> Phase {
+    samples.sort();
+    let total: Duration = samples.iter().sum();
+    Phase {
+        p50: percentile(&samples, 0.50),
+        p95: percentile(&samples, 0.95),
+        mean: total / samples.len() as u32,
+    }
+}
+
+fn main() {
+    let dataset = generate(&SyntheticConfig::ecom_1m().scaled(0.05));
+    let index = Arc::new(SessionIndex::build(&dataset.clicks, 500).unwrap());
+    let engine =
+        Engine::new(Arc::clone(&index), EngineConfig::default(), BusinessRules::none())
+            .unwrap();
+    let cache = engine.prediction_cache().expect("cache enabled by default").clone();
+
+    // Probe a fixed slice of distinct items, well under the cache capacity
+    // so the warm phase never evicts.
+    let mut items: Vec<u64> = Vec::new();
+    for click in &dataset.clicks {
+        if !items.contains(&click.item_id) {
+            items.push(click.item_id);
+            if items.len() == 512 {
+                break;
+            }
+        }
+    }
+    let dep = |session_id: u64, item: u64| RecommendRequest {
+        session_id,
+        item,
+        consent: false,
+        filter_adult: false,
+    };
+
+    let mut ctx = RequestContext::new();
+
+    // Cold phase: every item is a miss (full kernel + store).
+    let mut cold = Vec::with_capacity(items.len());
+    for (i, &item) in items.iter().enumerate() {
+        let t0 = Instant::now();
+        engine.handle_with(dep(900_000 + i as u64, item), &mut ctx).unwrap();
+        cold.push(t0.elapsed());
+    }
+    assert_eq!(cache.miss_count(), items.len() as u64, "cold phase must all miss");
+
+    // Warm phase: the same items, several rounds, all hits.
+    const ROUNDS: usize = 20;
+    let misses_before = cache.miss_count();
+    let mut warm = Vec::with_capacity(items.len() * ROUNDS);
+    for round in 0..ROUNDS {
+        for (i, &item) in items.iter().enumerate() {
+            let sid = 1_000_000 + (round * items.len() + i) as u64;
+            let t0 = Instant::now();
+            engine.handle_with(dep(sid, item), &mut ctx).unwrap();
+            warm.push(t0.elapsed());
+        }
+    }
+    assert_eq!(
+        cache.miss_count(),
+        misses_before,
+        "a warm hit must perform no kernel work (miss counter moved)"
+    );
+    assert_eq!(cache.hit_count(), (items.len() * ROUNDS) as u64);
+
+    // Zipf phase: skewed traffic over the full catalogue, reporting the
+    // hit rate a realistic popularity curve achieves.
+    let catalogue: Vec<u64> = items.clone();
+    let zipf = zipf_requests(&catalogue, 20_000, 1.1, 42);
+    let hits0 = cache.hit_count();
+    let misses0 = cache.miss_count();
+    let t0 = Instant::now();
+    for req in &zipf {
+        engine.handle_with(*req, &mut ctx).unwrap();
+    }
+    let zipf_elapsed = t0.elapsed();
+    let zipf_hits = cache.hit_count() - hits0;
+    let zipf_misses = cache.miss_count() - misses0;
+    let hit_rate = zipf_hits as f64 / (zipf_hits + zipf_misses) as f64;
+
+    let cold = summarise(cold);
+    let warm = summarise(warm);
+    let speedup = micros(cold.p50) / micros(warm.p50);
+
+    println!("cache_hot_path: {} items, {ROUNDS} warm rounds", items.len());
+    println!(
+        "  miss: p50 {:>8.2}us  p95 {:>8.2}us  mean {:>8.2}us",
+        micros(cold.p50),
+        micros(cold.p95),
+        micros(cold.mean)
+    );
+    println!(
+        "  hit:  p50 {:>8.2}us  p95 {:>8.2}us  mean {:>8.2}us",
+        micros(warm.p50),
+        micros(warm.p95),
+        micros(warm.mean)
+    );
+    println!("  p50 speedup: {speedup:.1}x");
+    println!(
+        "  zipf(1.1): {} reqs in {:.1}ms, hit rate {:.3}",
+        zipf.len(),
+        zipf_elapsed.as_secs_f64() * 1e3,
+        hit_rate
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"cache_hot_path\",\n  \"items\": {},\n  \"warm_rounds\": {ROUNDS},\n  \"miss\": {{\"p50_us\": {:.2}, \"p95_us\": {:.2}, \"mean_us\": {:.2}}},\n  \"hit\": {{\"p50_us\": {:.2}, \"p95_us\": {:.2}, \"mean_us\": {:.2}}},\n  \"p50_speedup\": {:.2},\n  \"zipf\": {{\"exponent\": 1.1, \"requests\": {}, \"hit_rate\": {:.4}}}\n}}\n",
+        items.len(),
+        micros(cold.p50),
+        micros(cold.p95),
+        micros(cold.mean),
+        micros(warm.p50),
+        micros(warm.p95),
+        micros(warm.mean),
+        speedup,
+        zipf.len(),
+        hit_rate,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cache.json");
+    std::fs::write(path, &json).unwrap();
+    println!("  wrote {path}");
+
+    assert!(
+        speedup >= 5.0,
+        "cache hit p50 must be at least 5x below miss p50, got {speedup:.1}x"
+    );
+}

@@ -1,0 +1,61 @@
+//! Scaling check for the incremental indexer's append path.
+//!
+//! The old posting maintenance inserted each new session id at the *front*
+//! of its posting list (`Vec::insert(0, _)` — an O(m) memmove per click)
+//! and deduplicated session items with a linear scan (O(L²) per session),
+//! making a large batch quadratic overall. The rewrite appends to postings
+//! (amortised O(1), with periodic compaction) and dedups through a hash
+//! set, so total work scales linearly in the click count.
+//!
+//! The harness times `apply_batch` over a log of N sessions and over 4N
+//! sessions with the same shape, all sharing one hot item (the worst case
+//! for the old front-insert: every click memmoves the hottest posting).
+//! Linear scaling means the 4N run costs ≈4× the N run; the assertion
+//! allows up to 10× to absorb allocator and CI noise, which still rejects
+//! the old quadratic behaviour by an order of magnitude at this size.
+
+use std::time::{Duration, Instant};
+
+use serenade_core::Click;
+use serenade_index::IncrementalIndexer;
+
+fn hot_item_log(sessions: u64) -> Vec<Click> {
+    let mut clicks = Vec::with_capacity(sessions as usize * 3);
+    for s in 0..sessions {
+        let ts = 100 + s;
+        // Every session touches item 0: its posting list grows with the
+        // session count, which is exactly what the append path must absorb
+        // in O(1) amortised.
+        clicks.push(Click::new(s + 1, 0, ts));
+        clicks.push(Click::new(s + 1, 1 + s % 50, ts));
+        clicks.push(Click::new(s + 1, 1 + (s + 7) % 50, ts));
+    }
+    clicks
+}
+
+fn time_apply(sessions: u64) -> Duration {
+    // m_max = session count: nothing is truncated, so the measured work is
+    // the append path itself, not the compaction cutoff.
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let mut indexer = IncrementalIndexer::new(sessions as usize).unwrap();
+        let log = hot_item_log(sessions);
+        let t0 = Instant::now();
+        indexer.apply_batch(&log).unwrap();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn main() {
+    let n = 20_000u64;
+    let small = time_apply(n);
+    let large = time_apply(4 * n);
+    let ratio = large.as_secs_f64() / small.as_secs_f64();
+    println!("incremental_append: {n} sessions in {small:?}, {} in {large:?}", 4 * n);
+    println!("  4x-input time ratio: {ratio:.2} (linear ≈ 4, old quadratic ≈ 16+)");
+    assert!(
+        ratio < 10.0,
+        "append path scales superlinearly: 4x input took {ratio:.1}x the time"
+    );
+}

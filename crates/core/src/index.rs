@@ -268,6 +268,24 @@ impl SessionIndex {
         &self.items_flat[s..e]
     }
 
+    /// CSR range of a session's items inside the flat item storage:
+    /// `session_items(s)` equals `items_flat[session_span(s)]`. Exposed so
+    /// consumers can maintain side-arrays parallel to the flat storage (the
+    /// per-occurrence idf weights in `VmisKnn` index with this range).
+    #[inline]
+    pub fn session_span(&self, session: SessionId) -> std::ops::Range<usize> {
+        let s = self.items_offsets[session as usize] as usize;
+        let e = self.items_offsets[session as usize + 1] as usize;
+        s..e
+    }
+
+    /// Total number of `(session, item)` entries in the flat CSR storage —
+    /// the exclusive upper bound of every [`SessionIndex::session_span`].
+    #[inline]
+    pub fn total_item_entries(&self) -> usize {
+        self.items_flat.len()
+    }
+
     /// Borrowed view of one historical session.
     pub fn session(&self, session: SessionId) -> SessionRef<'_> {
         SessionRef {

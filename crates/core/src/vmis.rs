@@ -120,6 +120,14 @@ impl Default for VmisConfig {
 impl VmisConfig {
     /// Validates the configuration against an index.
     pub fn validate(&self, index: &SessionIndex) -> Result<(), CoreError> {
+        self.validate_with_m_max(index.m_max())
+    }
+
+    /// Validates the configuration against a posting capacity `m_max` without
+    /// a materialised [`SessionIndex`]. Every query path — [`VmisKnn::new`],
+    /// the compressed index, the incremental snapshots — routes through this
+    /// helper so all of them accept and reject exactly the same configs.
+    pub fn validate_with_m_max(&self, m_max: usize) -> Result<(), CoreError> {
         fn positive(name: &'static str, v: usize) -> Result<(), CoreError> {
             if v == 0 {
                 Err(CoreError::InvalidConfig {
@@ -134,13 +142,12 @@ impl VmisConfig {
         positive("k", self.k)?;
         positive("how_many", self.how_many)?;
         positive("max_session_len", self.max_session_len)?;
-        if self.m > index.m_max() {
+        if self.m > m_max {
             return Err(CoreError::InvalidConfig {
                 parameter: "m",
                 reason: format!(
-                    "sample size {} exceeds the index posting capacity m_max = {}",
+                    "sample size {} exceeds the index posting capacity m_max = {m_max}",
                     self.m,
-                    index.m_max()
                 ),
             });
         }
@@ -228,8 +235,13 @@ pub struct Neighbor {
 pub struct VmisKnn {
     index: Arc<SessionIndex>,
     config: VmisConfig,
-    /// Per-item idf weights precomputed for `config.idf`.
-    idf: FxHashMap<ItemId, f32>,
+    /// Idf weight of every entry of the index's flat CSR item storage:
+    /// `idf_flat[i]` weighs the item at flat position `i`, so the scoring
+    /// loop walks it in lockstep with `session_items` instead of hashing
+    /// each (neighbour, item) pair. Values are identical to the former
+    /// per-item map (same `config.idf.weight`, same 1.0 fallback for items
+    /// without a posting), keeping the output bit-identical.
+    idf_flat: Box<[f32]>,
 }
 
 impl VmisKnn {
@@ -243,11 +255,17 @@ impl VmisKnn {
         let index = index.into();
         config.validate(&index)?;
         let num_sessions = index.num_sessions();
-        let mut idf = fx_map_with_capacity(index.num_items());
+        let mut idf_by_item: FxHashMap<ItemId, f32> = fx_map_with_capacity(index.num_items());
         for (item, posting) in index.postings_iter() {
-            idf.insert(item, config.idf.weight(posting.support as usize, num_sessions));
+            idf_by_item.insert(item, config.idf.weight(posting.support as usize, num_sessions));
         }
-        Ok(Self { index, config, idf })
+        let mut idf_flat = Vec::with_capacity(index.total_item_entries());
+        for sid in 0..num_sessions as SessionId {
+            for item in index.session_items(sid) {
+                idf_flat.push(idf_by_item.get(item).copied().unwrap_or(1.0));
+            }
+        }
+        Ok(Self { index, config, idf_flat: idf_flat.into_boxed_slice() })
     }
 
     /// The underlying index.
@@ -410,6 +428,7 @@ impl VmisKnn {
         neighbors.extend(topk.iter().map(|&((sim, _, sid), ())| (sid, sim)));
         neighbors.sort_unstable_by_key(|&(sid, _)| sid);
         for &(sid, similarity) in neighbors.iter() {
+            let span = self.index.session_span(sid);
             let items = self.index.session_items(sid);
             // Position of the most recent shared item between s and n.
             let max_pos = items.iter().filter_map(|it| pos.get(it)).copied().max();
@@ -421,11 +440,10 @@ impl VmisKnn {
                 continue;
             }
             let session_weight = lambda * similarity * norm;
-            for &item in items {
+            for (&item, &idf) in items.iter().zip(&self.idf_flat[span]) {
                 if cfg.exclude_session_items && pos.contains_key(&item) {
                     continue;
                 }
-                let idf = self.idf.get(&item).copied().unwrap_or(1.0);
                 *scores.entry(item).or_insert(0.0) += session_weight * idf;
             }
         }

@@ -158,12 +158,10 @@ impl CompressedIndex {
     /// [`serenade_core::VmisKnn::recommend`]; early stopping additionally
     /// skips decoding the tail of each posting list.
     pub fn recommend(&self, session: &[ItemId], config: &VmisConfig) -> Result<Vec<ItemScore>, CoreError> {
-        if config.m == 0 || config.k == 0 || config.m > self.m_max {
-            return Err(CoreError::InvalidConfig {
-                parameter: "m/k",
-                reason: "m and k must be positive and m must not exceed m_max".into(),
-            });
-        }
+        // Shared validation helper: the compressed path must accept and
+        // reject exactly the same configs as `VmisKnn::new` (it used to let
+        // `how_many == 0` and `max_session_len == 0` through).
+        config.validate_with_m_max(self.m_max)?;
         let window = if session.len() > config.max_session_len {
             &session[session.len() - config.max_session_len..]
         } else {
@@ -343,6 +341,36 @@ mod tests {
         let mut cfg = VmisConfig::default();
         cfg.m = 11; // exceeds m_max
         assert!(compressed.recommend(&[0], &cfg).is_err());
+    }
+
+    #[test]
+    fn validation_conforms_to_core_for_zero_parameters() {
+        // Regression: the compressed path used an ad-hoc check that let
+        // `how_many == 0` and `max_session_len == 0` through while the core
+        // rejected them. Both paths must now agree, with the same parameter
+        // named in the error.
+        let index = SessionIndex::build(&clicks(), 10).unwrap();
+        let compressed = CompressedIndex::from_index(&index);
+        for (param, cfg) in [
+            ("m", VmisConfig { m: 0, ..VmisConfig::default() }),
+            ("k", VmisConfig { k: 0, ..VmisConfig::default() }),
+            ("how_many", VmisConfig { how_many: 0, ..VmisConfig::default() }),
+            ("max_session_len", VmisConfig { max_session_len: 0, ..VmisConfig::default() }),
+            ("m", VmisConfig { m: 11, ..VmisConfig::default() }), // > m_max
+        ] {
+            let core_err = VmisKnn::new(index.clone(), cfg.clone()).unwrap_err();
+            let compressed_err = compressed.recommend(&[0], &cfg).unwrap_err();
+            match (core_err, compressed_err) {
+                (
+                    CoreError::InvalidConfig { parameter: a, .. },
+                    CoreError::InvalidConfig { parameter: b, .. },
+                ) => {
+                    assert_eq!(a, b, "core and compressed must name the same parameter");
+                    assert_eq!(a, param);
+                }
+                other => panic!("unexpected error pair {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -7,13 +7,35 @@
 //! order, an **append-only** batch (all sessions newer than everything seen
 //! so far, no updates to existing sessions) extends every structure at the
 //! edges: new timestamps append, new item lists append, and each touched
-//! posting list gains entries at the *front* (it is ordered most recent
-//! first) and is re-truncated to `m_max`.
+//! posting list gains entries at the *back* — postings are kept in ascending
+//! session order internally (a strictly increasing append is O(1), where the
+//! former most-recent-first layout paid an O(m) memmove per click) and are
+//! reversed into the index's descending-recency order at [`snapshot`] time.
+//! Posting lists are bounded by amortised compaction: once a list reaches
+//! `2 * m_max` entries the oldest half is dropped in one O(m) drain, so the
+//! per-click cost stays amortised O(1) and memory stays within `2 * m_max`
+//! entries per item.
 //!
 //! Batches that violate the append-only precondition (re-appearing session
 //! ids, out-of-order timestamps) fall back to a full rebuild — correctness
 //! first. The test suite verifies that any sequence of batches produces an
 //! index identical to a from-scratch build over the concatenated log.
+//!
+//! ## Click-log retention
+//!
+//! The rebuild fallback needs the click log, but retaining it forever grows
+//! memory without bound. [`IncrementalIndexer::with_retained_clicks_cap`]
+//! bounds the log: whenever it exceeds the cap, the oldest whole sessions
+//! are dropped (never splitting a session, always keeping at least the
+//! newest one) and the index is rebuilt over the retained suffix — i.e. the
+//! indexer degrades to a **sliding window** over the most recent traffic,
+//! which is exactly the regime session-based recommenders operate in. A
+//! dropped session's external id is forgotten with it, so if that id
+//! reappears later it is treated as a new session. [`retained_clicks`]
+//! exposes the current log size for monitoring.
+//!
+//! [`snapshot`]: IncrementalIndexer::snapshot
+//! [`retained_clicks`]: IncrementalIndexer::retained_clicks
 
 use serenade_core::index::Posting;
 use serenade_core::{Click, CoreError, FxHashMap, FxHashSet, ItemId, SessionId, SessionIndex, Timestamp};
@@ -25,8 +47,11 @@ type PendingSession = (Timestamp, u64, Vec<(Timestamp, ItemId)>);
 #[derive(Debug, Clone)]
 pub struct IncrementalIndexer {
     m_max: usize,
-    /// Full click log retained for rebuild fallbacks.
+    /// Click log retained for rebuild fallbacks, bounded by
+    /// `max_retained_clicks` (see the module docs on retention).
     clicks: Vec<Click>,
+    /// Upper bound on `clicks.len()`; `usize::MAX` means unbounded.
+    max_retained_clicks: usize,
     /// External ids of sessions already indexed.
     known_sessions: FxHashSet<u64>,
     /// Largest session timestamp indexed so far.
@@ -34,25 +59,54 @@ pub struct IncrementalIndexer {
     timestamps: Vec<Timestamp>,
     items_flat: Vec<ItemId>,
     items_offsets: Vec<u32>,
-    /// Posting lists, most recent first, truncated to `m_max`.
+    /// Posting lists in **ascending** session order (append-only fast path
+    /// pushes at the back in O(1)); compacted to the newest `m_max` entries
+    /// whenever they reach `2 * m_max`, reversed + truncated at `snapshot`.
     postings: FxHashMap<ItemId, Vec<SessionId>>,
     supports: FxHashMap<ItemId, u32>,
+    /// Reusable per-session dedup set for the append fast path (replaces an
+    /// O(L²) scan over the session's flat-item suffix).
+    seen_in_session: FxHashSet<ItemId>,
     /// Number of batches that took the slow (rebuild) path — observability.
     rebuilds: usize,
+    /// Number of retention compactions (oldest-session drops) — observability.
+    compactions: usize,
 }
 
 impl IncrementalIndexer {
-    /// Creates an empty indexer with the given posting capacity.
+    /// Creates an empty indexer with the given posting capacity and an
+    /// unbounded click log.
     pub fn new(m_max: usize) -> Result<Self, CoreError> {
+        Self::with_retained_clicks_cap(m_max, usize::MAX)
+    }
+
+    /// Creates an empty indexer whose retained click log is bounded by
+    /// `max_retained_clicks` (see the module docs for the sliding-window
+    /// semantics this implies).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if `m_max == 0` or the cap is zero.
+    pub fn with_retained_clicks_cap(
+        m_max: usize,
+        max_retained_clicks: usize,
+    ) -> Result<Self, CoreError> {
         if m_max == 0 {
             return Err(CoreError::InvalidConfig {
                 parameter: "m_max",
                 reason: "posting-list capacity must be positive".into(),
             });
         }
+        if max_retained_clicks == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "max_retained_clicks",
+                reason: "click-log retention cap must be positive".into(),
+            });
+        }
         Ok(Self {
             m_max,
             clicks: Vec::new(),
+            max_retained_clicks,
             known_sessions: FxHashSet::default(),
             max_session_ts: 0,
             timestamps: Vec::new(),
@@ -60,7 +114,9 @@ impl IncrementalIndexer {
             items_offsets: vec![0],
             postings: FxHashMap::default(),
             supports: FxHashMap::default(),
+            seen_in_session: FxHashSet::default(),
             rebuilds: 0,
+            compactions: 0,
         })
     }
 
@@ -72,6 +128,23 @@ impl IncrementalIndexer {
     /// How many batches required a full rebuild.
     pub fn rebuild_count(&self) -> usize {
         self.rebuilds
+    }
+
+    /// How many retention compactions dropped old sessions from the log.
+    pub fn compaction_count(&self) -> usize {
+        self.compactions
+    }
+
+    /// Number of clicks currently retained for rebuild fallbacks.
+    pub fn retained_clicks(&self) -> usize {
+        self.clicks.len()
+    }
+
+    /// The retained click log (oldest first within the retained window).
+    /// After a retention compaction this is the suffix of the traffic the
+    /// index is equivalent to a from-scratch build over.
+    pub fn retained_log(&self) -> &[Click] {
+        &self.clicks
     }
 
     /// Folds a batch of clicks into the index.
@@ -107,11 +180,11 @@ impl IncrementalIndexer {
 
         if fast {
             self.append_sessions(sessions)?;
-            Ok(())
         } else {
             self.rebuilds += 1;
-            self.rebuild()
+            self.rebuild()?;
         }
+        self.enforce_retention()
     }
 
     fn append_sessions(&mut self, sessions: Vec<PendingSession>) -> Result<(), CoreError> {
@@ -123,14 +196,21 @@ impl IncrementalIndexer {
             self.timestamps.push(ts);
             self.known_sessions.insert(ext);
             self.max_session_ts = ts;
-            let start = self.items_flat.len();
+            self.seen_in_session.clear();
             for (_, item) in clicks {
-                if !self.items_flat[start..].contains(&item) {
-                    self.items_flat.push(item);
-                    *self.supports.entry(item).or_insert(0) += 1;
-                    let posting = self.postings.entry(item).or_default();
-                    posting.insert(0, sid); // most recent first
-                    posting.truncate(self.m_max);
+                if !self.seen_in_session.insert(item) {
+                    continue; // duplicate within this session
+                }
+                self.items_flat.push(item);
+                *self.supports.entry(item).or_insert(0) += 1;
+                let posting = self.postings.entry(item).or_default();
+                posting.push(sid); // ascending: strictly newer than the rest
+                if posting.len() >= self.m_max.saturating_mul(2) {
+                    // Amortised O(1) bound: drop everything but the newest
+                    // m_max entries in one drain instead of a memmove per
+                    // click as the old insert(0)+truncate layout did.
+                    let cut = posting.len() - self.m_max;
+                    posting.drain(..cut);
                 }
             }
             self.items_offsets.push(self.items_flat.len() as u32);
@@ -153,7 +233,11 @@ impl IncrementalIndexer {
         }
         self.max_session_ts = self.timestamps.last().copied().unwrap_or(0);
         for (item, posting) in index.postings_iter() {
-            self.postings.insert(item, posting.sessions.to_vec());
+            // The built index stores postings most recent first; internal
+            // state keeps them ascending so the fast path can append.
+            let mut ascending = posting.sessions.to_vec();
+            ascending.reverse();
+            self.postings.insert(item, ascending);
             self.supports.insert(item, posting.support);
         }
         // External ids must be re-derived from the click log.
@@ -163,6 +247,41 @@ impl IncrementalIndexer {
         Ok(())
     }
 
+    /// Enforces the click-log retention cap by dropping the oldest whole
+    /// sessions (never the newest) and rebuilding over the retained suffix.
+    fn enforce_retention(&mut self) -> Result<(), CoreError> {
+        if self.clicks.len() <= self.max_retained_clicks {
+            return Ok(());
+        }
+        // Per-session click counts and timestamps, ordered the same way
+        // dense ids are assigned: ascending (session ts, external id).
+        let mut counts: FxHashMap<u64, (Timestamp, usize)> = FxHashMap::default();
+        for c in &self.clicks {
+            let e = counts.entry(c.session_id).or_insert((0, 0));
+            e.0 = e.0.max(c.timestamp);
+            e.1 += 1;
+        }
+        let mut order: Vec<(Timestamp, u64, usize)> =
+            counts.into_iter().map(|(ext, (ts, n))| (ts, ext, n)).collect();
+        order.sort_unstable();
+
+        let mut remaining = self.clicks.len();
+        let mut dropped: FxHashSet<u64> = FxHashSet::default();
+        for &(_, ext, n) in &order[..order.len().saturating_sub(1)] {
+            if remaining <= self.max_retained_clicks {
+                break;
+            }
+            dropped.insert(ext);
+            remaining -= n;
+        }
+        if dropped.is_empty() {
+            return Ok(()); // a single oversized session: keep it whole
+        }
+        self.compactions += 1;
+        self.clicks.retain(|c| !dropped.contains(&c.session_id));
+        self.rebuild()
+    }
+
     /// Materialises the current state as a validated [`SessionIndex`].
     pub fn snapshot(&self) -> Result<SessionIndex, CoreError> {
         if self.timestamps.is_empty() {
@@ -170,10 +289,15 @@ impl IncrementalIndexer {
         }
         let mut postings = FxHashMap::default();
         for (&item, sids) in &self.postings {
+            // Internal order is ascending session id; the index wants the
+            // `m_max` most recent, most recent first.
+            let keep = sids.len().min(self.m_max);
+            let mut sessions: Vec<SessionId> = sids[sids.len() - keep..].to_vec();
+            sessions.reverse();
             postings.insert(
                 item,
                 Posting {
-                    sessions: sids.clone().into_boxed_slice(),
+                    sessions: sessions.into_boxed_slice(),
                     support: self.supports[&item],
                 },
             );
@@ -280,6 +404,46 @@ mod tests {
     }
 
     #[test]
+    fn heavy_truncation_snapshot_matches_from_scratch_build() {
+        // A hot item hits the posting-compaction path many times over; the
+        // snapshot must still be indistinguishable from a from-scratch build
+        // over the same log (the satellite-task equality guarantee).
+        let m_max = 3;
+        let mut inc = IncrementalIndexer::new(m_max).unwrap();
+        let mut all = Vec::new();
+        for s in 1..=40u64 {
+            let b = vec![
+                Click::new(s, 0, s * 100),           // hot item in every session
+                Click::new(s, 1 + s % 4, s * 100 + 1),
+            ];
+            inc.apply_batch(&b).unwrap();
+            all.extend(b);
+        }
+        assert_eq!(inc.rebuild_count(), 0);
+        let reference = SessionIndex::build(&all, m_max).unwrap();
+        assert_same(&inc.snapshot().unwrap(), &reference);
+    }
+
+    #[test]
+    fn internal_posting_lists_stay_bounded() {
+        // The amortised compaction must keep every internal posting list
+        // within 2 * m_max entries no matter how many sessions touch it.
+        let m_max = 4;
+        let mut inc = IncrementalIndexer::new(m_max).unwrap();
+        for s in 1..=200u64 {
+            inc.apply_batch(&[Click::new(s, 0, s * 10), Click::new(s, 1, s * 10 + 1)])
+                .unwrap();
+        }
+        for (item, posting) in &inc.postings {
+            assert!(
+                posting.len() < 2 * m_max,
+                "posting for item {item} grew to {} entries",
+                posting.len()
+            );
+        }
+    }
+
+    #[test]
     fn empty_batch_is_a_noop() {
         let mut inc = IncrementalIndexer::new(5).unwrap();
         inc.apply_batch(&[]).unwrap();
@@ -293,6 +457,7 @@ mod tests {
     #[test]
     fn zero_capacity_is_rejected() {
         assert!(IncrementalIndexer::new(0).is_err());
+        assert!(IncrementalIndexer::with_retained_clicks_cap(5, 0).is_err());
     }
 
     #[test]
@@ -306,5 +471,50 @@ mod tests {
         let all = vec![Click::new(1, 0, 100), Click::new(2, 1, 100)];
         let reference = SessionIndex::build(&all, 5).unwrap();
         assert_same(&inc.snapshot().unwrap(), &reference);
+    }
+
+    #[test]
+    fn retained_click_log_is_bounded() {
+        // 200 append-only batches of 2 clicks against a 40-click cap: the
+        // log (and the indexed session count) must stay bounded instead of
+        // growing linearly with traffic.
+        let cap = 40;
+        let mut inc = IncrementalIndexer::with_retained_clicks_cap(6, cap).unwrap();
+        for s in 1..=200u64 {
+            inc.apply_batch(&[Click::new(s, s % 6, s * 10), Click::new(s, (s + 2) % 6, s * 10 + 1)])
+                .unwrap();
+            assert!(
+                inc.retained_clicks() <= cap,
+                "log grew to {} clicks after session {s}",
+                inc.retained_clicks()
+            );
+        }
+        assert!(inc.compaction_count() > 0, "the cap must have been enforced");
+        assert!(inc.num_sessions() <= cap, "indexed sessions follow the retained log");
+    }
+
+    #[test]
+    fn retention_compaction_keeps_snapshot_consistent_with_retained_log() {
+        let mut inc = IncrementalIndexer::with_retained_clicks_cap(4, 30).unwrap();
+        for s in 1..=100u64 {
+            inc.apply_batch(&[Click::new(s, s % 5, s * 10), Click::new(s, (s + 1) % 5, s * 10 + 1)])
+                .unwrap();
+        }
+        assert!(inc.compaction_count() > 0);
+        // The documented sliding-window contract: the snapshot equals a
+        // from-scratch build over exactly the retained suffix of the log.
+        let reference = SessionIndex::build(inc.retained_log(), 4).unwrap();
+        assert_same(&inc.snapshot().unwrap(), &reference);
+    }
+
+    #[test]
+    fn single_oversized_session_is_kept_whole() {
+        // One session bigger than the cap: retention never splits a session
+        // and always keeps the newest, so the log may exceed the cap here.
+        let mut inc = IncrementalIndexer::with_retained_clicks_cap(5, 3).unwrap();
+        let b: Vec<Click> = (0..6).map(|i| Click::new(1, i, 100 + i)).collect();
+        inc.apply_batch(&b).unwrap();
+        assert_eq!(inc.retained_clicks(), 6);
+        assert_eq!(inc.num_sessions(), 1);
     }
 }

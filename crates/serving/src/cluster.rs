@@ -18,6 +18,7 @@ use std::time::Instant;
 use serenade_core::{CoreError, ItemScore, SessionIndex, VmisKnn};
 use serenade_telemetry::{TraceConfig, TraceSample};
 
+use crate::cache::PredictionCache;
 use crate::context::RequestContext;
 use crate::engine::{build_recommender, Engine, EngineConfig, RecommendRequest};
 use crate::error::ServingError;
@@ -33,6 +34,10 @@ pub struct ServingCluster {
     index: Arc<IndexHandle<VmisKnn>>,
     config: EngineConfig,
     telemetry: Arc<ClusterTelemetry>,
+    /// One prediction cache shared by every pod: the index (and therefore
+    /// the generation stamp) is cluster-wide, so a list computed on one pod
+    /// is valid on all of them. `None` when disabled in the config.
+    cache: Option<Arc<PredictionCache>>,
 }
 
 impl ServingCluster {
@@ -58,15 +63,23 @@ impl ServingCluster {
     ) -> Result<Self, CoreError> {
         let vmis = crate::sync::Arc::new(build_recommender(index, &config)?);
         let handle = Arc::new(IndexHandle::new(vmis));
+        let cache =
+            config.cache.enabled.then(|| Arc::new(PredictionCache::new(config.cache)));
         let mut engines = Vec::with_capacity(pods);
         for _ in 0..pods {
-            engines.push(Arc::new(Engine::with_shared_index(
-                Arc::clone(&handle),
-                config.clone(),
-                rules.clone(),
-            )));
+            engines.push(Arc::new(
+                Engine::with_shared_index(
+                    Arc::clone(&handle),
+                    config.clone(),
+                    rules.clone(),
+                )
+                .with_prediction_cache(cache.clone()),
+            ));
         }
         let telemetry = Arc::new(ClusterTelemetry::new(trace));
+        if let Some(cache) = &cache {
+            cache.register_into(telemetry.registry());
+        }
         for (i, pod) in engines.iter().enumerate() {
             let label = i.to_string();
             pod.stats_handle().register_into(telemetry.registry(), &label);
@@ -98,7 +111,13 @@ impl ServingCluster {
             index: handle,
             config,
             telemetry,
+            cache,
         })
+    }
+
+    /// The cluster-wide prediction cache, if enabled.
+    pub fn prediction_cache(&self) -> Option<&Arc<PredictionCache>> {
+        self.cache.as_ref()
     }
 
     /// The cluster's observability hub (metric registry, trace ring,
@@ -261,6 +280,31 @@ mod tests {
     }
 
     #[test]
+    fn pods_share_one_prediction_cache() {
+        let c = cluster(4);
+        let shared = c.prediction_cache().expect("enabled by default");
+        for pod in c.pods() {
+            assert!(
+                Arc::ptr_eq(pod.prediction_cache().unwrap(), shared),
+                "every pod must see the same cache instance",
+            );
+        }
+        // Depersonalised requests from different sessions land on different
+        // pods, yet after the first computation they all hit the one cache.
+        let dep = |sid| RecommendRequest {
+            session_id: sid,
+            item: 1,
+            consent: false,
+            filter_adult: false,
+        };
+        let first = c.handle(dep(0)).unwrap();
+        for sid in 1..8u64 {
+            assert_eq!(c.handle(dep(sid)).unwrap(), first);
+        }
+        assert_eq!((shared.hit_count(), shared.miss_count()), (7, 1));
+    }
+
+    #[test]
     fn pods_share_one_index_version() {
         let c = cluster(4);
         let expected = Arc::as_ptr(&c.pods()[0].index_handle().load());
@@ -314,6 +358,35 @@ mod rollover_tests {
         let after = c.handle(req(8, 1)).unwrap();
         assert_ne!(before, after, "rollover must change the model");
         assert_eq!(c.pod_for(7).stored_session_len(7), 1);
+    }
+
+    #[test]
+    fn rollover_invalidates_the_shared_cache() {
+        let c = ServingCluster::new(
+            make_index(0),
+            2,
+            EngineConfig::default(),
+            BusinessRules::none(),
+        )
+        .unwrap();
+        let dep = |sid: u64| RecommendRequest {
+            session_id: sid,
+            item: 1,
+            consent: false,
+            filter_adult: false,
+        };
+        let before = c.handle(dep(1)).unwrap();
+        assert_eq!(c.handle(dep(2)).unwrap(), before, "warm: second request hits");
+
+        c.reload_index(make_index(3)).unwrap();
+
+        // The cached entry carries the old generation stamp: the next probe
+        // rejects it and recomputes on the new index.
+        let after = c.handle(dep(3)).unwrap();
+        assert_ne!(after, before, "rollover must change the depersonalised answer");
+        let cache = c.prediction_cache().unwrap();
+        assert_eq!(cache.stale_count(), 1);
+        assert_eq!(c.handle(dep(4)).unwrap(), after, "fresh entry serves hits again");
     }
 
     #[test]

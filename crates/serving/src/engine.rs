@@ -29,6 +29,7 @@ use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::cache::{CacheConfig, CacheKey, PredictionCache, ViewKind};
 use crate::context::{RequestContext, StageTimings};
 use crate::error::ServingError;
 use crate::handle::IndexHandle;
@@ -59,6 +60,8 @@ pub struct EngineConfig {
     pub max_stored_session_len: usize,
     /// Session-store configuration (TTL, shards).
     pub store: StoreConfig,
+    /// Prediction-cache configuration (see [`crate::cache`]).
+    pub cache: CacheConfig,
 }
 
 impl Default for EngineConfig {
@@ -69,12 +72,13 @@ impl Default for EngineConfig {
             how_many: 21,
             max_stored_session_len: 50,
             store: StoreConfig::default(),
+            cache: CacheConfig::default(),
         }
     }
 }
 
 /// One frontend request: the user opened the product page of `item`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecommendRequest {
     /// Sticky session identifier.
     pub session_id: u64,
@@ -113,6 +117,11 @@ pub struct Engine<S: SessionStore<u64, Vec<ItemId>> = TtlStore<u64, Vec<ItemId>>
     sessions: S,
     config: EngineConfig,
     stats: ServingStats,
+    /// Generation-aware prediction cache for single-item-view requests;
+    /// `None` when disabled. Pods of one cluster share a single cache
+    /// (entries depend only on the item, the view kind and the index
+    /// generation — never on per-user state).
+    cache: Option<Arc<PredictionCache>>,
 }
 
 impl Engine {
@@ -150,7 +159,22 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
         config: EngineConfig,
         rules: BusinessRules,
     ) -> Self {
-        Self { index, rules, sessions, config, stats: ServingStats::new() }
+        let cache =
+            config.cache.enabled.then(|| Arc::new(PredictionCache::new(config.cache)));
+        Self { index, rules, sessions, config, stats: ServingStats::new(), cache }
+    }
+
+    /// Replaces this engine's prediction cache — the cluster uses this to
+    /// share one cache (and one set of metrics) across all pods. `None`
+    /// disables caching regardless of the config flag.
+    pub fn with_prediction_cache(mut self, cache: Option<Arc<PredictionCache>>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The engine's prediction cache, if enabled.
+    pub fn prediction_cache(&self) -> Option<&Arc<PredictionCache>> {
+        self.cache.as_ref()
     }
 
     /// Builds a fresh recommender from `index` and publishes it to this
@@ -206,8 +230,13 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
             ctx.set_degraded(true);
             self.stats.record_degraded();
         }
-        let mut recs = self.prediction_stage(ctx);
+        let (mut recs, cache_hit) = self.prediction_stage(&req, ctx);
         let predict_done = Instant::now();
+        if cache_hit {
+            if let Some(cache) = &self.cache {
+                cache.record_hit_duration(predict_done - session_done);
+            }
+        }
         self.policy_stage(&mut recs, req.filter_adult);
         let timings = StageTimings {
             session: session_done - started,
@@ -280,11 +309,57 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
         }
     }
 
+    /// Cache key for this request, or `None` when its view is not cacheable.
+    /// Only views consisting of exactly the displayed item qualify: the
+    /// depersonalised shape (no consent, or the deadline-degraded fallback)
+    /// and the consented `Recent` variant, whose view is the most recent
+    /// item by definition. Everything else depends on per-user session
+    /// state and must run the kernel.
+    fn cache_key(&self, req: &RecommendRequest, ctx: &RequestContext) -> Option<CacheKey> {
+        if ctx.view.len() != 1 || ctx.view[0] != req.item {
+            return None;
+        }
+        let view = if !req.consent || ctx.degraded() {
+            ViewKind::Depersonalised
+        } else if self.config.variant == ServingVariant::Recent {
+            ViewKind::Recent
+        } else {
+            return None;
+        };
+        Some(CacheKey { item: req.item, view })
+    }
+
     /// Prediction stage: VMIS-kNN over the session view, against the index
-    /// version published at this instant.
-    fn prediction_stage(&self, ctx: &mut RequestContext) -> Vec<ItemScore> {
+    /// version published at this instant; single-item views are served from
+    /// the generation-aware cache when possible. Returns the *pre-policy*
+    /// list (business rules are per-user and run after the cache) and
+    /// whether it was a cache hit.
+    ///
+    /// A hit performs no kernel work at all — one shard-mutex probe, no
+    /// index load: the generation comparison alone proves the entry was
+    /// computed on an index at least as new as the generation this request
+    /// observes (see the invariant on
+    /// [`IndexHandle::load_with_generation`]).
+    fn prediction_stage(
+        &self,
+        req: &RecommendRequest,
+        ctx: &mut RequestContext,
+    ) -> (Vec<ItemScore>, bool) {
+        if let Some(cache) = &self.cache {
+            if let Some(key) = self.cache_key(req, ctx) {
+                if let Some(list) = cache.lookup(key, self.index.generation()) {
+                    // Policy mutates the response per request, so the shared
+                    // list is cloned out; the kernel stays untouched.
+                    return (list.as_ref().clone(), true);
+                }
+                let (vmis, generation) = self.index.load_with_generation();
+                let recs = vmis.recommend_with_scratch(&ctx.view, &mut ctx.scratch);
+                cache.store_list(key, generation, recs.clone());
+                return (recs, false);
+            }
+        }
         let vmis = self.index.load();
-        vmis.recommend_with_scratch(&ctx.view, &mut ctx.scratch)
+        (vmis.recommend_with_scratch(&ctx.view, &mut ctx.scratch), false)
     }
 
     /// Policy stage: business rules, then truncation to the response size.
@@ -501,6 +576,117 @@ mod tests {
         e.handle_with(req(7, 3), &mut ctx).unwrap();
         assert!(!ctx.degraded());
         assert_eq!(e.stats().degraded, 1);
+    }
+
+    fn dep(session_id: u64, item: ItemId, filter_adult: bool) -> RecommendRequest {
+        RecommendRequest { session_id, item, consent: false, filter_adult }
+    }
+
+    #[test]
+    fn depersonalised_repeats_hit_the_cache_and_stay_identical() {
+        let e = engine(ServingVariant::Full, BusinessRules::none());
+        let first = e.handle(dep(50, 2, false)).unwrap();
+        let second = e.handle(dep(51, 2, false)).unwrap();
+        assert_eq!(first, second, "a cache hit must be byte-identical to the computed list");
+        let cache = e.prediction_cache().expect("cache is enabled by default");
+        assert_eq!((cache.hit_count(), cache.miss_count()), (1, 1));
+    }
+
+    #[test]
+    fn recent_variant_consented_requests_are_cached() {
+        let e = engine(ServingVariant::Recent, BusinessRules::none());
+        let a = e.handle(req(1, 3)).unwrap();
+        let b = e.handle(req(2, 3)).unwrap();
+        assert_eq!(a, b);
+        let cache = e.prediction_cache().unwrap();
+        assert_eq!(cache.hit_count(), 1, "same most-recent item, different session");
+    }
+
+    #[test]
+    fn hist_variant_consented_requests_bypass_the_cache() {
+        let e = engine(ServingVariant::Hist(2), BusinessRules::none());
+        e.handle(req(1, 0)).unwrap();
+        e.handle(req(1, 1)).unwrap();
+        e.handle(req(2, 0)).unwrap();
+        e.handle(req(2, 1)).unwrap();
+        let cache = e.prediction_cache().unwrap();
+        assert_eq!(
+            (cache.hit_count(), cache.miss_count()),
+            (0, 0),
+            "session-dependent views must never touch the cache"
+        );
+    }
+
+    #[test]
+    fn disabling_the_cache_changes_nothing_but_the_counters() {
+        let enabled = engine(ServingVariant::Full, BusinessRules::none());
+        let disabled_cfg = EngineConfig {
+            variant: ServingVariant::Full,
+            how_many: 3,
+            cache: CacheConfig { enabled: false, ..CacheConfig::default() },
+            ..Default::default()
+        };
+        let disabled = Engine::new(index(), disabled_cfg, BusinessRules::none()).unwrap();
+        assert!(disabled.prediction_cache().is_none());
+        for item in [0u64, 2, 2, 4, 0] {
+            assert_eq!(
+                enabled.handle(dep(80, item, false)).unwrap(),
+                disabled.handle(dep(80, item, false)).unwrap(),
+            );
+        }
+        assert!(enabled.prediction_cache().unwrap().hit_count() > 0);
+    }
+
+    #[test]
+    fn cached_hits_respect_per_user_adult_filter() {
+        // The cache stores pre-policy lists: a user with filtering on and a
+        // user with filtering off share the cache entry yet get different
+        // responses — `filter_adult` must never leak between users.
+        let clicks = vec![
+            Click::new(1, 0, 10),
+            Click::new(1, 7, 11),
+            Click::new(2, 0, 20),
+            Click::new(2, 7, 21),
+            Click::new(3, 5, 30), // unrelated session: keeps idf(7) > 0
+            Click::new(3, 6, 31),
+        ];
+        let idx = Arc::new(SessionIndex::build(&clicks, 500).unwrap());
+        let mut rules = BusinessRules::none();
+        rules.mark_adult(7);
+        let e = Engine::new(idx, EngineConfig::default(), rules).unwrap();
+        let unfiltered = e.handle(dep(1, 0, false)).unwrap();
+        assert!(unfiltered.iter().any(|r| r.item == 7), "warm-up sees the adult item");
+        let filtered = e.handle(dep(2, 0, true)).unwrap();
+        assert!(filtered.iter().all(|r| r.item != 7), "cached hit must still filter");
+        let unfiltered_again = e.handle(dep(3, 0, false)).unwrap();
+        assert_eq!(unfiltered, unfiltered_again, "filtering must not poison the entry");
+        assert_eq!(e.prediction_cache().unwrap().hit_count(), 2);
+    }
+
+    #[test]
+    fn index_swap_invalidates_cached_predictions() {
+        let e = engine(ServingVariant::Full, BusinessRules::none());
+        let before = e.handle(dep(10, 2, false)).unwrap();
+        assert_eq!(e.handle(dep(11, 2, false)).unwrap(), before);
+        // Roll over to a different history: the same request must now be
+        // answered from the new index, not the cached old list.
+        let mut clicks = Vec::new();
+        for s in 0..10u64 {
+            clicks.push(Click::new(s + 1, 2, 100 + s * 10));
+            clicks.push(Click::new(s + 1, 4, 101 + s * 10));
+        }
+        let new_index = Arc::new(SessionIndex::build(&clicks, 500).unwrap());
+        e.swap_index(Arc::clone(&new_index)).unwrap();
+        let after = e.handle(dep(12, 2, false)).unwrap();
+        let reference_cfg = EngineConfig { variant: ServingVariant::Full, how_many: 3, ..Default::default() };
+        let reference = Engine::new(new_index, reference_cfg, BusinessRules::none()).unwrap();
+        assert_eq!(after, reference.handle(dep(99, 2, false)).unwrap());
+        assert_ne!(after, before, "the histories are engineered to disagree");
+        let cache = e.prediction_cache().unwrap();
+        assert_eq!(cache.stale_count(), 1, "the rolled-over entry was rejected");
+        // And the new answer is itself cached again.
+        assert_eq!(e.handle(dep(13, 2, false)).unwrap(), after);
+        assert_eq!(cache.hit_count(), 2);
     }
 
     #[test]

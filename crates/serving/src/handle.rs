@@ -26,7 +26,7 @@
 //! [`IndexHandle::wait_for_readers`] and weakening the orderings below —
 //! that the checker must catch.
 
-use crate::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{self, Arc};
 
 /// Number of reader guard slots. Readers hash their thread onto a slot, so
@@ -82,6 +82,15 @@ struct PaddedCounter(AtomicUsize);
 /// A shared, atomically replaceable `Arc<T>` with wait-free readers.
 pub struct IndexHandle<T> {
     current: AtomicPtr<T>,
+    /// Monotone publication counter: 1 for the initial value, bumped once
+    /// per [`IndexHandle::store`] *after* the pointer swap. Consumers that
+    /// cache results derived from the published value stamp them with a
+    /// generation read *before* the pointer load
+    /// ([`IndexHandle::load_with_generation`]); the swap-then-bump /
+    /// read-then-load pairing (all SeqCst) guarantees a stamp is never
+    /// newer than the value it labels, so a stamp equal to the current
+    /// generation proves the cached result came from the current index.
+    generation: AtomicU64,
     guards: [PaddedCounter; SLOTS],
 }
 
@@ -90,6 +99,7 @@ impl<T> IndexHandle<T> {
     pub fn new(value: Arc<T>) -> Self {
         Self {
             current: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
+            generation: AtomicU64::new(1),
             guards: std::array::from_fn(|_| PaddedCounter(AtomicUsize::new(0))),
         }
     }
@@ -127,11 +137,35 @@ impl<T> IndexHandle<T> {
         value
     }
 
+    /// The current publication generation: 1 for the initial value, +1 per
+    /// [`IndexHandle::store`].
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Returns the published value together with a generation stamp that is
+    /// **never newer than the value**: the stamp is read before the pointer,
+    /// and the writer bumps the counter only after its swap, so under the
+    /// SeqCst total order `stamp == g` implies the load returned the value
+    /// of publication `g` or a later one. Derived results cached under this
+    /// stamp therefore never label old-index output with a new generation —
+    /// the invariant the prediction cache's loom model verifies.
+    pub fn load_with_generation(&self) -> (Arc<T>, u64) {
+        let generation = self.generation.load(Ordering::SeqCst);
+        (self.load(), generation)
+    }
+
     /// Atomically publishes `value`; every subsequent [`IndexHandle::load`]
     /// (on any thread) returns it. Waits for readers currently inside their
     /// two-instruction pin window, then releases the previous value.
     pub fn store(&self, value: Arc<T>) {
         let old = self.current.swap(Arc::into_raw(value).cast_mut(), ord::PTR_SWAP);
+        // Strictly after the swap (SeqCst): once a reader observes the new
+        // generation, its subsequent pointer load cannot return the old
+        // index, which is what lets a generation match stand in for "this
+        // cached list was computed on the live index".
+        self.generation.fetch_add(1, Ordering::SeqCst);
         #[cfg(not(feature = "mutation-skip-wait-for-readers"))]
         self.wait_for_readers();
         // SAFETY: guard-counter protocol, writer side. `old` came out of
@@ -204,6 +238,19 @@ mod tests {
         assert_eq!(Arc::strong_count(&pinned), 1, "handle gave up its reference");
         // ...and new readers see the new one.
         assert_eq!(*h.load(), "second");
+    }
+
+    #[test]
+    fn generation_bumps_once_per_store() {
+        let h = IndexHandle::new(Arc::new(0u64));
+        assert_eq!(h.generation(), 1);
+        let (v, g) = h.load_with_generation();
+        assert_eq!((*v, g), (0, 1));
+        h.store(Arc::new(1));
+        h.store(Arc::new(2));
+        assert_eq!(h.generation(), 3);
+        let (v, g) = h.load_with_generation();
+        assert_eq!((*v, g), (2, 3));
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   session store, with the `serenade-hist` / `serenade-recent` variants
 //!   of the A/B test and the depersonalised mode;
 //! * [`handle`] — lock-free index publication for the daily rollover;
+//! * [`cache`] — the generation-aware prediction cache: completed
+//!   single-item-view recommendation lists keyed by `(item, view-kind)`,
+//!   stamped with the [`handle`] generation so a rollover invalidates every
+//!   entry implicitly (business rules run per request, *after* the cache);
 //! * [`context`] — per-worker request state (scratch buffers, session view,
 //!   per-stage timings) threaded through `http → cluster → engine`;
 //! * [`router`] — sticky-session partitioning across pods;
@@ -38,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod absim;
+pub mod cache;
 pub mod cluster;
 pub mod context;
 pub mod engine;
@@ -53,6 +58,7 @@ pub mod stats;
 pub mod sync;
 pub mod telemetry;
 
+pub use cache::{CacheConfig, PredictionCache};
 pub use cluster::ServingCluster;
 pub use context::{RequestContext, StageTimings};
 pub use engine::{Engine, EngineConfig, ServingVariant};

@@ -97,6 +97,75 @@ pub fn scheduled_offset(i: usize, interval: Duration, seed: u64, jitter: f64) ->
     base + interval.mul_f64(unit * jitter.min(1.0))
 }
 
+/// Item-popularity skew for synthetic request streams.
+///
+/// Samples item *ranks* from a truncated Zipf distribution: rank `r`
+/// (0-based) carries weight `(r + 1)^-exponent`, so rank 0 is the most
+/// popular item and the tail decays polynomially — the shape of e-commerce
+/// item popularity and the regime where the prediction cache earns its keep.
+/// `exponent = 0` degrades to the uniform distribution.
+///
+/// Sampling is a pure function of `(seed, i)` (the same reproducibility
+/// contract as [`scheduled_offset`]): two runs with the same seed draw the
+/// identical item sequence regardless of worker interleaving.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Normalised cumulative weights; `cdf[r]` is P(rank ≤ r).
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `items` ranks with the given skew exponent.
+    pub fn new(items: usize, exponent: f64) -> Self {
+        assert!(items > 0, "need at least one item");
+        assert!(exponent >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(items);
+        let mut acc = 0.0f64;
+        for rank in 0..items {
+            acc += ((rank + 1) as f64).powf(-exponent);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Self { cdf }
+    }
+
+    /// The rank drawn for request `i` under `seed`.
+    pub fn sample(&self, seed: u64, i: u64) -> usize {
+        // Decorrelated from the send-time jitter stream (which hashes
+        // `seed ^ i` directly) by mixing the seed first.
+        let unit =
+            (splitmix64(splitmix64(seed) ^ i) >> 11) as f64 / (1u64 << 53) as f64;
+        // First rank whose cumulative weight exceeds the uniform draw.
+        self.cdf.partition_point(|&c| c <= unit).min(self.cdf.len() - 1)
+    }
+}
+
+/// A depersonalised single-item request stream with Zipf-skewed item
+/// popularity: request `i` asks about `items[rank]` where `rank` is drawn
+/// by a [`ZipfSampler`] with the given exponent. Every request carries a
+/// fresh session id and `consent: false`, so responses are a pure function
+/// of `(item, index)` — the traffic shape that exercises the prediction
+/// cache (`exponent ≳ 1` concentrates most requests on a few hot items).
+pub fn zipf_requests(
+    items: &[u64],
+    count: usize,
+    exponent: f64,
+    seed: u64,
+) -> Vec<RecommendRequest> {
+    assert!(!items.is_empty(), "items must not be empty");
+    let sampler = ZipfSampler::new(items.len(), exponent);
+    (0..count)
+        .map(|i| RecommendRequest {
+            session_id: 500_000 + i as u64,
+            item: items[sampler.sample(seed, i as u64)],
+            consent: false,
+            filter_adult: false,
+        })
+        .collect()
+}
+
 /// Latency and throughput of one reporting window.
 #[derive(Debug, Clone)]
 pub struct LoadWindow {
@@ -558,6 +627,57 @@ mod tests {
                 interval.mul_f64(i as f64)
             );
         }
+    }
+
+    #[test]
+    fn zipf_stream_is_deterministic_per_seed() {
+        let items: Vec<u64> = (0..50).collect();
+        let a = zipf_requests(&items, 500, 1.1, 7);
+        let b = zipf_requests(&items, 500, 1.1, 7);
+        assert_eq!(a, b, "same seed must draw the identical item sequence");
+        let c = zipf_requests(&items, 500, 1.1, 8);
+        assert_ne!(a, c, "a different seed must move at least one draw");
+        assert!(a.iter().all(|r| !r.consent), "zipf traffic is depersonalised");
+        // Fresh session per request: no accidental stickiness.
+        let ids: std::collections::HashSet<u64> =
+            a.iter().map(|r| r.session_id).collect();
+        assert_eq!(ids.len(), a.len());
+    }
+
+    #[test]
+    fn zipf_exponent_controls_the_skew() {
+        let items: Vec<u64> = (0..100).collect();
+        let head_share = |exponent: f64| {
+            let reqs = zipf_requests(&items, 20_000, exponent, 3);
+            // Fraction of traffic on the 5 most popular ranks (items 0..5).
+            reqs.iter().filter(|r| r.item < 5).count() as f64 / reqs.len() as f64
+        };
+        let uniform = head_share(0.0);
+        let mild = head_share(0.8);
+        let heavy = head_share(1.5);
+        assert!((uniform - 0.05).abs() < 0.02, "exponent 0 ≈ uniform: {uniform}");
+        assert!(mild > uniform + 0.1, "skew must concentrate the head: {mild}");
+        assert!(heavy > mild + 0.1, "more skew, more concentration: {heavy}");
+
+        // Popularity is monotone in rank: the top rank dominates the tail.
+        let reqs = zipf_requests(&items, 20_000, 1.0, 9);
+        let count = |item: u64| reqs.iter().filter(|r| r.item == item).count();
+        assert!(count(0) > 4 * count(99), "rank 0 must dwarf the last rank");
+    }
+
+    #[test]
+    fn zipf_traffic_drives_the_prediction_cache() {
+        let cluster = cluster();
+        let traffic = zipf_requests(&[0, 1, 2, 3, 4, 5], 400, 1.2, 11);
+        let mut ctx = RequestContext::new();
+        for req in &traffic {
+            cluster.handle_with(*req, &mut ctx).unwrap();
+        }
+        let cache = cluster.prediction_cache().expect("enabled by default");
+        assert_eq!(cache.hit_count() + cache.miss_count(), 400);
+        // Six distinct items: everything past the first sighting is a hit.
+        assert_eq!(cache.miss_count(), 6);
+        assert!(cache.stale_count() == 0);
     }
 
     #[test]

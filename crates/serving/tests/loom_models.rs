@@ -21,6 +21,10 @@
 //!   schedule where the drain controller reads a stale `inflight == 0` and
 //!   declares the server quiesced while an admitted request is still
 //!   running (the "silently lost request" the drain protocol forbids).
+//! * `--features "loom mutation-skip-generation-check"` drops the
+//!   prediction cache's generation comparison; the checker must find the
+//!   schedule where a probe under the post-rollover generation is served a
+//!   list computed on the pre-rollover index.
 
 #![cfg(feature = "loom")]
 
@@ -230,6 +234,128 @@ fn weakened_admission_handshake_is_caught() {
         report.failure.expect("checker failed to catch the weakened admission handshake");
     assert!(
         failure.contains("quiescence") || failure.contains("balance"),
+        "unexpected failure kind: {failure}"
+    );
+}
+
+/// The prediction cache's rollover-coherence protocol, reduced to its
+/// essential race. Three threads over one `IndexHandle` (value 0, then 1)
+/// and one single-shard `GenerationCache`:
+///
+/// * an **inserter** models a cache miss: `load_with_generation()` (read the
+///   stamp, *then* pin the index — the order the protocol mandates),
+///   "computes" on the loaded value and stores it under the stamp it read;
+/// * a **writer** models the rollover: publish the new index, then bump the
+///   generation;
+/// * a **prober** models a later request: read the current generation and
+///   probe the cache with it.
+///
+/// The invariant is the tentpole's promise: a probe under the post-rollover
+/// generation (2) must never be served the pre-rollover list (0). The
+/// writer-side swap-then-bump and reader-side stamp-then-load orders make
+/// the entry's stamp a *lower bound* on the publication its value came
+/// from, so a stamp-2 entry always carries value 1 — unless the generation
+/// comparison is mutated away.
+fn cache_generation_model() {
+    use serenade_serving::cache::{GenerationCache, Lookup};
+
+    let handle = StdArc::new(IndexHandle::new(Arc::new(0u64)));
+    let cache: StdArc<GenerationCache<u64, u64>> = StdArc::new(GenerationCache::new(1, 2));
+    const KEY: u64 = 7;
+
+    let inserter = {
+        let handle = StdArc::clone(&handle);
+        let cache = StdArc::clone(&cache);
+        loom::thread::spawn(move || {
+            let (index, generation) = handle.load_with_generation();
+            // The "kernel work" of the miss path: the cached value is a pure
+            // function of the index version we loaded.
+            cache.insert(KEY, generation, *index);
+        })
+    };
+
+    let writer = {
+        let handle = StdArc::clone(&handle);
+        loom::thread::spawn(move || handle.store(Arc::new(1u64)))
+    };
+
+    let prober = {
+        let handle = StdArc::clone(&handle);
+        let cache = StdArc::clone(&cache);
+        loom::thread::spawn(move || {
+            let generation = handle.generation();
+            if let Lookup::Hit(value) = cache.get(&KEY, generation) {
+                if generation == 2 {
+                    assert_eq!(
+                        value, 1,
+                        "stale list served under the post-rollover generation"
+                    );
+                }
+            }
+        })
+    };
+
+    inserter.join().unwrap();
+    writer.join().unwrap();
+    prober.join().unwrap();
+
+    // All threads joined: the rollover has happened, so the current
+    // generation is 2 and any hit the cache still serves must be the
+    // post-rollover list. (A stamp-1 entry must come back `Stale`.)
+    assert_eq!(handle.generation(), 2);
+    if let Lookup::Hit(value) = cache.get(&KEY, 2) {
+        assert_eq!(value, 1, "stale list survived the rollover");
+    }
+}
+
+fn explore_cache() -> loom::Report {
+    let mut builder = loom::Builder::default();
+    builder.preemption_bound = 3;
+    builder.max_iterations = 500_000;
+    builder.max_steps = 20_000;
+    builder.explore(cache_generation_model)
+}
+
+/// The generation protocol is sound on every explored schedule: no
+/// interleaving lets a request observe the new index generation together
+/// with a recommendation list computed on the old index. (All four
+/// mutations are excluded: the handle mutations break the `IndexHandle`
+/// inside this model, the admission mutation shares the feature-unification
+/// build, and the generation mutation is this model's own kill switch.)
+#[cfg(not(any(
+    feature = "mutation-skip-wait-for-readers",
+    feature = "mutation-weak-orderings",
+    feature = "mutation-weak-admission",
+    feature = "mutation-skip-generation-check"
+)))]
+#[test]
+fn cache_generation_coherence_is_sound() {
+    let report = explore_cache();
+    assert!(
+        report.failure.is_none(),
+        "checker found a bad schedule: {}",
+        report.failure.unwrap()
+    );
+    assert!(report.exhausted, "exploration must finish within the iteration budget");
+    assert!(
+        report.iterations >= 1_000,
+        "model too small to be meaningful: only {} interleavings explored",
+        report.iterations
+    );
+}
+
+/// Mutation kill: with the generation comparison dropped, a stamp-1 entry
+/// (computed on index 0) is served to a probe that already observed
+/// generation 2 — the exact stale-across-rollover bug the cache design
+/// forbids. The checker must find the schedule.
+#[cfg(feature = "mutation-skip-generation-check")]
+#[test]
+fn skipped_generation_check_is_caught() {
+    let report = explore_cache();
+    let failure =
+        report.failure.expect("checker failed to catch the dropped generation check");
+    assert!(
+        failure.contains("stale"),
         "unexpected failure kind: {failure}"
     );
 }

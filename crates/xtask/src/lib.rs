@@ -65,6 +65,7 @@ const REQUEST_PATH_MODULES: &[&str] = &[
     "crates/serving/src/server/metrics.rs",
     "crates/serving/src/cluster.rs",
     "crates/serving/src/handle.rs",
+    "crates/serving/src/cache.rs",
     "crates/serving/src/json.rs",
     "crates/serving/src/rules.rs",
     "crates/kvstore/src/store.rs",
@@ -83,6 +84,7 @@ const REQUEST_PATH_MODULES: &[&str] = &[
 /// the per-shard atomics back into a convoy. Snapshot/render code in the
 /// same files is exempt — the rule keys on the `record` name prefix.
 const RECORD_PATH_MODULES: &[&str] = &[
+    "crates/serving/src/cache.rs",
     "crates/telemetry/src/histogram.rs",
     "crates/telemetry/src/registry.rs",
     "crates/telemetry/src/trace.rs",
@@ -110,6 +112,7 @@ const RECORD_ALLOC_NEEDLES: &[&str] = &[
 /// checker; a direct `std::sync::atomic`/`std::thread`/`parking_lot` import
 /// would silently escape the checker's instrumentation.
 const FACADE_MODULES: &[&str] = &[
+    "crates/serving/src/cache.rs",
     "crates/serving/src/handle.rs",
     "crates/serving/src/stats.rs",
     "crates/serving/src/server/lifecycle.rs",
@@ -991,6 +994,36 @@ mod tests {
         let v = check_shim_wiring(&dirs, root, "", readme);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].message.contains("other than its package name"));
+    }
+
+    /// The prediction cache sits on the request hot path: a panic in a
+    /// probe unwinds the HTTP worker exactly like one in the engine.
+    #[test]
+    fn cache_is_on_the_no_panic_request_path() {
+        let src = "fn probe(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let v = lint("crates/serving/src/cache.rs", src);
+        assert!(v.iter().any(|x| x.rule == "no-panic-request-path"), "{v:?}");
+    }
+
+    /// The cache's shard locks must come from `crate::sync` so the loom
+    /// cache/generation model actually instruments them.
+    #[test]
+    fn cache_is_facade_only() {
+        let src = "use parking_lot::Mutex;\n";
+        let v = lint("crates/serving/src/cache.rs", src);
+        assert!(v.iter().any(|x| x.rule == "facade-only-sync"), "{v:?}");
+        // `std::sync::Arc` is not a facade bypass: the loom build keeps it
+        // for the counter handles the registry shares.
+        assert!(lint("crates/serving/src/cache.rs", "use std::sync::Arc;\n").is_empty());
+    }
+
+    /// `record_hit_duration` runs on every cache hit; it must stay
+    /// allocation- and lock-free like every other `record*` hot path.
+    #[test]
+    fn cache_record_path_must_not_allocate() {
+        let src = "impl C {\n    pub fn record_hit_duration(&self) { self.tags.push(1); }\n}\n";
+        let v = lint("crates/serving/src/cache.rs", src);
+        assert!(v.iter().any(|x| x.rule == "record-no-alloc"), "{v:?}");
     }
 
     /// The acceptance-criteria fixture: an uncommented `unsafe` block plus

@@ -23,6 +23,12 @@ cargo test -q -p serenade-serving --test overload_drain
 echo "==> serving conformance: HTTP parser properties"
 cargo test -q -p serenade-serving --test http_parser_props
 
+echo "==> serving conformance: prediction cache across an index rollover (socket level)"
+cargo test -q -p serenade-serving --test cache_rollover
+
+echo "==> index conformance: randomized differential properties (core vs compressed vs incremental)"
+cargo test -q -p serenade-index --test differential_props
+
 echo "==> loom models: serving (IndexHandle publication, drain handshake, stats stripes)"
 cargo test -q -p serenade-serving --features loom
 
@@ -40,5 +46,8 @@ cargo test -q -p serenade-serving --features "loom mutation-weak-orderings" --te
 
 echo "==> mutation kill: weakened admission/drain handshake"
 cargo test -q -p serenade-serving --features "loom mutation-weak-admission" --test loom_models
+
+echo "==> mutation kill: prediction cache generation check dropped"
+cargo test -q -p serenade-serving --features "loom mutation-skip-generation-check" --test loom_models
 
 echo "All checks passed."
