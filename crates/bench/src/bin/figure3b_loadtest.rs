@@ -25,13 +25,17 @@ use serenade_dataset::SyntheticConfig;
 use serenade_serving::engine::EngineConfig;
 use serenade_serving::http::{HttpClient, HttpServer, HttpServerConfig};
 use serenade_serving::loadgen::{
-    requests_from_sessions, run_load_test_scraped, run_overload_test, LoadGenConfig,
-    OverloadConfig,
+    requests_from_sessions, run_connection_ramp, run_load_test_scraped, run_overload_test,
+    ConnectionRampConfig, LoadGenConfig, OverloadConfig,
 };
 use serenade_serving::{BusinessRules, ServingCluster};
 
 fn main() {
     let args = BenchArgs::from_env();
+    if std::env::args().any(|a| a == "--serve-child") {
+        serve_child(&args);
+        return;
+    }
     let config = SyntheticConfig::ecom_180m().scaled(0.5 * args.scale);
     let (_, split) = prepare(&config);
     let index = Arc::new(SessionIndex::build(&split.train, 500).unwrap());
@@ -199,4 +203,96 @@ fn main() {
          exactly what the admission control buys.)"
     );
     overload_server.shutdown();
+
+    // Connection-ramp scenario: the event loop's headline claim. One reactor
+    // thread multiplexes a ramp up to 10,000 keep-alive connections, most of
+    // them idle (parked) at any instant while a 4-thread driver pool keeps a
+    // request trickle flowing across the whole fleet. The table shows, per
+    // step: open connections, achieved rps, accepted p50/p99 and the process
+    // fd census — rps and the tail must not degrade with fleet size, which a
+    // thread-per-connection design cannot deliver at this scale.
+    //
+    // The server runs in a *child process* (`--serve-child` mode of this
+    // binary): a connection costs one fd on each side, so client and server
+    // each budget 10,000 sockets against their own `RLIMIT_NOFILE` instead
+    // of competing for one process's limit — environments where the hard
+    // cap cannot be raised (no CAP_SYS_RESOURCE) still reach the full ramp.
+    println!("\nconnection ramp (keep-alive fleet on the event loop):");
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = std::process::Command::new(exe)
+        .args(["--serve-child", "--scale", &format!("{}", args.scale)])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn ramp server child");
+    let child_addr = {
+        use std::io::BufRead;
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        loop {
+            let line = lines
+                .next()
+                .expect("child exited before publishing its address")
+                .expect("read child stdout");
+            if let Some(addr) = line.strip_prefix("ADDR ") {
+                break addr.parse().expect("child address unparsable");
+            }
+        }
+    };
+    let ramp = run_connection_ramp(
+        child_addr,
+        &traffic,
+        ConnectionRampConfig {
+            steps: if args.quick { vec![200, 1_000] } else { vec![1_000, 5_000, 10_000] },
+            step_duration: Duration::from_secs(if args.quick { 1 } else { 3 }),
+            drivers: 4,
+            think_time: Duration::from_micros(500),
+            seed: 0xF19_3B,
+            fd_margin: 512,
+            fds_per_connection: 1, // server fds live in the child
+        },
+    );
+    let mut rrows = Vec::new();
+    for step in &ramp.steps {
+        let (p50, p99) = step.latency.map_or((0, 0), |l| (l.p50_us, l.p99_us));
+        rrows.push(vec![
+            step.connections.to_string(),
+            format!("{:.0}", step.achieved_rps),
+            fmt_us(p50),
+            fmt_us(p99),
+            step.open_fds.to_string(),
+            step.errors.to_string(),
+        ]);
+    }
+    print_table(&["connections", "rps", "p50", "p99", "open fds", "errors"], &rrows);
+    println!(
+        "(client fd limit {}; every socket in the fleet is a live keep-alive\n\
+         connection to the child's one reactor thread — idle ones are parked,\n\
+         not thread-blocked.)",
+        ramp.fd_limit
+    );
+    drop(child.stdin.take()); // closing stdin tells the child to drain
+    let status = child.wait().expect("join ramp server child");
+    assert!(status.success(), "ramp server child failed: {status}");
+}
+
+/// `--serve-child`: build the same cluster and serve it until the parent
+/// closes our stdin, publishing the bound address on stdout. Runs in its own
+/// process so the 10k-connection ramp splits its fd bill across two
+/// `RLIMIT_NOFILE` budgets (one socket per side per connection).
+fn serve_child(args: &BenchArgs) {
+    let config = SyntheticConfig::ecom_180m().scaled(0.5 * args.scale);
+    let (_, split) = prepare(&config);
+    let index = Arc::new(SessionIndex::build(&split.train, 500).unwrap());
+    let cluster = Arc::new(
+        ServingCluster::new(index, 2, EngineConfig::default(), BusinessRules::none()).unwrap(),
+    );
+    let server =
+        HttpServer::serve(cluster, HttpServerConfig::default()).expect("child ramp frontend");
+    println!("ADDR {}", server.addr());
+    use std::io::Write;
+    std::io::stdout().flush().expect("flush child stdout");
+    let mut eof = String::new();
+    let _ = std::io::stdin().read_line(&mut eof);
+    server.shutdown();
 }

@@ -62,5 +62,5 @@ pub use recommender::Recommender;
 pub use hash::{FxHashMap, FxHashSet};
 pub use index::{IndexStats, SessionIndex};
 pub use types::{Click, ItemId, ItemScore, SessionId, SessionRef, Timestamp};
-pub use vmis::{HeapArity, Scratch, VmisConfig, VmisKnn};
+pub use vmis::{BatchScratch, HeapArity, Scratch, VmisConfig, VmisKnn};
 pub use weights::{DecayFunction, IdfWeighting, MatchWeight};

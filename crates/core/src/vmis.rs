@@ -221,6 +221,27 @@ impl Default for Scratch {
     }
 }
 
+/// Reusable buffers for [`VmisKnn::recommend_batch`]: one [`Scratch`] per
+/// *unique* capped window in the batch plus the dedupe and scheduling state
+/// of the shared traversal. Buffers grow to the largest batch seen and are
+/// reused across batches, so a steady-state batching worker allocates
+/// nothing per batch beyond the returned result lists.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Per-unique-window kernel state.
+    slots: Vec<Scratch>,
+    /// Owned copies of the unique capped windows (the dedupe keys). Entries
+    /// beyond the current batch's unique count are stale capacity.
+    windows: Vec<Vec<ItemId>>,
+    /// Traversal plan per unique window: `(item, π)` steps in the exact
+    /// order the sequential kernel would process them.
+    plans: Vec<Vec<(ItemId, f32)>>,
+    /// Request index → unique-window index.
+    assign: Vec<usize>,
+    /// Per-unique-window scored output of the current batch.
+    results: Vec<Vec<ItemScore>>,
+}
+
 /// A neighbour session together with its similarity score.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Neighbor {
@@ -339,18 +360,73 @@ impl VmisKnn {
             .collect()
     }
 
+    /// Caps an evolving session to its most recent `max_session_len` items.
+    #[inline]
+    fn cap_window<'a>(&self, session: &'a [ItemId]) -> &'a [ItemId] {
+        let cap = self.config.max_session_len;
+        if session.len() > cap {
+            &session[session.len() - cap..]
+        } else {
+            session
+        }
+    }
+
+    /// One step of the item-intersection loop: merges `item`'s posting list
+    /// into the candidate set `r`/`b_t` with decay weight `pi`. State
+    /// transitions depend only on `scratch`'s own prior contents, so steps
+    /// for *different* scratches can be interleaved freely (the batch path
+    /// relies on this).
+    #[inline]
+    fn intersect_item(&self, item: ItemId, pi: f32, scratch: &mut Scratch) {
+        let cfg = &self.config;
+        let Some(posting) = self.index.postings(item) else {
+            return; // item unseen in the historical data
+        };
+        for &j in posting {
+            if let Some(rj) = scratch.r.get_mut(&j) {
+                *rj += pi;
+                continue;
+            }
+            let key: RecencyKey = (self.index.session_timestamp(j), j);
+            if scratch.r.len() < cfg.m {
+                scratch.r.insert(j, pi);
+                scratch.bt.push(key, ());
+            } else {
+                let &(root, ()) = scratch.bt.peek().expect("bt non-empty when r full");
+                if key > root {
+                    let ((_, evicted), ()) = scratch.bt.replace_root(key, ());
+                    scratch.r.remove(&evicted);
+                    scratch.r.insert(j, pi);
+                } else if cfg.early_stopping {
+                    // Posting lists are strictly descending in the
+                    // composite recency key: nothing further can enter.
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Top-k similarity loop over the temporary similarity scores `r`.
+    fn select_topk(&self, scratch: &mut Scratch) {
+        let cfg = &self.config;
+        for (&j, &rj) in &scratch.r {
+            let key = (rj, self.index.session_timestamp(j), j);
+            if scratch.topk.len() < cfg.k {
+                scratch.topk.push(key, ());
+            } else {
+                let &(root, ()) = scratch.topk.peek().expect("topk non-empty when full");
+                if key > root {
+                    scratch.topk.replace_root(key, ());
+                }
+            }
+        }
+    }
+
     /// Runs the item-intersection and top-k similarity loops, leaving the
     /// neighbour heap `N_s` and the position map populated in `scratch`.
     fn fill_neighbors(&self, session: &[ItemId], scratch: &mut Scratch) {
         scratch.clear();
-        let cfg = &self.config;
-
-        // Cap the evolving session to its most recent `max_session_len` items.
-        let window = if session.len() > cfg.max_session_len {
-            &session[session.len() - cfg.max_session_len..]
-        } else {
-            session
-        };
+        let window = self.cap_window(session);
         if window.is_empty() {
             return;
         }
@@ -367,47 +443,113 @@ impl VmisKnn {
             if scratch.pos[&item] != i + 1 {
                 continue; // duplicate; already processed at a later position
             }
-            let Some(posting) = self.index.postings(item) else {
-                continue; // item unseen in the historical data
-            };
-            let pi = cfg.decay.weight(i + 1, wlen);
+            self.intersect_item(item, self.config.decay.weight(i + 1, wlen), scratch);
+        }
 
-            for &j in posting {
-                if let Some(rj) = scratch.r.get_mut(&j) {
-                    *rj += pi;
-                    continue;
-                }
-                let key: RecencyKey = (self.index.session_timestamp(j), j);
-                if scratch.r.len() < cfg.m {
-                    scratch.r.insert(j, pi);
-                    scratch.bt.push(key, ());
-                } else {
-                    let &(root, ()) = scratch.bt.peek().expect("bt non-empty when r full");
-                    if key > root {
-                        let ((_, evicted), ()) = scratch.bt.replace_root(key, ());
-                        scratch.r.remove(&evicted);
-                        scratch.r.insert(j, pi);
-                    } else if cfg.early_stopping {
-                        // Posting lists are strictly descending in the
-                        // composite recency key: nothing further can enter.
-                        break;
+        self.select_topk(scratch);
+    }
+
+    /// Creates batch scratch buffers for [`recommend_batch`].
+    ///
+    /// [`recommend_batch`]: Self::recommend_batch
+    pub fn batch_scratch(&self) -> BatchScratch {
+        BatchScratch::default()
+    }
+
+    /// Scores a batch of evolving sessions in one shared pass, returning one
+    /// recommendation list per session in input order — **bit-identical** to
+    /// calling [`recommend_with_scratch`] once per session.
+    ///
+    /// Two levels of sharing amortise the per-request cost of a coalesced
+    /// batch:
+    ///
+    /// * **window dedupe** — sessions whose capped windows are identical
+    ///   (the common case for concurrently coalesced traffic on a hot
+    ///   product page) run the kernel once and share the result;
+    /// * **interleaved posting traversal** — the item-intersection loops of
+    ///   the distinct windows advance round-robin by position, so a posting
+    ///   list shared across windows is rewalked while still cache-resident.
+    ///
+    /// Each window's own operations (candidate admission, heap eviction, f32
+    /// accumulation) happen in exactly the sequential kernel's order on its
+    /// own scratch slot; the rounds only interleave *across* slots. That is
+    /// the whole bit-identity argument, and the differential suite checks it
+    /// on random logs, configs and batches.
+    ///
+    /// [`recommend_with_scratch`]: Self::recommend_with_scratch
+    pub fn recommend_batch(
+        &self,
+        sessions: &[&[ItemId]],
+        scratch: &mut BatchScratch,
+    ) -> Vec<Vec<ItemScore>> {
+        let cfg = &self.config;
+        let BatchScratch { slots, windows, plans, assign, results } = scratch;
+
+        // Dedupe capped windows; `assign[i]` maps request i to its slot.
+        assign.clear();
+        let mut n_unique = 0usize;
+        for &session in sessions {
+            let window = self.cap_window(session);
+            let u = match windows[..n_unique].iter().position(|w| w.as_slice() == window) {
+                Some(u) => u,
+                None => {
+                    if n_unique == windows.len() {
+                        windows.push(Vec::with_capacity(window.len()));
                     }
+                    windows[n_unique].clear();
+                    windows[n_unique].extend_from_slice(window);
+                    n_unique += 1;
+                    n_unique - 1
+                }
+            };
+            assign.push(u);
+        }
+        while slots.len() < n_unique {
+            slots.push(Scratch::for_config(cfg));
+        }
+        plans.resize_with(n_unique.max(plans.len()), Vec::new);
+        results.resize_with(n_unique.max(results.len()), Vec::new);
+
+        // Per-window positions and traversal plans: the `(item, π)` steps in
+        // exactly the order the sequential kernel would take them.
+        let mut rounds = 0usize;
+        for u in 0..n_unique {
+            let slot = &mut slots[u];
+            slot.clear();
+            let window = &windows[u];
+            let wlen = window.len();
+            for (i, &item) in window.iter().enumerate() {
+                slot.pos.insert(item, i + 1);
+            }
+            let plan = &mut plans[u];
+            plan.clear();
+            for (i, &item) in window.iter().enumerate().rev() {
+                if slot.pos[&item] != i + 1 {
+                    continue; // duplicate; already processed at a later position
+                }
+                plan.push((item, cfg.decay.weight(i + 1, wlen)));
+            }
+            rounds = rounds.max(plan.len());
+        }
+
+        // Shared traversal: round t advances every window's t-th step.
+        for t in 0..rounds {
+            for u in 0..n_unique {
+                if let Some(&(item, pi)) = plans[u].get(t) {
+                    self.intersect_item(item, pi, &mut slots[u]);
                 }
             }
         }
 
-        // Top-k similarity loop over the temporary similarity scores.
-        for (&j, &rj) in &scratch.r {
-            let key = (rj, self.index.session_timestamp(j), j);
-            if scratch.topk.len() < cfg.k {
-                scratch.topk.push(key, ());
-            } else {
-                let &(root, ()) = scratch.topk.peek().expect("topk non-empty when full");
-                if key > root {
-                    scratch.topk.replace_root(key, ());
-                }
-            }
+        // Per-window top-k, scoring and extraction.
+        for (u, result) in results.iter_mut().enumerate().take(n_unique) {
+            let slot = &mut slots[u];
+            self.select_topk(slot);
+            self.score_items(slot);
+            *result = self.take_top(slot);
         }
+
+        assign.iter().map(|&u| results[u].clone()).collect()
     }
 
     /// Scores all items occurring in the neighbour sessions (Algorithm 2,
@@ -677,6 +819,65 @@ mod tests {
                 other => panic!("unexpected error {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn batch_matches_sequential_on_mixed_windows() {
+        let v = knn(VmisConfig::default());
+        let sessions: Vec<Vec<ItemId>> = vec![
+            vec![1, 2],
+            vec![2],
+            vec![2],          // duplicate window of the previous request
+            vec![],           // empty session
+            vec![999],        // unknown item
+            vec![5, 1, 3],
+            vec![2, 1, 2],    // dup item inside the window
+            vec![1, 2],       // duplicate of the first
+        ];
+        let refs: Vec<&[ItemId]> = sessions.iter().map(Vec::as_slice).collect();
+        let mut batch_scratch = v.batch_scratch();
+        let batch = v.recommend_batch(&refs, &mut batch_scratch);
+        assert_eq!(batch.len(), sessions.len());
+        let mut scratch = v.scratch();
+        for (i, s) in sessions.iter().enumerate() {
+            let seq = v.recommend_with_scratch(s, &mut scratch);
+            assert_eq!(batch[i], seq, "request {i} ({s:?}) diverged");
+        }
+    }
+
+    #[test]
+    fn batch_scratch_reuse_is_idempotent() {
+        let v = knn(VmisConfig::default());
+        let mut scratch = v.batch_scratch();
+        // A large first batch, then a smaller one: stale slots, windows and
+        // plans from the first call must not leak into the second.
+        let big: Vec<Vec<ItemId>> = vec![vec![1, 2], vec![2, 3], vec![4], vec![5, 1, 3]];
+        let refs: Vec<&[ItemId]> = big.iter().map(Vec::as_slice).collect();
+        let first = v.recommend_batch(&refs, &mut scratch);
+        let small: Vec<&[ItemId]> = vec![&[2, 3]];
+        let second = v.recommend_batch(&small, &mut scratch);
+        assert_eq!(second[0], first[1], "reused scratch changed a result");
+        let again = v.recommend_batch(&refs, &mut scratch);
+        assert_eq!(again, first);
+    }
+
+    #[test]
+    fn batch_of_identical_windows_shares_one_kernel_run() {
+        let v = knn(VmisConfig::default());
+        let mut scratch = v.batch_scratch();
+        let refs: Vec<&[ItemId]> = vec![&[2]; 16];
+        let out = v.recommend_batch(&refs, &mut scratch);
+        let reference = v.recommend(&[2]);
+        assert!(out.iter().all(|r| *r == reference));
+        // Dedupe is observable through the scratch: one slot was planned.
+        assert_eq!(scratch.plans.iter().filter(|p| !p.is_empty()).count(), 1);
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_output() {
+        let v = knn(VmisConfig::default());
+        let mut scratch = v.batch_scratch();
+        assert!(v.recommend_batch(&[], &mut scratch).is_empty());
     }
 
     #[test]

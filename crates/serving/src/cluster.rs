@@ -19,7 +19,7 @@ use serenade_core::{CoreError, ItemScore, SessionIndex, VmisKnn};
 use serenade_telemetry::{TraceConfig, TraceSample};
 
 use crate::cache::PredictionCache;
-use crate::context::RequestContext;
+use crate::context::{BatchContext, RequestContext};
 use crate::engine::{build_recommender, Engine, EngineConfig, RecommendRequest};
 use crate::error::ServingError;
 use crate::handle::IndexHandle;
@@ -164,9 +164,64 @@ impl ServingCluster {
         result
     }
 
+    /// Handles a coalesced batch of requests that all route to pod
+    /// `pod_index` (the dispatch queue groups by [`Self::pod_index_for`]),
+    /// recording one trace sample per successful member exactly as
+    /// [`ServingCluster::handle_with`] does for single requests. Request
+    /// ids and deadlines are read from the per-member contexts in `bctx`,
+    /// where the HTTP worker tagged them before handing the batch over.
+    ///
+    /// Returns one result per request, in request order. Debug builds
+    /// assert the routing invariant; in release a misrouted member is still
+    /// handled correctly by the named pod's own store (stickiness is a
+    /// partitioning optimisation, not a correctness requirement here).
+    pub fn handle_batch(
+        &self,
+        pod_index: usize,
+        reqs: &[RecommendRequest],
+        bctx: &mut BatchContext,
+    ) -> Vec<Result<Vec<ItemScore>, ServingError>> {
+        debug_assert!(
+            reqs.iter().all(|r| self.router.route(r.session_id) == pod_index),
+            "batched requests must all route to pod {pod_index}"
+        );
+        let results = self.pods[pod_index % self.pods.len()].handle_batch(reqs, bctx);
+        for (i, (req, result)) in reqs.iter().zip(&results).enumerate() {
+            let ctx = bctx.member_mut(i);
+            // Always consumed, so a stale id never leaks into the next
+            // batch member handled on this worker.
+            let request_id = ctx.take_request_id();
+            if result.is_err() {
+                continue;
+            }
+            let timings = ctx.last_timings();
+            self.telemetry.traces().record(&TraceSample {
+                request_id: if request_id == 0 {
+                    self.telemetry.next_request_id()
+                } else {
+                    request_id
+                },
+                total_us: timings.total().as_micros() as u64,
+                session_us: timings.session.as_micros() as u64,
+                predict_us: timings.predict.as_micros() as u64,
+                policy_us: timings.policy.as_micros() as u64,
+                session_len: ctx.session_len() as u64,
+                depersonalised: !req.consent || ctx.degraded(),
+            });
+        }
+        results
+    }
+
     /// The pod a session is routed to.
     pub fn pod_for(&self, session_id: u64) -> &Arc<Engine> {
         &self.pods[self.router.route(session_id)]
+    }
+
+    /// The index of the pod a session is routed to — the dispatch queue's
+    /// coalescing key: only same-pod predicts may share a batch, because a
+    /// batch executes against exactly one pod's session store.
+    pub fn pod_index_for(&self, session_id: u64) -> usize {
+        self.router.route(session_id)
     }
 
     /// All pods (for maintenance sweeps and statistics).

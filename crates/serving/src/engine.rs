@@ -27,10 +27,10 @@ use serenade_core::{CoreError, ItemId, ItemScore, SessionIndex, VmisConfig, Vmis
 use serenade_kvstore::{SessionStore, StoreConfig, TtlStore};
 use std::cell::RefCell;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::cache::{CacheConfig, CacheKey, PredictionCache, ViewKind};
-use crate::context::{RequestContext, StageTimings};
+use crate::context::{BatchContext, RequestContext, StageTimings};
 use crate::error::ServingError;
 use crate::handle::IndexHandle;
 use crate::rules::BusinessRules;
@@ -255,6 +255,115 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
             static CTX: RefCell<RequestContext> = RefCell::new(RequestContext::new());
         }
         CTX.with(|ctx| self.handle_with(req, &mut ctx.borrow_mut()))
+    }
+
+    /// Handles a coalesced batch of same-pod requests, producing for each
+    /// member exactly the response [`Engine::handle_with`] would have
+    /// produced had the members been handled sequentially in slice order.
+    ///
+    /// 1. **Session stages** run sequentially in arrival order, so two
+    ///    coalesced requests from the same session observe each other's
+    ///    updates the way back-to-back sequential requests would. The
+    ///    deadline-degrade rule applies per member, unchanged.
+    /// 2. **Cache probes** resolve per member; the remaining misses are
+    ///    scored by *one* [`VmisKnn::recommend_batch`] call against *one*
+    ///    index load — the interleaved kernel is proven bit-identical to
+    ///    per-view [`VmisKnn::recommend_with_scratch`] by the differential
+    ///    property suite, so a response can never depend on whether its
+    ///    request was batched. Cacheable misses are stored back under the
+    ///    generation that scored them.
+    /// 3. **Policy stages** run per member (business rules are per-user).
+    ///
+    /// Every member keeps its own timings, degraded flag and stats row in
+    /// its [`RequestContext`] inside `bctx`; misses account the shared
+    /// kernel duration as their predict stage, hits their probe time.
+    pub fn handle_batch(
+        &self,
+        reqs: &[RecommendRequest],
+        bctx: &mut BatchContext,
+    ) -> Vec<Result<Vec<ItemScore>, ServingError>> {
+        let n = reqs.len();
+        let (members, batch_scratch) = bctx.split(n);
+
+        // Stage 1: session updates, strictly in arrival order.
+        let mut results: Vec<Result<Vec<ItemScore>, ServingError>> = Vec::with_capacity(n);
+        let mut started_at = Vec::with_capacity(n);
+        let mut session_done_at = Vec::with_capacity(n);
+        for (i, req) in reqs.iter().enumerate() {
+            let ctx = &mut members[i];
+            let started = Instant::now();
+            ctx.set_degraded(false);
+            let outcome = self.session_stage(req, ctx);
+            let session_done = Instant::now();
+            if outcome.is_err() {
+                self.stats.record_error();
+            } else if ctx.deadline_expired_at(session_done) && ctx.view.len() > 1 {
+                let last = ctx.view.len() - 1;
+                ctx.view.drain(..last);
+                ctx.set_degraded(true);
+                self.stats.record_degraded();
+            }
+            started_at.push(started);
+            session_done_at.push(session_done);
+            results.push(outcome.map(|()| Vec::new()));
+        }
+
+        // Stage 2: cache probes first, then one batched kernel call over
+        // whatever is left. A hit is identical to the sequential path (one
+        // shard-mutex probe, no index load); misses share one generation
+        // observation and one interleaved posting-list walk.
+        let mut predict_dur = vec![Duration::ZERO; n];
+        let mut miss_keys: Vec<Option<CacheKey>> = vec![None; n];
+        let mut pending: Vec<usize> = Vec::with_capacity(n);
+        for (i, req) in reqs.iter().enumerate() {
+            if results[i].is_err() {
+                continue;
+            }
+            if let Some(cache) = &self.cache {
+                if let Some(key) = self.cache_key(req, &members[i]) {
+                    let probe_started = Instant::now();
+                    if let Some(list) = cache.lookup(key, self.index.generation()) {
+                        results[i] = Ok(list.as_ref().clone());
+                        predict_dur[i] = probe_started.elapsed();
+                        cache.record_hit_duration(predict_dur[i]);
+                        continue;
+                    }
+                    miss_keys[i] = Some(key);
+                }
+            }
+            pending.push(i);
+        }
+        if !pending.is_empty() {
+            let kernel_started = Instant::now();
+            let (vmis, generation) = self.index.load_with_generation();
+            let views: Vec<&[ItemId]> =
+                pending.iter().map(|&i| members[i].view.as_slice()).collect();
+            let scored = vmis.recommend_batch(&views, batch_scratch);
+            let kernel_dur = kernel_started.elapsed();
+            for (&i, recs) in pending.iter().zip(scored) {
+                if let (Some(cache), Some(key)) = (&self.cache, miss_keys[i]) {
+                    cache.store_list(key, generation, recs.clone());
+                }
+                results[i] = Ok(recs);
+                predict_dur[i] = kernel_dur;
+            }
+        }
+
+        // Stage 3: per-member policy, timings and stats, arrival order.
+        for (i, req) in reqs.iter().enumerate() {
+            let policy_started = Instant::now();
+            if let Ok(recs) = &mut results[i] {
+                self.policy_stage(recs, req.filter_adult);
+                let timings = StageTimings {
+                    session: session_done_at[i] - started_at[i],
+                    predict: predict_dur[i],
+                    policy: policy_started.elapsed(),
+                };
+                members[i].set_timings(timings);
+                self.stats.record(timings, !req.consent, recs.len());
+            }
+        }
+        results
     }
 
     /// Session stage: update the evolving session (or drop it, for
@@ -580,6 +689,87 @@ mod tests {
 
     fn dep(session_id: u64, item: ItemId, filter_adult: bool) -> RecommendRequest {
         RecommendRequest { session_id, item, consent: false, filter_adult }
+    }
+
+    /// The batch contract: `handle_batch` over a mixed batch must produce,
+    /// member for member, exactly what sequential `handle_with` calls in the
+    /// same order produce on a twin engine — including same-session members
+    /// observing each other's session updates, no-consent members, and the
+    /// stored session state left behind.
+    #[test]
+    fn handle_batch_matches_sequential_handling_exactly() {
+        for variant in [ServingVariant::Full, ServingVariant::Recent, ServingVariant::Hist(2)] {
+            let batch_engine = engine(variant, BusinessRules::none());
+            let seq_engine = engine(variant, BusinessRules::none());
+            // Warm both engines identically.
+            let mut warm_ctx = RequestContext::new();
+            for e in [&batch_engine, &seq_engine] {
+                e.handle_with(req(7, 0), &mut warm_ctx).unwrap();
+                e.handle_with(req(9, 4), &mut warm_ctx).unwrap();
+            }
+            let reqs = [
+                req(7, 1),        // existing session grows
+                req(8, 2),        // fresh session
+                req(7, 3),        // same session again, must see req(7, 1)'s update
+                dep(9, 2, false), // no consent: drops session 9's state
+                req(10, 2),       // shares item 2's posting lists with others
+            ];
+            let mut bctx = BatchContext::new();
+            let batched = batch_engine.handle_batch(&reqs, &mut bctx);
+            let mut ctx = RequestContext::new();
+            for (i, r) in reqs.iter().enumerate() {
+                let sequential = seq_engine.handle_with(*r, &mut ctx).unwrap();
+                assert_eq!(
+                    batched[i].as_ref().unwrap(),
+                    &sequential,
+                    "member {i} diverged from sequential handling ({variant:?})"
+                );
+            }
+            for sid in [7, 8, 9, 10] {
+                assert_eq!(
+                    batch_engine.stored_session_len(sid),
+                    seq_engine.stored_session_len(sid),
+                    "session {sid} state diverged ({variant:?})"
+                );
+            }
+            assert_eq!(batch_engine.stats().requests, seq_engine.stats().requests);
+        }
+    }
+
+    #[test]
+    fn handle_batch_degrades_only_members_over_budget() {
+        let e = engine(ServingVariant::Full, BusinessRules::none());
+        let mut bctx = BatchContext::new();
+        // Grow session 7 so degradation is observable, via a warm-up batch.
+        e.handle_batch(&[req(7, 0), req(7, 1)], &mut bctx);
+        // Member 0 is over budget, member 1 has plenty left.
+        bctx.member_mut(0).set_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        bctx.member_mut(1).set_deadline(Some(Instant::now() + Duration::from_secs(3600)));
+        let results = e.handle_batch(&[req(7, 2), req(8, 2)], &mut bctx);
+        assert!(bctx.member(0).is_some_and(RequestContext::degraded));
+        assert!(!bctx.member(1).is_some_and(RequestContext::degraded));
+        assert_eq!(e.stats().degraded, 1);
+        // The degraded member equals a fresh single-item prediction.
+        let expected = engine(ServingVariant::Full, BusinessRules::none()).handle(req(99, 2));
+        assert_eq!(results[0].as_ref().unwrap(), &expected.unwrap());
+        // Session state was still updated before the degrade checkpoint.
+        assert_eq!(e.stored_session_len(7), 3);
+    }
+
+    #[test]
+    fn handle_batch_probes_and_fills_the_prediction_cache() {
+        let e = engine(ServingVariant::Full, BusinessRules::none());
+        let cache = Arc::clone(e.prediction_cache().unwrap());
+        let mut bctx = BatchContext::new();
+        // Both depersonalised members miss (probes resolve before the batch
+        // kernel runs) and the scored list is stored back once per key.
+        let first = e.handle_batch(&[dep(50, 2, false), dep(51, 2, false)], &mut bctx);
+        assert_eq!(cache.hit_count(), 0);
+        assert_eq!(first[0].as_ref().unwrap(), first[1].as_ref().unwrap());
+        // A follow-up batch for the same item is served from the cache.
+        let second = e.handle_batch(&[dep(52, 2, false)], &mut bctx);
+        assert_eq!(cache.hit_count(), 1);
+        assert_eq!(second[0].as_ref().unwrap(), first[0].as_ref().unwrap());
     }
 
     #[test]

@@ -45,9 +45,14 @@ use std::net::{SocketAddr, TcpStream};
 pub use crate::server::{HttpServer, HttpServerConfig};
 
 /// A minimal keep-alive HTTP client for tests and the load generator.
+///
+/// One socket, one fd: requests are written straight through the read
+/// buffer's inner stream (`get_mut`), which is sound because a response is
+/// always fully consumed before the next request is written. The connection
+/// ramp opens thousands of these, so the old `try_clone` (a second fd per
+/// connection) would halve the fleet the fd limit allows.
 pub struct HttpClient {
     reader: BufReader<TcpStream>,
-    writer: TcpStream,
     addr: SocketAddr,
 }
 
@@ -56,25 +61,27 @@ impl HttpClient {
     pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { reader: BufReader::new(stream.try_clone()?), writer: stream, addr })
+        Ok(Self { reader: BufReader::new(stream), addr })
     }
 
     /// Issues a POST and returns `(status, body)`.
     pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        let writer = self.reader.get_mut();
         write!(
-            self.writer,
+            writer,
             "POST {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
             self.addr,
             body.len()
         )?;
-        self.writer.flush()?;
+        writer.flush()?;
         self.read_response()
     }
 
     /// Issues a GET and returns `(status, body)`.
     pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
-        write!(self.writer, "GET {path} HTTP/1.1\r\nhost: {}\r\n\r\n", self.addr)?;
-        self.writer.flush()?;
+        let writer = self.reader.get_mut();
+        write!(writer, "GET {path} HTTP/1.1\r\nhost: {}\r\n\r\n", self.addr)?;
+        writer.flush()?;
         self.read_response()
     }
 

@@ -529,6 +529,216 @@ pub fn run_overload_test(
     }
 }
 
+/// Parameters of a keep-alive connection ramp ([`run_connection_ramp`]).
+#[derive(Debug, Clone)]
+pub struct ConnectionRampConfig {
+    /// Open-connection targets, one ramp step each (cumulative: connections
+    /// persist across steps and the ramp only ever grows the set).
+    pub steps: Vec<usize>,
+    /// How long each step drives traffic once its connections are open.
+    pub step_duration: Duration,
+    /// Threads actively issuing requests. Each driver round-robins over its
+    /// share of the connections, so with many connections and few drivers
+    /// most connections sit idle (parked in the reactor) at any instant —
+    /// exactly the keep-alive fleet shape the event loop exists for.
+    pub drivers: usize,
+    /// Mean per-request think time; the actual pause is seeded-jittered to
+    /// `[0.5, 1.5)×` this ([`splitmix64`] of `seed ^ request index`, so the
+    /// same seed reproduces the identical pacing).
+    pub think_time: Duration,
+    /// Seed for the think-time jitter.
+    pub seed: u64,
+    /// File descriptors reserved for the process itself (sockets the ramp
+    /// must not consume).
+    pub fd_margin: usize,
+    /// File descriptors one ramp connection costs this process. `2` (the
+    /// default) budgets for an in-process server, where every connection
+    /// holds a client *and* an accepted socket; set `1` when the server
+    /// lives in another process. Step targets are clamped to
+    /// `(fd limit − fd_margin) / fds_per_connection`.
+    pub fds_per_connection: usize,
+}
+
+impl Default for ConnectionRampConfig {
+    fn default() -> Self {
+        Self {
+            steps: vec![64, 256, 1024],
+            step_duration: Duration::from_secs(1),
+            drivers: 4,
+            think_time: Duration::from_micros(500),
+            seed: 0,
+            fd_margin: 128,
+            fds_per_connection: 2,
+        }
+    }
+}
+
+/// Outcome of one ramp step.
+#[derive(Debug, Clone)]
+pub struct RampStep {
+    /// Keep-alive connections open during the step (after fd clamping).
+    pub connections: usize,
+    /// Achieved request rate over the step.
+    pub achieved_rps: f64,
+    /// Latency percentiles of the 2xx responses in the step.
+    pub latency: Option<LatencySummary>,
+    /// Process-wide open file descriptors at the end of the step (from
+    /// `/proc/self/fd`; `0` where that pseudo-fs is unavailable).
+    pub open_fds: usize,
+    /// Non-2xx responses plus transport errors in the step.
+    pub errors: usize,
+}
+
+/// Outcome of a connection ramp.
+#[derive(Debug, Clone)]
+pub struct ConnectionRampReport {
+    /// Per-step series.
+    pub steps: Vec<RampStep>,
+    /// The `RLIMIT_NOFILE` ceiling the ramp ran under (after attempting to
+    /// raise it to cover the largest step).
+    pub fd_limit: u64,
+}
+
+/// Open file descriptors of this process, or `0` off Linux.
+fn open_fd_count() -> usize {
+    std::fs::read_dir("/proc/self/fd").map(|entries| entries.count()).unwrap_or(0)
+}
+
+/// Ramps a fleet of keep-alive connections against the HTTP front end at
+/// `addr`: each step grows the fleet to its target, then a small driver
+/// pool issues predicts round-robin across the whole fleet with seeded
+/// think-time for `step_duration`, reporting achieved rps, 2xx latency
+/// percentiles and the process fd count per step.
+///
+/// The shape under test is the event loop's: thousands of mostly-idle
+/// keep-alive sockets multiplexed by one reactor thread, with the active
+/// subset bounded by the driver pool. The process `RLIMIT_NOFILE` is raised
+/// to cover the largest step (root can raise the hard limit; otherwise the
+/// soft limit is raised to the hard ceiling) and every target is clamped to
+/// `limit − fd_margin`, so the ramp degrades to what the environment allows
+/// instead of dying on `EMFILE`.
+pub fn run_connection_ramp(
+    addr: SocketAddr,
+    traffic: &[RecommendRequest],
+    config: ConnectionRampConfig,
+) -> ConnectionRampReport {
+    assert!(!traffic.is_empty(), "traffic must not be empty");
+    let per_conn = config.fds_per_connection.max(1);
+    let want =
+        config.steps.iter().copied().max().unwrap_or(0) * per_conn + config.fd_margin;
+    let fd_limit = crate::server::reactor::raise_nofile_limit(want as u64);
+    let cap =
+        ((fd_limit as usize).saturating_sub(config.fd_margin) / per_conn).max(1);
+
+    let mut conns: Vec<Option<HttpClient>> = Vec::new();
+    let mut steps = Vec::new();
+    let sent = AtomicUsize::new(0);
+    for &target in &config.steps {
+        let target = target.min(cap);
+        // Grow the fleet; a connect may bounce off the accept backlog under
+        // a connect storm, so retry briefly before giving up on a slot.
+        while conns.len() < target {
+            let mut slot = None;
+            for _ in 0..3 {
+                match HttpClient::connect(addr) {
+                    Ok(c) => {
+                        slot = Some(c);
+                        break;
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+            match slot {
+                Some(c) => conns.push(Some(c)),
+                None => break,
+            }
+        }
+        let fleet = conns.len();
+
+        struct DriverOut {
+            latency: LatencyRecorder,
+            completed: usize,
+            errors: usize,
+        }
+        let drivers = config.drivers.max(1);
+        let chunk_len = fleet.div_ceil(drivers).max(1);
+        let start = Instant::now();
+        let outs: Vec<DriverOut> = crossbeam::thread::scope(|scope| {
+            let sent = &sent;
+            let handles: Vec<_> = conns
+                .chunks_mut(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let mut out = DriverOut {
+                            latency: LatencyRecorder::new(),
+                            completed: 0,
+                            errors: 0,
+                        };
+                        let mut pos = 0usize;
+                        while start.elapsed() < config.step_duration {
+                            let slot = &mut chunk[pos % chunk.len()];
+                            pos += 1;
+                            let i = sent.fetch_add(1, Ordering::Relaxed);
+                            let req = traffic[i % traffic.len()];
+                            let body = format!(
+                                r#"{{"session_id": {}, "item_id": {}, "consent": {}}}"#,
+                                req.session_id, req.item, req.consent
+                            );
+                            let reconnect = match slot.as_mut() {
+                                Some(c) => {
+                                    let t0 = Instant::now();
+                                    match c.post("/recommend", &body) {
+                                        Ok((status, _)) if (200..=299).contains(&status) => {
+                                            out.latency.record(t0.elapsed());
+                                            out.completed += 1;
+                                            false
+                                        }
+                                        Ok(_) | Err(_) => {
+                                            out.errors += 1;
+                                            true
+                                        }
+                                    }
+                                }
+                                None => true,
+                            };
+                            if reconnect {
+                                *slot = HttpClient::connect(addr).ok();
+                            }
+                            if config.think_time > Duration::ZERO {
+                                let unit = (splitmix64(config.seed ^ i as u64) >> 11)
+                                    as f64
+                                    / (1u64 << 53) as f64;
+                                std::thread::sleep(config.think_time.mul_f64(0.5 + unit));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("ramp driver")).collect()
+        })
+        .expect("ramp scope");
+
+        let elapsed = start.elapsed();
+        let mut latency = LatencyRecorder::new();
+        let mut completed = 0;
+        let mut errors = 0;
+        for o in &outs {
+            latency.merge(&o.latency);
+            completed += o.completed;
+            errors += o.errors;
+        }
+        steps.push(RampStep {
+            connections: fleet,
+            achieved_rps: completed as f64 / elapsed.as_secs_f64(),
+            latency: latency.summary(),
+            open_fds: open_fd_count(),
+            errors,
+        });
+    }
+    ConnectionRampReport { steps, fd_limit }
+}
+
 #[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
@@ -717,6 +927,45 @@ mod tests {
             "server counted {shed_seen} sheds, clients saw {}",
             report.breakdown.shed
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_ramp_grows_a_keepalive_fleet_and_reports_per_step() {
+        use crate::http::{HttpServer, HttpServerConfig};
+        let cluster = cluster();
+        let server = HttpServer::serve(
+            Arc::clone(&cluster),
+            HttpServerConfig { workers: 2, ..HttpServerConfig::default() },
+        )
+        .unwrap();
+        let traffic = requests_from_sessions(&sessions());
+        let report = run_connection_ramp(
+            server.addr(),
+            &traffic,
+            ConnectionRampConfig {
+                steps: vec![8, 32],
+                step_duration: Duration::from_millis(300),
+                drivers: 2,
+                think_time: Duration::from_micros(200),
+                seed: 7,
+                fd_margin: 64,
+                fds_per_connection: 2,
+            },
+        );
+        assert_eq!(report.steps.len(), 2);
+        assert_eq!(report.steps[0].connections, 8, "{report:?}");
+        assert_eq!(report.steps[1].connections, 32, "{report:?}");
+        for step in &report.steps {
+            assert!(step.achieved_rps > 0.0, "{report:?}");
+            assert!(step.latency.is_some(), "{report:?}");
+            assert_eq!(step.errors, 0, "keep-alive fleet must not churn: {report:?}");
+            // In-process server: client and server ends both count, so the
+            // fd census must at least cover the fleet (0 = no /proc).
+            if step.open_fds > 0 {
+                assert!(step.open_fds >= step.connections, "{report:?}");
+            }
+        }
         server.shutdown();
     }
 

@@ -1,35 +1,19 @@
-//! The per-connection state machine driver and request dispatch.
+//! Endpoint routing and response rendering.
 //!
-//! One call to [`drive`] owns a connection for its whole life and walks it
-//! through the lifecycle states (`Idle → ReadingHead → ReadingBody →
-//! Handling → Writing`, with `Draining`/close as terminal moves), recording
-//! per-state time into [`ServerMetrics`]. All parsing is delegated to the
-//! incremental [`Parser`] — this module owns every socket, timeout and
-//! admission concern:
+//! The blocking per-connection driver that used to live here is gone — the
+//! [`reactor`](super::reactor) owns every socket, timeout and admission
+//! concern now. What remains is the protocol-independent core both the
+//! reactor (for sheds, rejects and timeouts) and the worker pool (for real
+//! responses) share:
 //!
-//! * the **poll tick**: reads use a short socket timeout so the driver
-//!   re-checks drain state, slow-frame budget and idle budget even when the
-//!   peer sends nothing;
-//! * **slow-client protection**: a frame that does not complete within
-//!   `request_read_timeout` is answered `408` and the connection closed; an
-//!   idle keep-alive connection past `idle_timeout` is reaped silently;
-//! * **admission**: each parsed request passes the [`LifecycleGate`] before
-//!   dispatch — `Overloaded` and `Draining` are shed with
-//!   `503 + Retry-After` (the former keeps the connection, framing is
-//!   intact; the latter closes);
-//! * **deadline budgets**: admitted requests carry
-//!   `first-frame-byte + request_deadline` into the engine via
-//!   [`RequestContext::set_deadline`], so a queue-delayed request degrades
-//!   instead of blowing the SLA;
-//! * **drain**: during drain, mid-frame connections finish their read and
-//!   get an answer (admitted earlier) or a `503` (parsed after the drain
-//!   began) — never a silent close; idle ones close at the next tick.
-//!
-//! [`LifecycleGate`]: super::lifecycle::LifecycleGate
-
-use std::io::{Read, Write};
-use std::net::TcpStream;
-use std::time::{Duration, Instant};
+//! * [`respond`] — routes one parsed request to its endpoint and renders
+//!   the body (health, metrics, stats, traces, single predicts);
+//! * [`render_response`] — frames one HTTP/1.1 response into bytes, the
+//!   single place the wire format lives;
+//! * [`unwind_barrier`] — converts engine panics into typed `500`s so one
+//!   poisoned request cannot take down a worker;
+//! * [`parse_recommend_request`] — the predict body schema, shared with the
+//!   reactor's batch classifier.
 
 use serenade_core::ItemScore;
 
@@ -39,275 +23,24 @@ use crate::engine::RecommendRequest;
 use crate::error::ServingError;
 use crate::json::{self, JsonValue};
 
-use super::lifecycle::Admission;
-use super::metrics::{ConnState, ServerMetrics};
-use super::parser::{ParsedRequest, Parser, ParserLimits, Poll};
-use super::Shared;
+use super::parser::ParsedRequest;
 
 /// Response content types. `/metrics` uses the Prometheus text exposition
 /// content type; everything else is JSON.
 pub(super) const CONTENT_TYPE_JSON: &str = "application/json";
 const CONTENT_TYPE_METRICS: &str = "text/plain; version=0.0.4";
 
-/// Tracks the connection's lifecycle state and records the time spent in
-/// each state when it transitions (and on drop, for the final state).
-struct StateClock<'a> {
-    metrics: &'a ServerMetrics,
-    state: ConnState,
-    since: Instant,
-}
-
-impl<'a> StateClock<'a> {
-    fn new(metrics: &'a ServerMetrics) -> Self {
-        Self { metrics, state: ConnState::Idle, since: Instant::now() }
-    }
-
-    fn set(&mut self, next: ConnState) {
-        if next != self.state {
-            self.metrics.record_state(self.state, self.since.elapsed());
-            self.state = next;
-            self.since = Instant::now();
-        }
-    }
-}
-
-impl Drop for StateClock<'_> {
-    fn drop(&mut self) {
-        self.metrics.record_state(self.state, self.since.elapsed());
-    }
-}
-
-/// What a served request means for the connection.
-enum Outcome {
-    KeepAlive,
-    Close,
-}
-
-/// Drives one connection to completion. Returns `Ok` on every orderly
-/// close; `Err` only for unexpected socket failures (which also close).
-pub(super) fn drive(
-    stream: TcpStream,
-    shared: &Shared,
-    cluster: &ServingCluster,
-    ctx: &mut RequestContext,
-) -> std::io::Result<()> {
-    let config = &shared.config;
-    stream.set_read_timeout(Some(config.read_timeout))?;
-    stream.set_write_timeout(Some(config.write_timeout))?;
-    let _ = stream.set_nodelay(true);
-    shared.metrics.connections.inc();
-
-    let mut reader = stream.try_clone()?;
-    let mut writer = stream;
-    let mut parser = Parser::new(ParserLimits {
-        max_head_bytes: config.max_head_bytes,
-        max_headers: config.max_headers,
-        max_body_bytes: config.max_body_bytes,
-    });
-    let mut clock = StateClock::new(&shared.metrics);
-    let mut buf = [0u8; 8192];
-    let mut served = 0usize;
-    let mut idle_since = Instant::now();
-    // First-byte instant of the frame currently being read; the admitted
-    // request's deadline budget is measured from here, so time spent being
-    // slowly uploaded counts against the client, not the engine.
-    let mut frame_started: Option<Instant> = None;
-
-    loop {
-        // Answer buffered frames before reading more: pipelined requests
-        // complete without another syscall.
-        match parser.poll() {
-            Poll::Request(request) => {
-                let started = frame_started.take().unwrap_or_else(Instant::now);
-                served += 1;
-                let outcome =
-                    serve_request(&mut writer, shared, cluster, ctx, &request, started, served, &mut clock)?;
-                idle_since = Instant::now();
-                match outcome {
-                    Outcome::KeepAlive => continue,
-                    Outcome::Close => return Ok(()),
-                }
-            }
-            Poll::Reject(reject) => {
-                // Framing violation: the stream position is unknowable, so
-                // answer and close rather than desynchronise keep-alive.
-                shared.metrics.rejects.inc();
-                clock.set(ConnState::Writing);
-                let body = JsonValue::object([("error", JsonValue::String(reject.message.into()))])
-                    .to_json();
-                write_checked(&mut writer, shared, reject.status, &body, CONTENT_TYPE_JSON, true, None)?;
-                return Ok(());
-            }
-            Poll::NeedHead => {
-                if parser.mid_request() {
-                    clock.set(ConnState::ReadingHead);
-                    if frame_started.is_none() {
-                        frame_started = Some(Instant::now());
-                    }
-                } else {
-                    clock.set(ConnState::Idle);
-                }
-            }
-            Poll::NeedBody => {
-                clock.set(ConnState::ReadingBody);
-                if frame_started.is_none() {
-                    frame_started = Some(Instant::now());
-                }
-            }
-        }
-
-        if shared.gate.is_stopped() {
-            // Grace expired: close immediately, mid-frame or not.
-            clock.set(ConnState::Draining);
-            return Ok(());
-        }
-
-        let now = Instant::now();
-        if let Some(started) = frame_started {
-            if now.duration_since(started) > config.request_read_timeout {
-                shared.metrics.timeouts_read.inc();
-                clock.set(ConnState::Writing);
-                let body = JsonValue::object([(
-                    "error",
-                    JsonValue::String("request read timed out".into()),
-                )])
-                .to_json();
-                write_checked(&mut writer, shared, 408, &body, CONTENT_TYPE_JSON, true, None)?;
-                return Ok(());
-            }
-        } else if config.idle_timeout != Duration::ZERO
-            && now.duration_since(idle_since) > config.idle_timeout
-        {
-            shared.metrics.timeouts_idle.inc();
-            return Ok(());
-        }
-
-        match reader.read(&mut buf) {
-            Ok(0) => return Ok(()), // peer closed
-            Ok(n) => parser.feed(&buf[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Poll tick with nothing read. An idle connection during
-                // drain has nothing left to say — close it so the drain
-                // controller can finish. (Mid-frame connections keep their
-                // read budget: their request will be answered or shed.)
-                if !shared.gate.is_running() && !parser.mid_request() {
-                    clock.set(ConnState::Draining);
-                    return Ok(());
-                }
-            }
-            Err(_) => return Ok(()),
-        }
-    }
-}
-
-/// Admission check + dispatch + response for one parsed request.
-#[allow(clippy::too_many_arguments)]
-fn serve_request(
-    writer: &mut TcpStream,
-    shared: &Shared,
-    cluster: &ServingCluster,
-    ctx: &mut RequestContext,
-    request: &ParsedRequest,
-    started: Instant,
-    served: usize,
-    clock: &mut StateClock<'_>,
-) -> std::io::Result<Outcome> {
-    let config = &shared.config;
-    let shed_body = || {
-        JsonValue::object([("error", JsonValue::String("server overloaded".into()))]).to_json()
-    };
-    match shared.gate.try_begin_request(config.max_inflight_requests) {
-        Admission::Draining => {
-            shared.metrics.shed_draining.inc();
-            clock.set(ConnState::Draining);
-            write_checked(
-                writer,
-                shared,
-                503,
-                &shed_body(),
-                CONTENT_TYPE_JSON,
-                true,
-                Some(config.retry_after_seconds),
-            )?;
-            Ok(Outcome::Close)
-        }
-        Admission::Overloaded => {
-            shared.metrics.shed_inflight.inc();
-            clock.set(ConnState::Writing);
-            // The request was fully parsed, so framing is intact and the
-            // client may retry on the same connection after backing off.
-            write_checked(
-                writer,
-                shared,
-                503,
-                &shed_body(),
-                CONTENT_TYPE_JSON,
-                request.close,
-                Some(config.retry_after_seconds),
-            )?;
-            clock.set(ConnState::Idle);
-            Ok(if request.close { Outcome::Close } else { Outcome::KeepAlive })
-        }
-        Admission::Admitted => {
-            shared.metrics.requests.inc();
-            clock.set(ConnState::Handling);
-            if config.request_deadline == Duration::ZERO {
-                ctx.set_deadline(None);
-            } else {
-                ctx.set_deadline(Some(started + config.request_deadline));
-            }
-            let (status, body, content_type) = respond(request, cluster, ctx);
-            shared.gate.finish_request();
-            if !shared.gate.is_running() {
-                // The drain controller may be waiting on inflight == 0.
-                shared.wakeup.notify_all();
-            }
-            let close = request.close
-                || !shared.gate.is_running()
-                || (config.keepalive_max_requests != 0 && served >= config.keepalive_max_requests);
-            clock.set(ConnState::Writing);
-            write_checked(writer, shared, status, &body, content_type, close, None)?;
-            clock.set(ConnState::Idle);
-            Ok(if close { Outcome::Close } else { Outcome::KeepAlive })
-        }
-    }
-}
-
-/// [`write_response`] plus write-timeout accounting.
-fn write_checked(
-    writer: &mut TcpStream,
-    shared: &Shared,
-    status: u16,
-    body: &str,
-    content_type: &str,
-    close: bool,
-    retry_after: Option<u32>,
-) -> std::io::Result<()> {
-    match write_response(writer, status, body, content_type, close, retry_after) {
-        Err(e)
-            if e.kind() == std::io::ErrorKind::WouldBlock
-                || e.kind() == std::io::ErrorKind::TimedOut =>
-        {
-            shared.metrics.timeouts_write.inc();
-            Err(e)
-        }
-        other => other,
-    }
-}
-
-/// Writes one framed response. `retry_after` adds the `retry-after` header
+/// Renders one framed HTTP/1.1 response into bytes for the reactor's
+/// nonblocking write path. `retry_after` adds the `retry-after` header
 /// overload sheds advertise.
-pub(super) fn write_response(
-    writer: &mut TcpStream,
+pub(super) fn render_response(
     status: u16,
     body: &str,
     content_type: &str,
     close: bool,
     retry_after: Option<u32>,
-) -> std::io::Result<()> {
+) -> Vec<u8> {
+    use std::fmt::Write as _;
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -319,19 +52,36 @@ pub(super) fn write_response(
         _ => "Internal Server Error",
     };
     let connection = if close { "close" } else { "keep-alive" };
-    match retry_after {
-        Some(seconds) => write!(
-            writer,
-            "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nretry-after: {seconds}\r\nconnection: {connection}\r\n\r\n{body}",
-            body.len()
-        )?,
-        None => write!(
-            writer,
-            "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
-            body.len()
-        )?,
+    let mut out = String::with_capacity(128 + body.len());
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
+        body.len()
+    );
+    if let Some(seconds) = retry_after {
+        let _ = write!(out, "retry-after: {seconds}\r\n");
     }
-    writer.flush()
+    let _ = write!(out, "connection: {connection}\r\n\r\n{body}");
+    out.into_bytes()
+}
+
+/// Renders one recommendation list as the `POST /recommend` success body.
+pub(super) fn render_recommendations(recs: &[ItemScore]) -> String {
+    let items: Vec<JsonValue> = recs
+        .iter()
+        .map(|r| {
+            JsonValue::object([
+                ("item_id", JsonValue::Number(r.item as f64)),
+                ("score", JsonValue::Number(f64::from(r.score))),
+            ])
+        })
+        .collect();
+    JsonValue::object([("recommendations", JsonValue::Array(items))]).to_json()
+}
+
+/// Renders one serving error as `(status, body)`.
+pub(super) fn render_error(e: &ServingError) -> (u16, String) {
+    (e.status(), JsonValue::object([("error", JsonValue::String(e.to_string()))]).to_json())
 }
 
 /// Routes one request to its endpoint and renders the response.
@@ -429,28 +179,11 @@ pub(super) fn respond(
                 // layer carries this id back out via `GET /debug/slow`.
                 ctx.set_request_id(cluster.telemetry().next_request_id());
                 match recommend_guarded(cluster, req, ctx) {
-                    Ok(recs) => {
-                        let items: Vec<JsonValue> = recs
-                            .iter()
-                            .map(|r| {
-                                JsonValue::object([
-                                    ("item_id", JsonValue::Number(r.item as f64)),
-                                    ("score", JsonValue::Number(f64::from(r.score))),
-                                ])
-                            })
-                            .collect();
-                        (
-                            200,
-                            JsonValue::object([("recommendations", JsonValue::Array(items))])
-                                .to_json(),
-                            CONTENT_TYPE_JSON,
-                        )
+                    Ok(recs) => (200, render_recommendations(&recs), CONTENT_TYPE_JSON),
+                    Err(e) => {
+                        let (status, body) = render_error(&e);
+                        (status, body, CONTENT_TYPE_JSON)
                     }
-                    Err(e) => (
-                        e.status(),
-                        JsonValue::object([("error", JsonValue::String(e.to_string()))]).to_json(),
-                        CONTENT_TYPE_JSON,
-                    ),
                 }
             }
             Err(message) => (
@@ -468,8 +201,8 @@ pub(super) fn respond(
 }
 
 /// Runs `f` behind an unwind barrier: a panic becomes a typed error (and a
-/// `500`) instead of unwinding the worker's keep-alive loop and killing
-/// every request multiplexed on the connection.
+/// `500`) instead of unwinding the worker's dispatch loop and killing every
+/// request multiplexed on the reactor.
 pub(crate) fn unwind_barrier<R>(
     f: impl FnOnce() -> Result<R, ServingError>,
 ) -> Result<R, ServingError> {
@@ -492,7 +225,9 @@ fn recommend_guarded(
     unwind_barrier(|| cluster.handle_with(req, ctx))
 }
 
-fn parse_recommend_request(body: &str) -> Result<RecommendRequest, String> {
+/// Parses the `POST /recommend` body. Shared by the worker's responder and
+/// the reactor's batch classifier, so both agree on the schema.
+pub(super) fn parse_recommend_request(body: &str) -> Result<RecommendRequest, String> {
     let v = json::parse(body).map_err(|e| format!("invalid json: {e}"))?;
     let session_id =
         v.get("session_id").and_then(JsonValue::as_u64).ok_or("missing session_id")?;
@@ -536,5 +271,18 @@ mod tests {
         assert!(!ok.filter_adult);
         assert!(parse_recommend_request("not json").is_err());
         assert!(parse_recommend_request(r#"{"item_id": 1}"#).is_err());
+    }
+
+    #[test]
+    fn render_response_frames_the_wire_format() {
+        let bytes = render_response(503, "{}", CONTENT_TYPE_JSON, true, Some(2));
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 503 Service Unavailable\r\ncontent-type: application/json\r\ncontent-length: 2\r\nretry-after: 2\r\nconnection: close\r\n\r\n{}"
+        );
+        let keep = String::from_utf8(render_response(200, "ok", "text/plain", false, None)).unwrap();
+        assert!(keep.ends_with("connection: keep-alive\r\n\r\nok"), "{keep}");
+        assert!(!keep.contains("retry-after"), "{keep}");
     }
 }

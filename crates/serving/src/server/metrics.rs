@@ -93,6 +93,9 @@ pub struct ServerMetrics {
     pub shed_inflight: Arc<Counter>,
     /// Sheds because the server was draining or stopped.
     pub shed_draining: Arc<Counter>,
+    /// Connections answered 503-and-close at the accept gate because the
+    /// reactor was already at `max_connections`.
+    pub shed_connections: Arc<Counter>,
     /// Mid-frame reads that exceeded the slow-client budget (`408`).
     pub timeouts_read: Arc<Counter>,
     /// Response writes that exceeded the write timeout.
@@ -103,6 +106,11 @@ pub struct ServerMetrics {
     pub rejects: Arc<Counter>,
     /// Per-state connection durations, indexed by [`ConnState::index`].
     states: [Arc<Histogram>; 6],
+    /// Sizes of coalesced predict batches executed by the worker pool.
+    /// Recorded through [`ServerMetrics::record_batch_size`], which scales
+    /// a size `n` so the rendered seconds-denominated buckets read as raw
+    /// request counts.
+    batch_size: Arc<Histogram>,
 }
 
 impl ServerMetrics {
@@ -114,6 +122,7 @@ impl ServerMetrics {
             shed_queue_full: Arc::new(Counter::new()),
             shed_inflight: Arc::new(Counter::new()),
             shed_draining: Arc::new(Counter::new()),
+            shed_connections: Arc::new(Counter::new()),
             timeouts_read: Arc::new(Counter::new()),
             timeouts_write: Arc::new(Counter::new()),
             timeouts_idle: Arc::new(Counter::new()),
@@ -121,6 +130,7 @@ impl ServerMetrics {
             states: std::array::from_fn(|_| {
                 Arc::new(Histogram::new(HistogramConfig::default()))
             }),
+            batch_size: Arc::new(Histogram::new(HistogramConfig::default())),
         }
     }
 
@@ -130,9 +140,20 @@ impl ServerMetrics {
         self.states[state.index()].record(spent);
     }
 
+    /// Records the size of one executed predict batch. Alloc- and lock-free
+    /// (R6): values land in the histogram pre-scaled by 10^6 µs per request,
+    /// so the seconds-denominated exposition reads in natural counts (a
+    /// batch of 8 shows as `8.0`).
+    pub fn record_batch_size(&self, size: usize) {
+        self.batch_size.record_us((size as u64).saturating_mul(1_000_000));
+    }
+
     /// Total sheds across reasons (for tests and the overload report).
     pub fn shed_total(&self) -> u64 {
-        self.shed_queue_full.get() + self.shed_inflight.get() + self.shed_draining.get()
+        self.shed_queue_full.get()
+            + self.shed_inflight.get()
+            + self.shed_draining.get()
+            + self.shed_connections.get()
     }
 
     /// Registers every counter/histogram into `registry` under the
@@ -154,6 +175,7 @@ impl ServerMetrics {
             ("queue_full", &self.shed_queue_full),
             ("inflight", &self.shed_inflight),
             ("draining", &self.shed_draining),
+            ("connection_limit", &self.shed_connections),
         ] {
             registry.counter_shared(
                 "serenade_http_shed_total",
@@ -188,6 +210,12 @@ impl ServerMetrics {
                 Arc::clone(&self.states[state.index()]),
             );
         }
+        registry.histogram_shared(
+            "serenade_batch_size",
+            "Coalesced predict batch sizes (in requests) executed by the worker pool.",
+            &[],
+            Arc::clone(&self.batch_size),
+        );
     }
 }
 
@@ -210,15 +238,23 @@ mod tests {
         m.shed_queue_full.inc();
         m.shed_inflight.add(2);
         m.shed_draining.inc();
+        m.shed_connections.inc();
         m.timeouts_idle.inc();
         m.rejects.inc();
         m.record_state(ConnState::Handling, Duration::from_micros(250));
-        assert_eq!(m.shed_total(), 4);
+        m.record_batch_size(8);
+        assert_eq!(m.shed_total(), 5);
         let text = registry.render();
         assert!(text.contains("serenade_http_connections_total 1"), "{text}");
         assert!(text.contains("serenade_http_shed_total{reason=\"queue_full\"} 1"), "{text}");
         assert!(text.contains("serenade_http_shed_total{reason=\"inflight\"} 2"), "{text}");
         assert!(text.contains("serenade_http_shed_total{reason=\"draining\"} 1"), "{text}");
+        assert!(
+            text.contains("serenade_http_shed_total{reason=\"connection_limit\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("serenade_batch_size_count 1"), "{text}");
+        assert!(text.contains("serenade_batch_size_sum 8"), "{text}");
         assert!(text.contains("serenade_http_timeouts_total{kind=\"idle\"} 1"), "{text}");
         assert!(text.contains("serenade_http_rejects_total 1"), "{text}");
         assert!(

@@ -1,71 +1,95 @@
-//! The request-lifecycle HTTP server.
+//! The event-driven request-lifecycle HTTP server.
 //!
 //! The serving front end, restructured from the seed's monolithic blocking
-//! loop into an explicit request lifecycle (the paper's production
-//! requirement is a hard latency SLA under heavy load, §5.6 — that demands
-//! defined behaviour *under overload*, not just on the happy path):
+//! loop — first into an explicit request lifecycle, and now onto a
+//! readiness-driven event loop (the paper's production requirement is a
+//! hard latency SLA under heavy load, §5.6 — that demands defined behaviour
+//! *under overload* and at high connection counts, not just on the happy
+//! path):
 //!
 //! * [`parser`] — incremental, bounded HTTP/1.1 parser (pure state machine
 //!   over bytes; head/header-count/body caps; property-tested);
-//! * [`conn`] — the per-connection state machine driver
+//! * [`reactor`] — ONE thread multiplexing every connection over an
+//!   epoll-style poller: non-blocking accepts/reads/writes, the
+//!   per-connection state machine
 //!   (`Idle → ReadingHead → ReadingBody → Handling → Writing`, with
-//!   `Draining`/close terminal) plus endpoint dispatch; owns all socket,
-//!   timeout and deadline-budget concerns;
-//! * [`lifecycle`] — the admission/drain gate shared by listener, workers
-//!   and the shutdown controller (model-checked in `tests/loom_models.rs`);
-//! * [`listener`] — non-blocking accept loop with exact queue-depth
-//!   accounting; sheds over-capacity connections with `503 + Retry-After`;
-//! * [`worker`] — the fixed worker pool;
-//! * [`metrics`] — shed/timeout/reject counters and per-state histograms.
+//!   `Draining`/close terminal), state-split timeouts, admission control
+//!   and the connection cap — concurrency is bounded by file descriptors,
+//!   not threads;
+//! * [`dispatch`] — the bounded reactor→worker queue with same-pod predict
+//!   coalescing (and the fairness guard that never holds a request past its
+//!   deadline budget), plus the worker→reactor completion queue;
+//! * [`worker`] — the fixed worker pool executing single requests and
+//!   coalesced batches through the batch VMIS-kNN path;
+//! * [`lifecycle`] — the admission/drain gate and the parked-connection
+//!   set shared by reactor, workers and the shutdown controller
+//!   (model-checked in `tests/loom_models.rs`);
+//! * [`conn`] — endpoint routing and response rendering, shared by the
+//!   reactor (sheds, rejects, timeouts) and the workers;
+//! * [`metrics`] — shed/timeout/reject counters, per-state histograms and
+//!   the batch-size histogram.
 //!
 //! # Shutdown protocol
 //!
 //! [`HttpServer::shutdown`] drains instead of aborting: the gate flips to
-//! DRAINING (new requests are shed with `503`), the listener wakes from its
-//! condvar wait and exits — dropping the channel sender, which lets workers
-//! finish the queued backlog and exit on the receive error — and the
-//! controller waits until nothing is inflight, queued or active (or the
-//! grace period expires, whereupon the gate is forced to STOPPED and
-//! connections close at their next poll tick). Every accepted request is
-//! answered or shed; none is silently dropped. The seed's throwaway
-//! self-connection wake is gone.
+//! DRAINING (new requests are shed with `503`), a waker kick makes the
+//! reactor reap every parked idle connection *immediately* and stop
+//! accepting, and the controller waits until nothing is inflight, queued or
+//! open (or the grace period expires, whereupon the gate is forced to
+//! STOPPED; the reactor closes every remaining connection and the dispatch
+//! queue, whose drained backlog lets workers answer what was admitted and
+//! then exit). Every accepted request is answered or shed; none is silently
+//! dropped.
 
 pub mod lifecycle;
 pub mod metrics;
 pub mod parser;
 
 pub(crate) mod conn;
-mod listener;
+mod dispatch;
+pub(crate) mod reactor;
 mod worker;
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::bounded;
-
 use crate::cluster::ServingCluster;
 use crate::sync::atomic::{AtomicUsize, Ordering};
 
-pub use lifecycle::{Admission, LifecycleGate};
+use dispatch::{CompletionQueue, DispatchQueue};
+use reactor::{Reactor, Waker};
+
+pub use lifecycle::{Admission, LifecycleGate, ParkDecision, ParkedSet};
 pub use metrics::{ConnState, ServerMetrics};
 
 /// Server configuration. [`Default`] keeps the seed's behaviour (generous
-/// limits, no inflight watermark); the overload and drain tests tighten the
-/// knobs they exercise.
+/// limits, no inflight watermark, opportunistic-only coalescing); the
+/// overload and drain tests tighten the knobs they exercise.
 #[derive(Debug, Clone)]
 pub struct HttpServerConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Worker threads handling connections.
+    /// Worker threads executing dispatched requests.
     pub workers: usize,
-    /// Pending-connection queue capacity; connections beyond it are shed at
-    /// the accept gate with `503 + Retry-After` (min 1).
+    /// Dispatch-queue capacity (admitted requests waiting for a worker);
+    /// requests beyond it are shed with `503 + Retry-After` (min 1).
     pub queue_capacity: usize,
+    /// Open-connection cap enforced at the accept gate; connections beyond
+    /// it are answered `503 + Retry-After` and closed. `0` = unlimited
+    /// (bounded only by the process fd limit).
+    pub max_connections: usize,
     /// Inflight-request watermark; requests beyond it are shed with
     /// `503 + Retry-After`. `0` = unlimited.
     pub max_inflight_requests: usize,
+    /// Largest coalesced predict batch handed to one worker.
+    pub max_batch_size: usize,
+    /// Fairness-bounded gather window: how long a short batch may wait for
+    /// stragglers. Never extends past any member's deadline budget.
+    /// `Duration::ZERO` (the default) coalesces opportunistically only —
+    /// whatever is already queued batches, nobody waits.
+    pub max_batch_delay: Duration,
     /// Largest accepted request body; bigger is `413` + close.
     pub max_body_bytes: usize,
     /// Cap on the request head (request line + headers); bigger is `431`.
@@ -74,14 +98,14 @@ pub struct HttpServerConfig {
     pub max_headers: usize,
     /// Requests served per connection before it is closed. `0` = unlimited.
     pub keepalive_max_requests: usize,
-    /// Socket poll tick: how often a blocked read re-checks drain state and
-    /// timeout budgets. Bounds shutdown latency.
+    /// Reactor tick: upper bound on how long the poller sleeps with no
+    /// readiness, wake or timer traffic. Bounds timeout-sweep latency.
     pub read_timeout: Duration,
     /// Slow-client budget for one full request frame; exceeding it is
     /// `408` + close. `Duration::ZERO` is never exceeded in practice —
     /// pick a real budget.
     pub request_read_timeout: Duration,
-    /// Socket write timeout for responses.
+    /// Budget for flushing one response to a slow reader.
     pub write_timeout: Duration,
     /// Idle keep-alive reaping budget. `Duration::ZERO` = never reap.
     pub idle_timeout: Duration,
@@ -101,7 +125,10 @@ impl Default for HttpServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             queue_capacity: 1024,
+            max_connections: 0,
             max_inflight_requests: 0,
+            max_batch_size: 16,
+            max_batch_delay: Duration::ZERO,
             max_body_bytes: 1 << 20,
             max_head_bytes: 8 * 1024,
             max_headers: 64,
@@ -117,11 +144,11 @@ impl Default for HttpServerConfig {
     }
 }
 
-/// Coordination wakeup: the listener's empty-accept wait and the drain
-/// controller's quiescence wait both park here, and state changes notify.
-/// Uses `std::sync` directly (not `parking_lot`) because the vendored
-/// `parking_lot` shim carries no `Condvar`; lock poisoning is impossible to
-/// panic on — a poisoned guard is recovered, the protected state is `()`.
+/// Coordination wakeup: the drain controller's quiescence wait parks here,
+/// and reactor/worker state changes notify. Uses `std::sync` directly (not
+/// `parking_lot`) because the vendored `parking_lot` shim carries no
+/// `Condvar`; lock poisoning is impossible to panic on — a poisoned guard
+/// is recovered, the protected state is `()`.
 #[derive(Debug, Default)]
 pub(crate) struct Wakeup {
     lock: std::sync::Mutex<()>,
@@ -142,18 +169,18 @@ impl Wakeup {
     }
 }
 
-/// State shared by the listener, workers and the shutdown controller.
+/// State shared by the reactor, workers and the shutdown controller.
 #[derive(Debug)]
 pub(crate) struct Shared {
     pub(crate) config: HttpServerConfig,
     pub(crate) gate: LifecycleGate,
     pub(crate) metrics: ServerMetrics,
-    /// Connections accepted but not yet picked up by a worker. The listener
-    /// is the only incrementer (single producer), workers decrement.
-    pub(crate) queue_depth: AtomicUsize,
-    /// Connections currently being driven by a worker.
-    pub(crate) active_connections: AtomicUsize,
+    /// Connections currently registered with the reactor (accepted, not yet
+    /// closed) — the `serenade_server_open_connections` gauge.
+    pub(crate) open_connections: AtomicUsize,
     pub(crate) wakeup: Wakeup,
+    /// Idle connections eligible for immediate drain reaping.
+    pub(crate) parked: ParkedSet,
 }
 
 /// How often the drain controller re-checks quiescence between wakeups.
@@ -164,6 +191,8 @@ const DRAIN_TICK: Duration = Duration::from_millis(1);
 pub struct HttpServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    queue: Arc<DispatchQueue>,
+    waker: Waker,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -179,15 +208,21 @@ impl HttpServer {
         let addr = listener.local_addr()?;
         let mut config = config;
         config.queue_capacity = config.queue_capacity.max(1);
-        let queue_capacity = config.queue_capacity;
+        config.max_batch_size = config.max_batch_size.max(1);
         let workers = config.workers.max(1);
+        let queue = Arc::new(DispatchQueue::new(
+            config.queue_capacity,
+            config.max_batch_size,
+            config.max_batch_delay,
+        ));
+        let completions = Arc::new(CompletionQueue::new());
         let shared = Arc::new(Shared {
             config,
             gate: LifecycleGate::new(),
             metrics: ServerMetrics::new(),
-            queue_depth: AtomicUsize::new(0),
-            active_connections: AtomicUsize::new(0),
+            open_connections: AtomicUsize::new(0),
             wakeup: Wakeup::default(),
+            parked: ParkedSet::new(),
         });
 
         let registry = cluster.telemetry().registry();
@@ -199,33 +234,50 @@ impl HttpServer {
             &[],
             move || gauge.gate.inflight() as u64,
         );
-        let gauge = Arc::clone(&shared);
+        let gauge = Arc::clone(&queue);
         registry.polled_gauge(
             "serenade_http_queue_depth",
-            "Accepted connections waiting for a worker.",
+            "Admitted requests waiting for a worker.",
             &[],
-            move || gauge.queue_depth.load(Ordering::SeqCst) as u64,
+            move || gauge.depth() as u64,
         );
         let gauge = Arc::clone(&shared);
         registry.polled_gauge(
             "serenade_http_active_connections",
-            "Connections currently driven by a worker.",
+            "Connections currently registered with the reactor.",
             &[],
-            move || gauge.active_connections.load(Ordering::SeqCst) as u64,
+            move || gauge.open_connections.load(Ordering::SeqCst) as u64,
+        );
+        let gauge = Arc::clone(&shared);
+        registry.polled_gauge(
+            "serenade_server_open_connections",
+            "Open connections multiplexed by the event loop.",
+            &[],
+            move || gauge.open_connections.load(Ordering::SeqCst) as u64,
         );
 
-        let (tx, rx) = bounded::<TcpStream>(queue_capacity);
+        let reactor = Reactor::new(
+            listener,
+            Arc::clone(&shared),
+            Arc::clone(&cluster),
+            Arc::clone(&queue),
+            Arc::clone(&completions),
+        )?;
+        let waker = reactor.waker();
         let mut threads = Vec::with_capacity(workers + 1);
+        threads.push(std::thread::spawn(move || reactor.run()));
         for _ in 0..workers {
-            let rx = rx.clone();
+            let queue = Arc::clone(&queue);
+            let completions = Arc::clone(&completions);
             let cluster = Arc::clone(&cluster);
             let shared = Arc::clone(&shared);
-            threads.push(std::thread::spawn(move || worker::run(rx, cluster, shared)));
+            let waker = waker.clone();
+            threads.push(std::thread::spawn(move || {
+                worker::run(queue, completions, cluster, shared, waker)
+            }));
         }
-        let accept_shared = Arc::clone(&shared);
-        threads.push(std::thread::spawn(move || listener::run(listener, tx, accept_shared)));
 
-        Ok(Self { addr, shared, threads })
+        Ok(Self { addr, shared, queue, waker, threads })
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -244,6 +296,11 @@ impl HttpServer {
         self.shared.gate.inflight()
     }
 
+    /// Connections currently registered with the reactor.
+    pub fn open_connections(&self) -> usize {
+        self.shared.open_connections.load(Ordering::SeqCst)
+    }
+
     /// Stops the server: drain, then join all threads.
     pub fn shutdown(mut self) {
         self.stop_and_join();
@@ -255,20 +312,26 @@ impl HttpServer {
             return;
         }
         if self.shared.gate.begin_drain() {
-            // Wake the listener's condvar wait so it stops accepting and
-            // drops the sender — which in turn unblocks every worker.
+            // Kick the reactor out of its poll wait: it stops accepting and
+            // reaps every parked idle connection immediately.
+            self.waker.wake();
             self.shared.wakeup.notify_all();
             let grace_until = Instant::now() + self.shared.config.drain_grace;
             loop {
                 let quiesced = self.shared.gate.inflight() == 0
-                    && self.shared.active_connections.load(Ordering::SeqCst) == 0
-                    && self.shared.queue_depth.load(Ordering::SeqCst) == 0;
+                    && self.shared.open_connections.load(Ordering::SeqCst) == 0
+                    && self.queue.depth() == 0;
                 if quiesced || Instant::now() >= grace_until {
                     break;
                 }
                 self.shared.wakeup.wait_timeout(DRAIN_TICK);
             }
             self.shared.gate.force_stop();
+            // STOPPED: the reactor exits its loop (closing all remaining
+            // connections and the queue); close the queue here too in case
+            // the reactor is already gone.
+            self.waker.wake();
+            self.queue.close();
             self.shared.wakeup.notify_all();
         }
         for t in self.threads.drain(..) {

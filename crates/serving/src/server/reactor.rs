@@ -1,0 +1,1229 @@
+//! The readiness-driven event loop at the heart of the server.
+//!
+//! One reactor thread multiplexes every connection over a [`Poller`] — an
+//! epoll instance on Linux/x86-64 (driven by raw syscalls, the tree vendors
+//! no libc) or a portable condvar-paced fallback elsewhere — so concurrency
+//! is bounded by file descriptors, not threads. The per-connection state
+//! machine, bounded incremental parser, state-split timeouts, admission
+//! control and graceful drain from the thread-per-connection design all port
+//! onto it unchanged in *semantics*; only the execution model differs:
+//!
+//! * the reactor owns every socket and never blocks on one — reads, writes
+//!   and accepts run to `WouldBlock` and then wait for readiness;
+//! * parsed requests are admitted through the [`LifecycleGate`] on the
+//!   reactor thread, then handed to the worker pool as [`Dispatch`] units
+//!   via the coalescing [`DispatchQueue`]; responses come back through the
+//!   [`CompletionQueue`] and a [`Waker`] readiness kick;
+//! * a connection waiting for engine output has its poller interest cleared,
+//!   so a pipelining flood backs up into the kernel socket buffer instead of
+//!   the parser's heap;
+//! * idle keep-alive connections are parked in the [`ParkedSet`]; the drain
+//!   controller's wake reaps every parked connection *immediately* instead
+//!   of waiting out the next readiness event (the Dekker handshake between
+//!   `park` and drain is model-checked in `tests/loom_models.rs`).
+//!
+//! [`LifecycleGate`]: super::lifecycle::LifecycleGate
+//! [`ParkedSet`]: super::lifecycle::ParkedSet
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::cluster::ServingCluster;
+use crate::json::JsonValue;
+
+use super::conn::{self, CONTENT_TYPE_JSON};
+use super::dispatch::{CompletionQueue, Dispatch, DispatchKind, DispatchQueue};
+use super::lifecycle::{Admission, ParkDecision};
+use super::metrics::ConnState;
+use super::parser::{ParsedRequest, Parser, ParserLimits, Poll};
+use super::Shared;
+
+pub(crate) use sys::{raise_nofile_limit, Poller, Waker};
+
+/// Poller token reserved for the listening socket.
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
+/// Readiness interest bits ([`READ`]/[`WRITE`]) a source is registered with.
+pub(super) const READ: u8 = 0b01;
+/// See [`READ`].
+pub(super) const WRITE: u8 = 0b10;
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    //! Raw-syscall epoll backend. The container bakes in the Rust toolchain
+    //! but no libc crate, so the three epoll calls (plus `close` and
+    //! `prlimit64`) are issued directly through the x86-64 syscall ABI. The
+    //! wake channel is a loopback TCP pair rather than an eventfd: it needs
+    //! no extra syscall surface and the poller drains it internally.
+
+    use std::io::{self, Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use super::{Event, READ, WRITE};
+
+    const SYS_EPOLL_WAIT: i64 = 232;
+    const SYS_EPOLL_CTL: i64 = 233;
+    const SYS_EPOLL_CREATE1: i64 = 291;
+    const SYS_CLOSE: i64 = 3;
+    const SYS_PRLIMIT64: i64 = 302;
+
+    const EPOLL_CLOEXEC: i64 = 0x80000;
+    const EPOLL_CTL_ADD: i64 = 1;
+    const EPOLL_CTL_DEL: i64 = 2;
+    const EPOLL_CTL_MOD: i64 = 3;
+
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EINTR: i64 = 4;
+
+    /// Poller token reserved for the internal wake channel; never surfaced.
+    const WAKE_TOKEN: u64 = u64::MAX;
+
+    /// `struct epoll_event` — packed on x86-64, matching the kernel ABI.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    /// Issues a raw 4-argument Linux syscall; unused trailing arguments are
+    /// passed as zero. Returns the kernel's raw result (negative errno on
+    /// failure).
+    ///
+    /// # Safety
+    /// The caller must uphold the invoked syscall's contract: every pointer
+    /// argument must be valid for the access the kernel performs.
+    unsafe fn syscall4(nr: i64, a1: i64, a2: i64, a3: i64, a4: i64) -> i64 {
+        let ret: i64;
+        // SAFETY: the x86-64 syscall ABI reads rax/rdi/rsi/rdx/r10 and
+        // clobbers only rax/rcx/r11, all declared here; pointer validity is
+        // the caller's contract per the function-level safety docs.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") nr => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                in("r10") a4,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Converts a raw syscall return into `io::Result`.
+    fn check(ret: i64) -> io::Result<i64> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn interest_bits(interest: u8) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest & READ != 0 {
+            bits |= EPOLLIN;
+        }
+        if interest & WRITE != 0 {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    /// Cross-thread readiness kick: one nonblocking byte down the loopback
+    /// wake pair. Safe to call from any thread, any number of times; a full
+    /// pipe means a wake is already pending, so `WouldBlock` is a success.
+    #[derive(Clone)]
+    pub(crate) struct Waker {
+        tx: Arc<TcpStream>,
+    }
+
+    impl Waker {
+        pub(crate) fn wake(&self) {
+            let _ = (&*self.tx).write(&[1u8]);
+        }
+    }
+
+    /// An epoll instance plus the wake channel and the kernel event buffer.
+    pub(crate) struct Poller {
+        epfd: i64,
+        wake_rx: TcpStream,
+        wake_tx: Arc<TcpStream>,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub(crate) fn new() -> io::Result<Self> {
+            // SAFETY: epoll_create1 takes no pointers.
+            let epfd = check(unsafe { syscall4(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0) })?;
+            let (wake_tx, wake_rx) = wake_pair()?;
+            let poller = Self {
+                epfd,
+                wake_rx,
+                wake_tx: Arc::new(wake_tx),
+                buf: vec![EpollEvent { events: 0, data: 0 }; 256],
+            };
+            poller.ctl(EPOLL_CTL_ADD, poller.wake_rx.as_raw_fd() as i64, READ, WAKE_TOKEN)?;
+            Ok(poller)
+        }
+
+        pub(crate) fn waker(&self) -> Waker {
+            Waker { tx: Arc::clone(&self.wake_tx) }
+        }
+
+        fn ctl(&self, op: i64, fd: i64, interest: u8, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent { events: interest_bits(interest), data: token };
+            // SAFETY: `ev` lives across the call and is a valid
+            // `epoll_event`; the kernel only reads it (and ignores it for
+            // EPOLL_CTL_DEL).
+            check(unsafe {
+                syscall4(SYS_EPOLL_CTL, self.epfd, op, fd, &mut ev as *mut EpollEvent as i64)
+            })
+            .map(|_| ())
+        }
+
+        pub(crate) fn register_listener(&self, l: &TcpListener, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, l.as_raw_fd() as i64, READ, token)
+        }
+
+        pub(crate) fn register_stream(
+            &self,
+            s: &TcpStream,
+            token: u64,
+            interest: u8,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, s.as_raw_fd() as i64, interest, token)
+        }
+
+        pub(crate) fn rearm_stream(
+            &self,
+            s: &TcpStream,
+            token: u64,
+            interest: u8,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, s.as_raw_fd() as i64, interest, token)
+        }
+
+        pub(crate) fn deregister_stream(&self, s: &TcpStream) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, s.as_raw_fd() as i64, 0, 0)
+        }
+
+        /// Blocks until readiness, a wake, or `timeout`; appends events.
+        /// Wake-channel traffic is drained internally and never surfaced.
+        pub(crate) fn wait(&mut self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+            let ms = timeout.as_millis().min(i32::MAX as u128) as i64;
+            let len = self.buf.len() as i64;
+            let ptr = self.buf.as_mut_ptr();
+            // SAFETY: `ptr` points at `len` owned `EpollEvent`s which stay
+            // alive (and unaliased) for the duration of the call; the kernel
+            // writes at most `len` entries.
+            let n = match check(unsafe { syscall4(SYS_EPOLL_WAIT, self.epfd, ptr as i64, len, ms) })
+            {
+                Ok(n) => n as usize,
+                Err(e) if e.raw_os_error() == Some(EINTR as i32) => 0,
+                Err(e) => return Err(e),
+            };
+            for i in 0..n {
+                let ev = self.buf[i];
+                let data = ev.data;
+                let bits = ev.events;
+                if data == WAKE_TOKEN {
+                    self.drain_wake();
+                    continue;
+                }
+                events.push(Event {
+                    token: data,
+                    readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        fn drain_wake(&mut self) {
+            let mut sink = [0u8; 64];
+            while let Ok(n) = self.wake_rx.read(&mut sink) {
+                if n < sink.len() {
+                    break;
+                }
+            }
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: closing the epoll fd we own; no pointers involved.
+            let _ = unsafe { syscall4(SYS_CLOSE, self.epfd, 0, 0, 0) };
+        }
+    }
+
+    /// A connected nonblocking loopback pair `(tx, rx)` for cross-thread
+    /// wakes — the no-libc substitute for an eventfd.
+    fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let tx = TcpStream::connect(listener.local_addr()?)?;
+        let (rx, _) = listener.accept()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        let _ = tx.set_nodelay(true);
+        Ok((tx, rx))
+    }
+
+    const RLIMIT_NOFILE: i64 = 7;
+
+    #[repr(C)]
+    struct Rlimit64 {
+        cur: u64,
+        max: u64,
+    }
+
+    /// Best-effort raise of `RLIMIT_NOFILE` toward `target`; returns the
+    /// soft limit actually in effect afterwards. Raising the hard limit
+    /// needs `CAP_SYS_RESOURCE`, so an unprivileged process settles for its
+    /// existing hard cap. Used by the connection-ramp load generator to
+    /// budget client sockets.
+    pub(crate) fn raise_nofile_limit(target: u64) -> u64 {
+        let mut old = Rlimit64 { cur: 0, max: 0 };
+        // SAFETY: pid 0 = self; `old` is a valid writable rlimit64 and the
+        // new-limit pointer is null (get-only call).
+        let got = unsafe {
+            syscall4(SYS_PRLIMIT64, 0, RLIMIT_NOFILE, 0, &mut old as *mut Rlimit64 as i64)
+        };
+        if got < 0 {
+            return 1024;
+        }
+        if old.cur >= target {
+            return old.cur;
+        }
+        let want = Rlimit64 { cur: target.max(old.cur), max: old.max.max(target) };
+        // SAFETY: pid 0 = self; `want` is a valid rlimit64 the kernel only
+        // reads; the old-limit pointer is null.
+        let set = unsafe {
+            syscall4(SYS_PRLIMIT64, 0, RLIMIT_NOFILE, &want as *const Rlimit64 as i64, 0)
+        };
+        if set < 0 {
+            // Could not raise the hard cap: settle for soft = old hard.
+            let fallback = Rlimit64 { cur: old.max, max: old.max };
+            // SAFETY: as above — `fallback` is a valid rlimit64, read-only
+            // to the kernel, old-limit pointer null.
+            let _ = unsafe {
+                syscall4(SYS_PRLIMIT64, 0, RLIMIT_NOFILE, &fallback as *const Rlimit64 as i64, 0)
+            };
+            return old.max;
+        }
+        want.cur
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod sys {
+    //! Portable fallback poller: a condvar-paced tick that reports every
+    //! registered source as ready per its interest. Combined with
+    //! nonblocking sockets this is *correct* (spurious readiness degrades
+    //! into `WouldBlock`), just not scalable — the epoll backend is the
+    //! production path.
+
+    use std::io;
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::Duration;
+
+    use super::{Event, READ, WRITE};
+
+    #[derive(Default)]
+    struct Signal {
+        lock: Mutex<bool>,
+        cond: Condvar,
+    }
+
+    /// Cross-thread readiness kick for the fallback poller.
+    #[derive(Clone)]
+    pub(crate) struct Waker {
+        signal: Arc<Signal>,
+    }
+
+    impl Waker {
+        pub(crate) fn wake(&self) {
+            let mut pending =
+                self.signal.lock.lock().unwrap_or_else(PoisonError::into_inner);
+            *pending = true;
+            self.signal.cond.notify_all();
+        }
+    }
+
+    pub(crate) struct Poller {
+        signal: Arc<Signal>,
+        registered: Mutex<Vec<(u64, u8)>>,
+    }
+
+    impl Poller {
+        pub(crate) fn new() -> io::Result<Self> {
+            Ok(Self { signal: Arc::new(Signal::default()), registered: Mutex::new(Vec::new()) })
+        }
+
+        pub(crate) fn waker(&self) -> Waker {
+            Waker { signal: Arc::clone(&self.signal) }
+        }
+
+        fn set(&self, token: u64, interest: Option<u8>) {
+            let mut reg = self.registered.lock().unwrap_or_else(PoisonError::into_inner);
+            reg.retain(|(t, _)| *t != token);
+            if let Some(interest) = interest {
+                reg.push((token, interest));
+            }
+        }
+
+        pub(crate) fn register_listener(&self, _l: &TcpListener, token: u64) -> io::Result<()> {
+            self.set(token, Some(READ));
+            Ok(())
+        }
+
+        pub(crate) fn register_stream(
+            &self,
+            _s: &TcpStream,
+            token: u64,
+            interest: u8,
+        ) -> io::Result<()> {
+            self.set(token, Some(interest));
+            Ok(())
+        }
+
+        pub(crate) fn rearm_stream(
+            &self,
+            _s: &TcpStream,
+            token: u64,
+            interest: u8,
+        ) -> io::Result<()> {
+            self.set(token, Some(interest));
+            Ok(())
+        }
+
+        pub(crate) fn deregister_stream(&self, _s: &TcpStream) -> io::Result<()> {
+            // Tokens are retired by the slab's generation counter; stale
+            // fallback events are filtered there, so nothing to do beyond
+            // dropping on the next rearm. Deregistration by stream is
+            // impossible without fd identity; the reactor also calls
+            // `forget` with the token.
+            Ok(())
+        }
+
+        /// Token-keyed deregistration for the fallback backend.
+        pub(crate) fn forget(&self, token: u64) {
+            self.set(token, None);
+        }
+
+        pub(crate) fn wait(&mut self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+            {
+                let mut pending =
+                    self.signal.lock.lock().unwrap_or_else(PoisonError::into_inner);
+                if !*pending {
+                    let (guard, _) = self
+                        .signal
+                        .cond
+                        .wait_timeout(pending, timeout)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    pending = guard;
+                }
+                *pending = false;
+            }
+            let reg = self.registered.lock().unwrap_or_else(PoisonError::into_inner);
+            for (token, interest) in reg.iter() {
+                if *interest == 0 {
+                    continue;
+                }
+                events.push(Event {
+                    token: *token,
+                    readable: interest & READ != 0,
+                    writable: interest & WRITE != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    /// Fallback: no rlimit syscalls without the Linux backend; report a
+    /// conservative POSIX default so callers budget pessimistically.
+    pub(crate) fn raise_nofile_limit(_target: u64) -> u64 {
+        1024
+    }
+}
+
+/// One multiplexed connection: socket, parser, lifecycle state and the
+/// pending output buffer. `gen` guards against completions addressed to a
+/// token whose slot has been recycled.
+struct Connection {
+    stream: TcpStream,
+    parser: Parser,
+    state: ConnState,
+    state_since: Instant,
+    interest: u8,
+    out: Vec<u8>,
+    out_pos: usize,
+    write_since: Option<Instant>,
+    close_after_write: bool,
+    busy: bool,
+    eof: bool,
+    served: usize,
+    idle_since: Instant,
+    frame_started: Option<Instant>,
+    generation: u32,
+}
+
+impl Connection {
+    fn new(stream: TcpStream, limits: ParserLimits, generation: u32, now: Instant) -> Self {
+        Self {
+            stream,
+            parser: Parser::new(limits),
+            state: ConnState::Idle,
+            state_since: now,
+            interest: READ,
+            out: Vec::new(),
+            out_pos: 0,
+            write_since: None,
+            close_after_write: false,
+            busy: false,
+            eof: false,
+            served: 0,
+            idle_since: now,
+            frame_started: None,
+            generation,
+        }
+    }
+}
+
+/// Connection slab: slot reuse with a per-slot generation counter, so a
+/// token (`generation << 32 | index`) from a closed connection can never
+/// address its successor.
+struct Slab {
+    entries: Vec<Option<Connection>>,
+    generations: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl Slab {
+    fn new() -> Self {
+        Self { entries: Vec::new(), generations: Vec::new(), free: Vec::new() }
+    }
+
+    fn token_for(index: u32, generation: u32) -> u64 {
+        (u64::from(generation) << 32) | u64::from(index)
+    }
+
+    fn insert(&mut self, make: impl FnOnce(u32) -> Connection) -> u64 {
+        match self.free.pop() {
+            Some(index) => {
+                let generation = self.generations[index as usize];
+                self.entries[index as usize] = Some(make(generation));
+                Self::token_for(index, generation)
+            }
+            None => {
+                let index = self.entries.len() as u32;
+                self.generations.push(0);
+                self.entries.push(Some(make(0)));
+                Self::token_for(index, 0)
+            }
+        }
+    }
+
+    fn get_mut(&mut self, token: u64) -> Option<&mut Connection> {
+        let index = (token & u32::MAX as u64) as usize;
+        let generation = (token >> 32) as u32;
+        match self.entries.get_mut(index) {
+            Some(Some(conn)) if conn.generation == generation => Some(conn),
+            _ => None,
+        }
+    }
+
+    fn remove(&mut self, token: u64) -> Option<Connection> {
+        let index = (token & u32::MAX as u64) as usize;
+        let generation = (token >> 32) as u32;
+        match self.entries.get_mut(index) {
+            Some(slot @ Some(_)) => {
+                if slot.as_ref().map(|c| c.generation) != Some(generation) {
+                    return None;
+                }
+                let conn = slot.take();
+                self.generations[index] = self.generations[index].wrapping_add(1);
+                self.free.push(index as u32);
+                conn
+            }
+            _ => None,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+
+    fn tokens_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        for (index, slot) in self.entries.iter().enumerate() {
+            if let Some(conn) = slot {
+                out.push(Self::token_for(index as u32, conn.generation));
+            }
+        }
+    }
+}
+
+/// Minimum interval between full timeout sweeps; a sweep is O(connections),
+/// so under event pressure it must not run per wakeup.
+const SWEEP_INTERVAL: Duration = Duration::from_millis(25);
+
+/// The reactor: poller, listener, connection slab and the dispatch plumbing.
+pub(super) struct Reactor {
+    poller: Poller,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    cluster: Arc<ServingCluster>,
+    queue: Arc<DispatchQueue>,
+    completions: Arc<CompletionQueue>,
+    slab: Slab,
+    events: Vec<Event>,
+    sweep_tokens: Vec<u64>,
+    completion_scratch: Vec<super::dispatch::Completion>,
+    last_sweep: Instant,
+    read_buf: Box<[u8; 8192]>,
+}
+
+impl Reactor {
+    pub(super) fn new(
+        listener: TcpListener,
+        shared: Arc<Shared>,
+        cluster: Arc<ServingCluster>,
+        queue: Arc<DispatchQueue>,
+        completions: Arc<CompletionQueue>,
+    ) -> std::io::Result<Self> {
+        let poller = Poller::new()?;
+        poller.register_listener(&listener, LISTENER_TOKEN)?;
+        Ok(Self {
+            poller,
+            listener,
+            shared,
+            cluster,
+            queue,
+            completions,
+            slab: Slab::new(),
+            events: Vec::with_capacity(256),
+            sweep_tokens: Vec::new(),
+            completion_scratch: Vec::new(),
+            last_sweep: Instant::now(),
+            read_buf: Box::new([0u8; 8192]),
+        })
+    }
+
+    pub(super) fn waker(&self) -> Waker {
+        self.poller.waker()
+    }
+
+    /// Runs the event loop until the lifecycle gate reaches STOPPED. On
+    /// exit every connection is closed and the dispatch queue is closed so
+    /// workers drain their backlog and join.
+    pub(super) fn run(mut self) {
+        let tick = self.shared.config.read_timeout.max(Duration::from_millis(1));
+        loop {
+            self.events.clear();
+            if self.poller.wait(&mut self.events, tick).is_err() {
+                // Transient poller failure: treat as an empty tick; the
+                // timer sweep and gate checks below still run.
+            }
+            self.apply_completions();
+            let events = std::mem::take(&mut self.events);
+            for ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_ready();
+                } else {
+                    self.connection_ready(*ev);
+                }
+            }
+            self.events = events;
+            if !self.shared.gate.is_running() {
+                self.reap_parked();
+            }
+            let now = Instant::now();
+            if now.duration_since(self.last_sweep) >= SWEEP_INTERVAL {
+                self.last_sweep = now;
+                self.sweep_timeouts(now);
+            }
+            if self.shared.gate.is_stopped() {
+                break;
+            }
+        }
+        self.close_all();
+        self.queue.close();
+        self.shared.wakeup.notify_all();
+    }
+
+    /// Applies worker completions: queue the rendered bytes and flush.
+    fn apply_completions(&mut self) {
+        let mut batch = std::mem::take(&mut self.completion_scratch);
+        self.completions.drain_into(&mut batch);
+        for completion in batch.drain(..) {
+            let token = completion.token;
+            let Some(conn) = self.slab.get_mut(token) else {
+                // The connection died while its request was in flight; the
+                // response has nowhere to go.
+                continue;
+            };
+            conn.busy = false;
+            conn.close_after_write = completion.close;
+            conn.out = completion.bytes;
+            conn.out_pos = 0;
+            conn.write_since = Some(Instant::now());
+            self.set_state(token, ConnState::Writing);
+            self.flush(token);
+        }
+        self.completion_scratch = batch;
+    }
+
+    /// Accepts until `WouldBlock`. During drain the backlog is left in the
+    /// kernel: those connections are answered by the reset when the
+    /// listener drops at exit, and `connect` keeps succeeding only as long
+    /// as the backlog has room — matching the documented drain contract
+    /// that post-drain requests fail at the connection level.
+    fn accept_ready(&mut self) {
+        if !self.shared.gate.is_running() {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit_connection(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn admit_connection(&mut self, stream: TcpStream) {
+        let config = &self.shared.config;
+        let cap = config.max_connections;
+        if cap != 0 && self.slab.len() >= cap {
+            self.shed_connection(stream);
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        self.shared.metrics.connections.inc();
+        self.shared.open_connections.fetch_add(1, crate::sync::atomic::Ordering::SeqCst);
+        let limits = ParserLimits {
+            max_head_bytes: config.max_head_bytes,
+            max_headers: config.max_headers,
+            max_body_bytes: config.max_body_bytes,
+        };
+        let now = Instant::now();
+        let token = self.slab.insert(|generation| Connection::new(stream, limits, generation, now));
+        let registered = match self.slab.get_mut(token) {
+            Some(conn) => self.poller.register_stream(&conn.stream, token, READ).is_ok(),
+            None => false,
+        };
+        if !registered {
+            self.close(token);
+            return;
+        }
+        // A fresh keep-alive connection is idle until its first byte: park
+        // it so an immediate drain reaps it without waiting for readiness.
+        self.park(token);
+    }
+
+    /// Sheds one connection at the accept gate: the fd budget is exhausted,
+    /// so answer `503 + Retry-After` on the still-blocking socket and close.
+    fn shed_connection(&mut self, stream: TcpStream) {
+        self.shared.metrics.shed_connections.inc();
+        let config = &self.shared.config;
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
+        let body =
+            JsonValue::object([("error", JsonValue::String("server overloaded".into()))]).to_json();
+        let bytes = conn::render_response(
+            503,
+            &body,
+            CONTENT_TYPE_JSON,
+            true,
+            Some(config.retry_after_seconds),
+        );
+        let mut stream = stream;
+        let _ = stream.write_all(&bytes);
+        // Lingering close. The shed client is usually mid-write: closing
+        // while its request bytes sit unread in our receive queue turns the
+        // close into a TCP reset, which can discard the 503 out of the
+        // client's buffer before it reads it. Send our FIN first, then
+        // drain until the client's FIN so the response is reliably
+        // delivered — bounded, since a shed storm must not capture the
+        // reactor thread (the blocking `write_all` above has the same
+        // `write_timeout` bound).
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        const SHED_LINGER: Duration = Duration::from_millis(100);
+        let _ = stream.set_read_timeout(Some(SHED_LINGER));
+        let deadline = Instant::now() + SHED_LINGER;
+        let mut sink = [0u8; 512];
+        loop {
+            match stream.read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) | Err(_) if Instant::now() >= deadline => break,
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn connection_ready(&mut self, ev: Event) {
+        if self.slab.get_mut(ev.token).is_none() {
+            return;
+        }
+        self.shared.parked.unpark(ev.token);
+        if ev.writable {
+            let has_output = match self.slab.get_mut(ev.token) {
+                Some(conn) => !conn.out.is_empty(),
+                None => return,
+            };
+            if has_output {
+                self.flush(ev.token);
+            }
+        }
+        if ev.readable {
+            self.read_ready(ev.token);
+        }
+    }
+
+    /// Reads until `WouldBlock`/EOF, then advances the protocol machine.
+    fn read_ready(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.slab.get_mut(token) else { return };
+            if conn.busy || !conn.out.is_empty() {
+                // Interest should already exclude reads here; leave the
+                // bytes in the kernel buffer until the response is out.
+                return;
+            }
+            match conn.stream.read(&mut self.read_buf[..]) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.parser.feed(&self.read_buf[..n]);
+                    if n < self.read_buf.len() {
+                        break;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token);
+                    return;
+                }
+            }
+        }
+        self.advance(token);
+        if let Some(conn) = self.slab.get_mut(token) {
+            if conn.eof && !conn.busy && conn.out.is_empty() {
+                // Peer is gone and nothing is owed: close now.
+                self.close(token);
+            }
+        }
+    }
+
+    /// Walks buffered frames: parse → admission → dispatch/shed, stopping
+    /// when the connection goes busy, starts writing, or runs out of bytes.
+    fn advance(&mut self, token: u64) {
+        loop {
+            let now = Instant::now();
+            let Some(conn) = self.slab.get_mut(token) else { return };
+            if conn.busy || !conn.out.is_empty() {
+                return;
+            }
+            match conn.parser.poll() {
+                Poll::Request(request) => {
+                    let started = conn.frame_started.take().unwrap_or(now);
+                    conn.served += 1;
+                    conn.idle_since = now;
+                    self.handle_request(token, request, started);
+                }
+                Poll::Reject(reject) => {
+                    self.shared.metrics.rejects.inc();
+                    let body =
+                        JsonValue::object([("error", JsonValue::String(reject.message.into()))])
+                            .to_json();
+                    self.respond_now(token, reject.status, &body, true, None);
+                    return;
+                }
+                Poll::NeedHead => {
+                    if conn.parser.mid_request() {
+                        if conn.frame_started.is_none() {
+                            conn.frame_started = Some(now);
+                        }
+                        self.set_state(token, ConnState::ReadingHead);
+                    } else {
+                        conn.idle_since = now;
+                        self.set_state(token, ConnState::Idle);
+                        self.park(token);
+                    }
+                    return;
+                }
+                Poll::NeedBody => {
+                    let Some(conn) = self.slab.get_mut(token) else { return };
+                    if conn.frame_started.is_none() {
+                        conn.frame_started = Some(now);
+                    }
+                    self.set_state(token, ConnState::ReadingBody);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Admission + dispatch for one parsed request, on the reactor thread.
+    fn handle_request(&mut self, token: u64, request: ParsedRequest, started: Instant) {
+        let max_inflight = self.shared.config.max_inflight_requests;
+        let retry = Some(self.shared.config.retry_after_seconds);
+        let request_deadline = self.shared.config.request_deadline;
+        let keepalive_cap = self.shared.config.keepalive_max_requests;
+        let shed_body =
+            JsonValue::object([("error", JsonValue::String("server overloaded".into()))]).to_json();
+        match self.shared.gate.try_begin_request(max_inflight) {
+            Admission::Draining => {
+                self.shared.metrics.shed_draining.inc();
+                self.set_state(token, ConnState::Draining);
+                self.respond_now(token, 503, &shed_body, true, retry);
+            }
+            Admission::Overloaded => {
+                self.shared.metrics.shed_inflight.inc();
+                // Framing is intact: shed the request, keep the connection
+                // unless the client asked to close.
+                self.respond_now(token, 503, &shed_body, request.close, retry);
+            }
+            Admission::Admitted => {
+                let deadline = if request_deadline == Duration::ZERO {
+                    None
+                } else {
+                    Some(started + request_deadline)
+                };
+                let served = match self.slab.get_mut(token) {
+                    Some(conn) => conn.served,
+                    None => {
+                        self.shared.gate.finish_request();
+                        return;
+                    }
+                };
+                let client_close = request.close;
+                let close_hint = client_close || (keepalive_cap != 0 && served >= keepalive_cap);
+                let kind = classify(&request, &self.cluster);
+                let dispatch = Dispatch { token, request, kind, deadline, close_hint };
+                match self.queue.push(dispatch) {
+                    Ok(()) => {
+                        self.shared.metrics.requests.inc();
+                        self.set_state(token, ConnState::Handling);
+                        if let Some(conn) = self.slab.get_mut(token) {
+                            conn.busy = true;
+                        }
+                        self.set_interest(token, 0);
+                    }
+                    Err(_rejected) => {
+                        self.shared.gate.finish_request();
+                        self.shared.metrics.shed_queue_full.inc();
+                        self.respond_now(token, 503, &shed_body, client_close, retry);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders and queues a reactor-side response (sheds, rejects, 408s).
+    fn respond_now(
+        &mut self,
+        token: u64,
+        status: u16,
+        body: &str,
+        close: bool,
+        retry_after: Option<u32>,
+    ) {
+        let bytes = conn::render_response(status, body, CONTENT_TYPE_JSON, close, retry_after);
+        let Some(conn) = self.slab.get_mut(token) else { return };
+        conn.out = bytes;
+        conn.out_pos = 0;
+        conn.close_after_write = close;
+        conn.write_since = Some(Instant::now());
+        if conn.state != ConnState::Draining {
+            self.set_state(token, ConnState::Writing);
+        }
+        self.flush(token);
+    }
+
+    /// Writes pending output until done or `WouldBlock`; arms WRITE
+    /// interest for partial writes and finishes the protocol turn on
+    /// completion (close, or back to reading).
+    fn flush(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.slab.get_mut(token) else { return };
+            if conn.out.is_empty() {
+                return;
+            }
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    self.close(token);
+                    return;
+                }
+                Ok(n) => {
+                    conn.out_pos += n;
+                    if conn.out_pos >= conn.out.len() {
+                        conn.out.clear();
+                        conn.out_pos = 0;
+                        conn.write_since = None;
+                        break;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    self.set_interest(token, WRITE);
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token);
+                    return;
+                }
+            }
+        }
+        let Some(conn) = self.slab.get_mut(token) else { return };
+        if conn.close_after_write || conn.eof {
+            self.close(token);
+            return;
+        }
+        if !self.shared.gate.is_running() {
+            // Response delivered mid-drain: nothing further is admitted on
+            // this connection, so release it.
+            self.set_state(token, ConnState::Draining);
+            self.close(token);
+            return;
+        }
+        self.set_interest(token, READ);
+        self.set_state(token, ConnState::Idle);
+        let Some(conn) = self.slab.get_mut(token) else { return };
+        conn.idle_since = Instant::now();
+        // More pipelined bytes may already be buffered.
+        self.advance(token);
+    }
+
+    fn set_interest(&mut self, token: u64, interest: u8) {
+        let Some(conn) = self.slab.get_mut(token) else { return };
+        if conn.interest == interest {
+            return;
+        }
+        conn.interest = interest;
+        let _ = self.poller.rearm_stream(&conn.stream, token, interest);
+    }
+
+    fn set_state(&mut self, token: u64, next: ConnState) {
+        let Some(conn) = self.slab.get_mut(token) else { return };
+        if conn.state != next {
+            self.shared.metrics.record_state(conn.state, conn.state_since.elapsed());
+            conn.state = next;
+            conn.state_since = Instant::now();
+        }
+    }
+
+    /// Parks an idle connection for immediate drain reaping. If the drain
+    /// began concurrently, the Dekker check in [`ParkedSet::park`] tells us
+    /// to close it ourselves.
+    ///
+    /// [`ParkedSet::park`]: super::lifecycle::ParkedSet::park
+    fn park(&mut self, token: u64) {
+        match self.shared.parked.park(token, &self.shared.gate) {
+            ParkDecision::Parked => {}
+            ParkDecision::ShouldClose => {
+                self.set_state(token, ConnState::Draining);
+                self.close(token);
+            }
+        }
+    }
+
+    /// Drain wake: every parked (idle) connection closes immediately.
+    fn reap_parked(&mut self) {
+        for token in self.shared.parked.reap_all() {
+            let Some(conn) = self.slab.get_mut(token) else { continue };
+            if conn.busy || !conn.out.is_empty() || conn.parser.mid_request() {
+                // Not idle after all (raced with new traffic): the normal
+                // paths shed or answer it.
+                continue;
+            }
+            self.set_state(token, ConnState::Draining);
+            self.close(token);
+        }
+    }
+
+    /// The timer sweep: slow frames (`408`), stuck writes, idle reaping.
+    fn sweep_timeouts(&mut self, now: Instant) {
+        let config = self.shared.config.clone();
+        let mut tokens = std::mem::take(&mut self.sweep_tokens);
+        self.slab.tokens_into(&mut tokens);
+        for &token in &tokens {
+            let Some(conn) = self.slab.get_mut(token) else { continue };
+            if conn.busy {
+                continue;
+            }
+            if !conn.out.is_empty() {
+                if let Some(since) = conn.write_since {
+                    if now.duration_since(since) > config.write_timeout {
+                        self.shared.metrics.timeouts_write.inc();
+                        self.close(token);
+                    }
+                }
+                continue;
+            }
+            if let Some(started) = conn.frame_started {
+                if now.duration_since(started) > config.request_read_timeout {
+                    self.shared.metrics.timeouts_read.inc();
+                    let body = JsonValue::object([(
+                        "error",
+                        JsonValue::String("request read timed out".into()),
+                    )])
+                    .to_json();
+                    let Some(conn) = self.slab.get_mut(token) else { continue };
+                    conn.frame_started = None;
+                    self.respond_now(token, 408, &body, true, None);
+                }
+                continue;
+            }
+            if config.idle_timeout != Duration::ZERO
+                && now.duration_since(conn.idle_since) > config.idle_timeout
+            {
+                self.shared.metrics.timeouts_idle.inc();
+                self.close(token);
+            }
+        }
+        self.sweep_tokens = tokens;
+    }
+
+    fn close(&mut self, token: u64) {
+        let Some(conn) = self.slab.remove(token) else { return };
+        self.shared.parked.unpark(token);
+        self.shared.metrics.record_state(conn.state, conn.state_since.elapsed());
+        let _ = self.poller.deregister_stream(&conn.stream);
+        #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+        self.poller.forget(token);
+        self.shared.open_connections.fetch_sub(1, crate::sync::atomic::Ordering::SeqCst);
+        if !self.shared.gate.is_running() {
+            self.shared.wakeup.notify_all();
+        }
+    }
+
+    fn close_all(&mut self) {
+        let mut tokens = std::mem::take(&mut self.sweep_tokens);
+        self.slab.tokens_into(&mut tokens);
+        for &token in &tokens {
+            self.close(token);
+        }
+        self.sweep_tokens = tokens;
+    }
+}
+
+/// Classifies a parsed request for dispatch: `POST /recommend` bodies are
+/// parsed on the reactor so same-pod predicts can coalesce; anything else
+/// (including malformed predict bodies, which re-parse to a `400` on the
+/// worker) dispatches as-is.
+fn classify(request: &ParsedRequest, cluster: &ServingCluster) -> DispatchKind {
+    if request.method == "POST" && request.path == "/recommend" {
+        if let Ok(req) = conn::parse_recommend_request(&request.body) {
+            let pod = cluster.pod_index_for(req.session_id);
+            return DispatchKind::Predict { req, pod };
+        }
+    }
+    DispatchKind::Other
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_tokens_are_generation_guarded() {
+        let mut slab = Slab::new();
+        let limits = ParserLimits { max_head_bytes: 1024, max_headers: 16, max_body_bytes: 1024 };
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let c1 = TcpStream::connect(addr).expect("connect");
+        let c2 = TcpStream::connect(addr).expect("connect");
+        let now = Instant::now();
+        let t1 = slab.insert(|generation| Connection::new(c1, limits, generation, now));
+        assert!(slab.get_mut(t1).is_some());
+        assert_eq!(slab.len(), 1);
+        assert!(slab.remove(t1).is_some());
+        assert_eq!(slab.len(), 0);
+        // The recycled slot gets a bumped generation: the stale token must
+        // not resolve to the new occupant.
+        let t2 = slab.insert(|generation| Connection::new(c2, limits, generation, now));
+        assert_eq!(t2 & u64::from(u32::MAX), t1 & u64::from(u32::MAX), "slot reused");
+        assert_ne!(t2, t1, "generation bumped");
+        assert!(slab.get_mut(t1).is_none(), "stale token is dead");
+        assert!(slab.get_mut(t2).is_some());
+    }
+
+    #[test]
+    fn poller_wake_is_cross_thread_and_never_surfaced() {
+        let mut poller = Poller::new().expect("poller");
+        let waker = poller.waker();
+        let handle = std::thread::spawn(move || waker.wake());
+        let mut events = Vec::new();
+        // The wake must terminate the wait early and leave no events (the
+        // wake token is internal).
+        let started = Instant::now();
+        poller.wait(&mut events, Duration::from_secs(5)).expect("wait");
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert!(events.is_empty(), "wake token leaked: {events:?}");
+        handle.join().expect("join");
+    }
+
+    #[test]
+    fn poller_reports_listener_readiness() {
+        let mut poller = Poller::new().expect("poller");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.set_nonblocking(true).expect("nonblocking");
+        poller.register_listener(&listener, LISTENER_TOKEN).expect("register");
+        let _client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let mut events = Vec::new();
+        // Allow a couple of ticks for the connection to land.
+        for _ in 0..50 {
+            poller.wait(&mut events, Duration::from_millis(20)).expect("wait");
+            if events.iter().any(|e| e.token == LISTENER_TOKEN && e.readable) {
+                return;
+            }
+        }
+        panic!("listener readiness never reported: {events:?}");
+    }
+
+    #[test]
+    fn raise_nofile_limit_reports_a_sane_value() {
+        let limit = raise_nofile_limit(1 << 14);
+        assert!(limit >= 256, "implausible fd limit {limit}");
+    }
+}

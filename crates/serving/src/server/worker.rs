@@ -1,40 +1,150 @@
-//! Worker threads: receive queued connections and drive them to completion.
+//! Worker threads: execute dispatched requests and coalesced predict
+//! batches, pushing rendered responses back to the reactor.
 //!
-//! Each worker owns one [`RequestContext`] for its lifetime — scratch
-//! buffers and the session view are reused across every request the worker
-//! handles, so the steady-state request path allocates nothing and shares
-//! no mutable state with other workers.
+//! Each worker owns one [`RequestContext`] (for single requests) and one
+//! [`BatchContext`] (for coalesced batches) for its lifetime — scratch
+//! buffers, session views and per-member state are reused across every unit
+//! of work, so the steady-state request path allocates only its response.
 //!
-//! Shutdown needs no flag check here: the listener drops the channel sender
-//! when it stops accepting, the channel hands out the already-queued
-//! connections, and `recv` then errors — the worker drains its share of the
-//! backlog (each connection observes the drain state itself) and exits.
+//! Shutdown needs no flag check here: the reactor closes the
+//! [`DispatchQueue`] once the gate reaches STOPPED, `next_work` drains the
+//! backlog (every admitted request is still answered) and then returns
+//! `None`, and the worker exits.
 
-use std::net::TcpStream;
 use std::sync::Arc;
 
-use crossbeam::channel::Receiver;
-
 use crate::cluster::ServingCluster;
-use crate::context::RequestContext;
-use crate::sync::atomic::Ordering;
+use crate::context::{BatchContext, RequestContext};
+use crate::engine::RecommendRequest;
 
-use super::{conn, Shared};
+use super::conn::{self, CONTENT_TYPE_JSON};
+use super::dispatch::{Completion, CompletionQueue, Dispatch, DispatchKind, DispatchQueue, Work};
+use super::reactor::Waker;
+use super::Shared;
 
-pub(super) fn run(rx: Receiver<TcpStream>, cluster: Arc<ServingCluster>, shared: Arc<Shared>) {
+pub(super) fn run(
+    queue: Arc<DispatchQueue>,
+    completions: Arc<CompletionQueue>,
+    cluster: Arc<ServingCluster>,
+    shared: Arc<Shared>,
+    waker: Waker,
+) {
     let mut ctx = RequestContext::new();
-    while let Ok(stream) = rx.recv() {
-        // Order matters for the drain controller's quiescence check: the
-        // connection becomes `active` *before* its queue slot is released,
-        // so there is no window where it is counted in neither gauge and a
-        // concurrent drain could declare the server empty.
-        shared.active_connections.fetch_add(1, Ordering::SeqCst);
-        shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
-        let _ = conn::drive(stream, &shared, &cluster, &mut ctx);
-        shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+    let mut bctx = BatchContext::new();
+    let mut reqs: Vec<RecommendRequest> = Vec::new();
+    while let Some(work) = queue.next_work() {
+        match work {
+            Work::Single(dispatch) => {
+                run_single(dispatch, &completions, &cluster, &shared, &mut ctx);
+            }
+            Work::Batch(batch) => {
+                run_batch(batch, &completions, &cluster, &shared, &mut ctx, &mut bctx, &mut reqs);
+            }
+        }
+        // One readiness kick flushes every completion this unit produced.
+        waker.wake();
         if !shared.gate.is_running() {
-            // The drain controller may be waiting for active == 0.
+            // The drain controller may be waiting for inflight == 0.
             shared.wakeup.notify_all();
         }
     }
+}
+
+/// Executes one non-batched dispatch through the endpoint responder.
+fn run_single(
+    dispatch: Dispatch,
+    completions: &CompletionQueue,
+    cluster: &ServingCluster,
+    shared: &Shared,
+    ctx: &mut RequestContext,
+) {
+    ctx.set_deadline(dispatch.deadline);
+    let (status, body, content_type) = conn::respond(&dispatch.request, cluster, ctx);
+    shared.gate.finish_request();
+    let close = dispatch.close_hint || !shared.gate.is_running();
+    completions.push(Completion {
+        token: dispatch.token,
+        bytes: conn::render_response(status, &body, content_type, close, None),
+        close,
+    });
+}
+
+/// Executes one coalesced same-pod predict batch through the batch engine
+/// path, then completes every member individually. A panic anywhere in the
+/// batch maps to a `500` for every member (the unwind barrier the single
+/// path has, batch-wide).
+fn run_batch(
+    batch: Vec<Dispatch>,
+    completions: &CompletionQueue,
+    cluster: &ServingCluster,
+    shared: &Shared,
+    ctx: &mut RequestContext,
+    bctx: &mut BatchContext,
+    reqs: &mut Vec<RecommendRequest>,
+) {
+    reqs.clear();
+    let mut pod = None;
+    for dispatch in &batch {
+        if let DispatchKind::Predict { req, pod: p } = &dispatch.kind {
+            pod = Some(*p);
+            reqs.push(*req);
+        }
+    }
+    // The queue only coalesces predicts, so a mixed batch is an invariant
+    // violation — recover by executing each member singly rather than
+    // guessing at request/result alignment.
+    let Some(pod) = pod else {
+        for dispatch in batch {
+            run_single(dispatch, completions, cluster, shared, ctx);
+        }
+        return;
+    };
+    if reqs.len() != batch.len() {
+        for dispatch in batch {
+            run_single(dispatch, completions, cluster, shared, ctx);
+        }
+        return;
+    }
+    shared.metrics.record_batch_size(batch.len());
+    for (i, dispatch) in batch.iter().enumerate() {
+        let member = bctx.member_mut(i);
+        member.set_request_id(cluster.telemetry().next_request_id());
+        member.set_deadline(dispatch.deadline);
+    }
+    let outcome = conn::unwind_barrier(|| Ok(cluster.handle_batch(pod, reqs, bctx)));
+    match outcome {
+        Ok(results) => {
+            for (dispatch, result) in batch.iter().zip(results) {
+                let (status, body) = match result {
+                    Ok(recs) => (200, conn::render_recommendations(&recs)),
+                    Err(e) => conn::render_error(&e),
+                };
+                complete(dispatch, status, body, completions, shared);
+            }
+        }
+        Err(e) => {
+            let (status, body) = conn::render_error(&e);
+            for dispatch in &batch {
+                complete(dispatch, status, body.clone(), completions, shared);
+            }
+        }
+    }
+}
+
+/// Finishes one batch member: releases its admission slot and queues the
+/// rendered completion.
+fn complete(
+    dispatch: &Dispatch,
+    status: u16,
+    body: String,
+    completions: &CompletionQueue,
+    shared: &Shared,
+) {
+    shared.gate.finish_request();
+    let close = dispatch.close_hint || !shared.gate.is_running();
+    completions.push(Completion {
+        token: dispatch.token,
+        bytes: conn::render_response(status, &body, CONTENT_TYPE_JSON, close, None),
+        close,
+    });
 }

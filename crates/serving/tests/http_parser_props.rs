@@ -69,6 +69,39 @@ fn render_request(path: &str, body: &str, close: bool, bare_lf: bool) -> Vec<u8>
     wire.into_bytes()
 }
 
+/// The reactor delivers bytes as the kernel hands them over — in the worst
+/// case one at a time. Feed a pipelined keep-alive stream byte by byte,
+/// polling after every byte like `Connection::advance` does, and require
+/// the parser to resume mid-head and mid-body into exactly the whole-buffer
+/// parse: same requests, same order, same fields, and never more than one
+/// completed request per byte (a single byte can finish at most one frame).
+#[test]
+fn byte_by_byte_resumption_is_exact() {
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&render_request("recommend", r#"{"session_id":7,"item_id":3}"#, false, false));
+    wire.extend_from_slice(&render_request("status", "", false, true));
+    wire.extend_from_slice(&render_request("recommend", r#"{"session_id":9,"item_id":1}"#, true, false));
+    let limits = ParserLimits::default();
+    let whole = parse_whole(&wire, limits);
+    assert_eq!(whole.len(), 3, "whole-buffer feed must parse every request");
+
+    let mut parser = Parser::new(limits);
+    let mut out = Vec::new();
+    for (i, byte) in wire.iter().enumerate() {
+        parser.feed(std::slice::from_ref(byte));
+        let before = out.len();
+        loop {
+            match parser.poll() {
+                Poll::Request(r) => out.push(r),
+                Poll::NeedHead | Poll::NeedBody => break,
+                Poll::Reject(r) => panic!("byte {i} rejected a valid stream: {r:?}"),
+            }
+        }
+        assert!(out.len() - before <= 1, "one byte completed {} frames", out.len() - before);
+    }
+    assert_eq!(out, whole, "byte-by-byte resumption diverged from the whole-buffer parse");
+}
+
 proptest! {
     // Any chunking of a valid pipelined request stream parses to exactly
     // the whole-buffer result: same requests, same order, same fields.

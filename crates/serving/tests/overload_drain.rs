@@ -81,41 +81,101 @@ fn read_one_response<R: std::io::BufRead>(reader: &mut R) -> (u16, String) {
     (status, String::from_utf8(body).unwrap())
 }
 
-#[test]
-fn queue_overflow_sheds_deterministically_with_503_and_retry_after() {
-    let (server, _cluster) = start(HttpServerConfig {
-        workers: 1,
-        queue_capacity: 1,
-        ..HttpServerConfig::default()
-    });
+/// Writes one keep-alive `POST /recommend` frame for `session_id` without
+/// reading the response (so the dispatch sits in the server unanswered).
+fn write_predict(stream: &mut TcpStream, session_id: u64) {
+    let body = format!(r#"{{"session_id": {session_id}, "item_id": 0, "consent": true}}"#);
+    write!(
+        stream,
+        "POST /recommend HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    stream.flush().unwrap();
+}
 
-    // Occupy the single worker: after a full round-trip this connection is
-    // provably being driven (not queued).
-    let mut held = HttpClient::connect(server.addr()).unwrap();
-    assert_eq!(post_recommend(&mut held).0, 200);
-
-    // Fill the one queue slot and wait until the listener has accounted it.
-    let _queued = TcpStream::connect(server.addr()).unwrap();
+/// Polls the cluster registry (in-process — no HTTP round-trip, so it works
+/// while every worker is busy) until the dispatch-queue depth gauge reads
+/// `want`.
+fn await_queue_depth(cluster: &ServingCluster, want: f64) {
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {
-        let (status, body) = held.get("/metrics").unwrap();
-        assert_eq!(status, 200);
-        let exposition = serenade_telemetry::parse(&body).unwrap();
-        if exposition.value("serenade_http_queue_depth", &[]) == Some(1.0) {
-            break;
+        let text = cluster.telemetry().registry().render();
+        let exposition = serenade_telemetry::parse(&text).unwrap();
+        if exposition.value("serenade_http_queue_depth", &[]) == Some(want) {
+            return;
         }
-        assert!(Instant::now() < deadline, "queue depth never reached 1");
+        assert!(Instant::now() < deadline, "queue depth never reached {want}");
         std::thread::yield_now();
     }
+}
 
-    // The next connection is over capacity: shed at the accept gate with
-    // 503 + retry-after, before it ever reaches a worker.
-    let response = raw_exchange(server.addr(), "");
-    assert!(response.starts_with("HTTP/1.1 503"), "{response}");
-    assert!(response.contains("retry-after: 1"), "{response}");
-    assert!(response.contains("connection: close"), "{response}");
-    assert!(response.contains("overloaded"), "{response}");
+#[test]
+fn queue_overflow_sheds_deterministically_with_503_and_retry_after() {
+    // Determinism on the event loop: the single worker picks up a pod-0
+    // predict and sits in its batch gather window waiting for same-pod
+    // company; a pod-1 predict then occupies the one dispatch-queue slot,
+    // and the next request overflows the queue and is shed on the reactor
+    // thread with 503 + retry-after — the connection stays usable.
+    let cluster = cluster(2);
+    let server = HttpServer::serve(
+        Arc::clone(&cluster),
+        HttpServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            max_batch_size: 16,
+            max_batch_delay: Duration::from_secs(2),
+            ..HttpServerConfig::default()
+        },
+    )
+    .unwrap();
+    let sid_a = (0..u64::MAX).find(|s| cluster.pod_index_for(*s) == 0).unwrap();
+    let sid_b = (0..u64::MAX).find(|s| cluster.pod_index_for(*s) == 1).unwrap();
+
+    // Admitted, then taken by the worker: the queue is empty again while
+    // the worker gathers.
+    let mut held_a = TcpStream::connect(server.addr()).unwrap();
+    held_a.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write_predict(&mut held_a, sid_a);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.metrics().requests.get() < 1 {
+        assert!(Instant::now() < deadline, "pod-0 predict never admitted");
+        std::thread::yield_now();
+    }
+    await_queue_depth(&cluster, 0.0);
+
+    // A pod-1 predict cannot join the pod-0 gather: it fills the slot.
+    let mut held_b = TcpStream::connect(server.addr()).unwrap();
+    held_b.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write_predict(&mut held_b, sid_b);
+    await_queue_depth(&cluster, 1.0);
+
+    // Over capacity: shed with 503 + retry-after, connection kept alive.
+    let mut shed = TcpStream::connect(server.addr()).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write_predict(&mut shed, sid_b);
+    let mut reader = BufReader::new(shed.try_clone().unwrap());
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        if line.trim_end().is_empty() {
+            break;
+        }
+        head.push_str(&line);
+    }
+    assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+    assert!(head.contains("retry-after: 1"), "{head}");
+    assert!(head.contains("connection: keep-alive"), "{head}");
     assert_eq!(server.metrics().shed_queue_full.get(), 1);
+
+    // Nothing was dropped: both held predicts are answered once their
+    // batches execute (the gather window expires without more traffic).
+    for stream in [held_a, held_b] {
+        let mut reader = BufReader::new(stream);
+        let (status, body) = read_one_response(&mut reader);
+        assert_eq!(status, 200, "{body}");
+    }
     server.shutdown();
 }
 
@@ -215,6 +275,76 @@ fn drain_reaps_idle_connections_and_joins_quickly() {
         ),
         "unexpected error kind: {err:?}"
     );
+}
+
+#[test]
+fn connection_cap_sheds_at_the_accept_gate_with_503() {
+    let (server, _cluster) = start(HttpServerConfig {
+        max_connections: 1,
+        ..HttpServerConfig::default()
+    });
+    // Connection 1 is registered (a full round-trip proves it).
+    let mut held = HttpClient::connect(server.addr()).unwrap();
+    assert_eq!(post_recommend(&mut held).0, 200);
+
+    // Over the cap: answered 503 + retry-after and closed, never registered.
+    let response = raw_exchange(server.addr(), "GET /health HTTP/1.1\r\n\r\n");
+    assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+    assert!(response.contains("retry-after: 1"), "{response}");
+    assert!(response.contains("connection: close"), "{response}");
+    assert_eq!(server.metrics().shed_connections.get(), 1);
+
+    // The held connection is unaffected, and closing it frees capacity.
+    assert_eq!(post_recommend(&mut held).0, 200);
+    drop(held);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.open_connections() != 0 {
+        assert!(Instant::now() < deadline, "closed connection never deregistered");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut fresh = HttpClient::connect(server.addr()).unwrap();
+    assert_eq!(fresh.get("/health").unwrap().0, 200);
+    server.shutdown();
+}
+
+#[test]
+fn drain_reaps_many_parked_idle_connections_immediately() {
+    let (server, _cluster) = start(HttpServerConfig {
+        workers: 2,
+        // Long grace and idle timeout: if the drain relied on either (or on
+        // per-connection readiness) instead of the parked-set reap, this
+        // test would stall well past the assertion bound.
+        drain_grace: Duration::from_secs(10),
+        idle_timeout: Duration::from_secs(60),
+        ..HttpServerConfig::default()
+    });
+    // A mix of served-then-idle and never-spoke connections, all parked.
+    let mut served: Vec<HttpClient> = (0..16)
+        .map(|_| {
+            let mut c = HttpClient::connect(server.addr()).unwrap();
+            assert_eq!(c.get("/health").unwrap().0, 200);
+            c
+        })
+        .collect();
+    let silent: Vec<TcpStream> =
+        (0..16).map(|_| TcpStream::connect(server.addr()).unwrap()).collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.open_connections() < 32 {
+        assert!(Instant::now() < deadline, "connections never all registered");
+        std::thread::yield_now();
+    }
+
+    let t0 = Instant::now();
+    server.shutdown();
+    let drain_time = t0.elapsed();
+    assert!(
+        drain_time < Duration::from_secs(2),
+        "32 parked idle connections must be reaped immediately, took {drain_time:?}"
+    );
+    for c in &mut served {
+        assert!(c.get("/health").is_err(), "reaped connection still answered");
+    }
+    drop(silent);
 }
 
 #[test]

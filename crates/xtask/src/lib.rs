@@ -60,7 +60,8 @@ const REQUEST_PATH_MODULES: &[&str] = &[
     "crates/serving/src/server/parser.rs",
     "crates/serving/src/server/conn.rs",
     "crates/serving/src/server/lifecycle.rs",
-    "crates/serving/src/server/listener.rs",
+    "crates/serving/src/server/reactor.rs",
+    "crates/serving/src/server/dispatch.rs",
     "crates/serving/src/server/worker.rs",
     "crates/serving/src/server/metrics.rs",
     "crates/serving/src/cluster.rs",
@@ -906,7 +907,8 @@ mod tests {
             "crates/serving/src/server/parser.rs",
             "crates/serving/src/server/conn.rs",
             "crates/serving/src/server/lifecycle.rs",
-            "crates/serving/src/server/listener.rs",
+            "crates/serving/src/server/reactor.rs",
+            "crates/serving/src/server/dispatch.rs",
             "crates/serving/src/server/worker.rs",
             "crates/serving/src/server/metrics.rs",
         ] {
@@ -1024,6 +1026,33 @@ mod tests {
         let src = "impl C {\n    pub fn record_hit_duration(&self) { self.tags.push(1); }\n}\n";
         let v = lint("crates/serving/src/cache.rs", src);
         assert!(v.iter().any(|x| x.rule == "record-no-alloc"), "{v:?}");
+    }
+
+    /// The reactor owns the workspace's raw syscall surface: every epoll
+    /// wrapper is `unsafe` and must carry its SAFETY argument, and a poll
+    /// loop that sleeps stalls every multiplexed connection at once (R4).
+    #[test]
+    fn reactor_requires_safety_comments_and_may_not_sleep() {
+        let src = "fn wait() -> i64 {\n    unsafe { syscall4(SYS_EPOLL_WAIT, 0, 0, 0, 0) }\n}\n";
+        let v = lint("crates/serving/src/server/reactor.rs", src);
+        assert!(v.iter().any(|x| x.rule == "safety-comment"), "{v:?}");
+        let src = "fn tick() { std::thread::sleep(std::time::Duration::from_millis(1)); }\n";
+        let v = lint("crates/serving/src/server/reactor.rs", src);
+        assert!(v.iter().any(|x| x.rule == "no-sleep"), "{v:?}");
+    }
+
+    /// The dispatch queue's gather window must come from condvar timeouts,
+    /// never a sleep (R4), and its lock recovery must not panic (R2): a
+    /// worker that dies in `next_work` silently strands every queued
+    /// request behind it.
+    #[test]
+    fn dispatch_queue_is_panic_free_and_sleepless() {
+        let src = "fn next(q: &Q) -> W {\n    q.inner.lock().unwrap()\n}\n";
+        let v = lint("crates/serving/src/server/dispatch.rs", src);
+        assert!(v.iter().any(|x| x.rule == "no-panic-request-path"), "{v:?}");
+        let src = "fn gather() { std::thread::sleep(WINDOW); }\n";
+        let v = lint("crates/serving/src/server/dispatch.rs", src);
+        assert!(v.iter().any(|x| x.rule == "no-sleep"), "{v:?}");
     }
 
     /// The acceptance-criteria fixture: an uncommented `unsafe` block plus

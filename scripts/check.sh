@@ -29,6 +29,12 @@ cargo test -q -p serenade-serving --test cache_rollover
 echo "==> index conformance: randomized differential properties (core vs compressed vs incremental)"
 cargo test -q -p serenade-index --test differential_props
 
+echo "==> core conformance: batch scoring bit-identical to sequential (randomized differential)"
+cargo test -q -p serenade-core --test batch_differential_props
+
+echo "==> server SLA gate: coalesced-batch speedup + p99 vs committed BENCH_server.json (>10% fails)"
+cargo bench -q -p serenade-bench --bench server_batch -- --check
+
 echo "==> loom models: serving (IndexHandle publication, drain handshake, stats stripes)"
 cargo test -q -p serenade-serving --features loom
 
@@ -49,5 +55,8 @@ cargo test -q -p serenade-serving --features "loom mutation-weak-admission" --te
 
 echo "==> mutation kill: prediction cache generation check dropped"
 cargo test -q -p serenade-serving --features "loom mutation-skip-generation-check" --test loom_models
+
+echo "==> mutation kill: drain-side reap of parked connections skipped"
+cargo test -q -p serenade-serving --features "loom mutation-skip-parked-reap" --test loom_models
 
 echo "All checks passed."
