@@ -29,6 +29,7 @@ fn run_vmis(vmis: &VmisKnn, sessions: &[Session], threads: usize) -> f64 {
             scope.spawn(|_| {
                 let mut scratch = vmis.scratch();
                 loop {
+                    // ORDERING: work-stealing ticket counter, partner: none.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(s) = sessions.get(i) else { break };
                     std::hint::black_box(vmis.neighbors_with_scratch(&s.items, &mut scratch));
@@ -46,6 +47,7 @@ fn run_vsknn(vs: &VsKnnBaseline, sessions: &[Session], threads: usize) -> f64 {
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
+                // ORDERING: work-stealing ticket counter, partner: none.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(s) = sessions.get(i) else { break };
                 std::hint::black_box(vs.neighbors(&s.items));

@@ -156,6 +156,8 @@ impl<K: Hash + Eq, V, C: Clock> TtlStore<K, V, C> {
             Some(entry.value)
         } else {
             drop(shard);
+            // ORDERING: statistical counter with no partner; readers take
+            // racy snapshots (see `expiry_counts`).
             self.expired.fetch_add(1, Ordering::Relaxed);
             None
         }
@@ -183,6 +185,7 @@ impl<K: Hash + Eq, V, C: Clock> TtlStore<K, V, C> {
             Some(_) => {
                 shard.remove(key);
                 drop(shard);
+                // ORDERING: statistical counter, partner: none.
                 self.expired.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -210,6 +213,7 @@ impl<K: Hash + Eq, V, C: Clock> TtlStore<K, V, C> {
                 if entry.expires_at_ms <= now {
                     // Expired: restart from the default value.
                     entry.value = default();
+                    // ORDERING: statistical counter, partner: none.
                     self.expired.fetch_add(1, Ordering::Relaxed);
                 }
                 entry.expires_at_ms = expires;
@@ -232,6 +236,7 @@ impl<K: Hash + Eq, V, C: Clock> TtlStore<K, V, C> {
             shard.retain(|_, e| e.expires_at_ms > now);
             evicted += before - shard.len();
         }
+        // ORDERING: statistical counter with no partner; racy reads only.
         self.swept.fetch_add(evicted as u64, Ordering::Relaxed);
         evicted
     }
@@ -247,14 +252,16 @@ impl<K: Hash + Eq, V, C: Clock> TtlStore<K, V, C> {
         StoreStats {
             live_entries: live,
             shards: self.shards.len(),
-            expired: self.expired.load(Ordering::Relaxed),
-            swept: self.swept.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed), // ORDERING: racy statistical read, partner: none
+            swept: self.swept.load(Ordering::Relaxed), // ORDERING: racy statistical read, partner: none
         }
     }
 
     /// Cumulative `(lazily expired, swept)` reclamation counts — the inputs
     /// for the serving layer's eviction counters. Lock-free.
     pub fn expiry_counts(&self) -> (u64, u64) {
+        // ORDERING: racy statistical reads (partner: none); callers diff
+        // successive snapshots and tolerate in-flight updates.
         (self.expired.load(Ordering::Relaxed), self.swept.load(Ordering::Relaxed))
     }
 

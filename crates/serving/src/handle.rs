@@ -69,10 +69,15 @@ mod ord {
 #[cfg(feature = "mutation-weak-orderings")]
 mod ord {
     use super::Ordering;
+    // ORDERING: deliberately *wrong* partner set — the pin (Relaxed) no
+    // longer participates in the SeqCst total order the Dekker-style
+    // pin/swap handshake needs, so the loom model can catch the writer
+    // freeing an index a pinned reader still sees. Compiled only under the
+    // `mutation-weak-orderings` feature; never in production builds.
     pub const PIN: Ordering = Ordering::Relaxed;
-    pub const PTR_LOAD: Ordering = Ordering::Acquire;
-    pub const PTR_SWAP: Ordering = Ordering::AcqRel;
-    pub const GUARD_WAIT: Ordering = Ordering::Acquire;
+    pub const PTR_LOAD: Ordering = Ordering::Acquire; // ORDERING: seeded mutation, see module comment
+    pub const PTR_SWAP: Ordering = Ordering::AcqRel; // ORDERING: seeded mutation, see module comment
+    pub const GUARD_WAIT: Ordering = Ordering::Acquire; // ORDERING: seeded mutation, see module comment
 }
 
 /// Pads a guard counter to its own cache line to prevent false sharing.
@@ -130,9 +135,10 @@ impl<T> IndexHandle<T> {
             Arc::increment_strong_count(ptr);
             Arc::from_raw(ptr)
         };
-        // Release is sufficient for the unpin: it keeps the strong-count
-        // increment above ordered before the guard drop that lets the
-        // writer proceed; nothing after this line touches the pointee.
+        // ORDERING: Release pairs with the writer's `GUARD_WAIT` drain
+        // loads in `store` — it keeps the strong-count increment above
+        // ordered before the guard drop that lets the writer proceed;
+        // nothing after this line touches the pointee.
         guard.fetch_sub(1, Ordering::Release);
         value
     }
@@ -199,8 +205,9 @@ impl<T> IndexHandle<T> {
 
 impl<T> Drop for IndexHandle<T> {
     fn drop(&mut self) {
-        // Relaxed is enough: `&mut self` proves no reader or writer is
-        // concurrent with the drop, so there is nothing to order against.
+        // ORDERING: Relaxed with no partner: `&mut self` proves no reader
+        // or writer is concurrent with the drop, so there is nothing to
+        // order against.
         //
         // SAFETY: `current` always holds the pointer leaked by the
         // `Arc::into_raw` of the most recent `new`/`store` publication, and

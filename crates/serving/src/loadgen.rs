@@ -249,6 +249,7 @@ pub fn run_load_test(
                     // across all requests this worker fires.
                     let mut ctx = RequestContext::new();
                     loop {
+                        // ORDERING: shared request ticket, partner: none.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         // Terminate on the un-jittered base offset so the
                         // request *count* is independent of the seed; jitter
@@ -479,6 +480,7 @@ pub fn run_overload_test(
                             }
                             continue;
                         };
+                        // ORDERING: shared request ticket, partner: none.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let req = traffic[i % traffic.len()];
                         let body = format!(
@@ -678,6 +680,7 @@ pub fn run_connection_ramp(
                         while start.elapsed() < config.step_duration {
                             let slot = &mut chunk[pos % chunk.len()];
                             pos += 1;
+                            // ORDERING: shared request ticket, partner: none.
                             let i = sent.fetch_add(1, Ordering::Relaxed);
                             let req = traffic[i % traffic.len()];
                             let body = format!(

@@ -44,6 +44,10 @@ const STOPPED: usize = 2;
 /// model can demonstrate the resulting lost-request interleaving.
 #[cfg(not(feature = "mutation-weak-admission"))]
 const HANDSHAKE: Ordering = Ordering::SeqCst;
+// ORDERING: deliberately *wrong*, no partner — the seeded mutation drops
+// the SeqCst fence pairing between `begin_drain` and `try_begin_request`
+// so the loom admission model can demonstrate the lost-request
+// interleaving. Compiled only under `mutation-weak-admission`.
 #[cfg(feature = "mutation-weak-admission")]
 const HANDSHAKE: Ordering = Ordering::Relaxed;
 

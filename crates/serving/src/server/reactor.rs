@@ -937,9 +937,14 @@ impl Reactor {
                 let close_hint = client_close || (keepalive_cap != 0 && served >= keepalive_cap);
                 let kind = classify(&request, &self.cluster);
                 let dispatch = Dispatch { token, request, kind, deadline, close_hint };
+                // Count the admission BEFORE handing the dispatch to the
+                // worker pool: a worker can pop it and render `/metrics`
+                // before the reactor resumes, and the exposition must
+                // already include the request being served. (Queue-full
+                // pushes stay counted too — they did pass the gate.)
+                self.shared.metrics.requests.inc();
                 match self.queue.push(dispatch) {
                     Ok(()) => {
-                        self.shared.metrics.requests.inc();
                         self.set_state(token, ConnState::Handling);
                         if let Some(conn) = self.slab.get_mut(token) {
                             conn.busy = true;

@@ -71,6 +71,8 @@ mod imp {
         n: usize,
     ) -> usize {
         cell.with(|c| {
+            // ORDERING: round-robin ticket counter with no partner; slot
+            // assignment needs uniqueness, not ordering.
             *c.get_or_init(|| counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed))
         }) % n
     }

@@ -83,6 +83,8 @@ impl ClusterTelemetry {
     /// Allocates the next request id (monotone, starting at 1; 0 means
     /// "unassigned" throughout the pipeline).
     pub fn next_request_id(&self) -> u64 {
+        // ORDERING: id allocator with no partner; ids must be unique, not
+        // ordered with any other memory.
         self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1
     }
 

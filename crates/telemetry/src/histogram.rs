@@ -147,10 +147,13 @@ impl Histogram {
     pub fn record_us(&self, value_us: u64) {
         let v = value_us.min(self.clamp);
         let shard = &self.shards[shard_slot(self.shards.len())];
+        // ORDERING: statistical counters with no partner; `snapshot` merges
+        // racy per-shard reads and tolerates torn cross-field views (a
+        // count/sum skew of a few in-flight observations).
         shard.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        shard.sum_us.fetch_add(v, Ordering::Relaxed);
-        shard.min_us.fetch_min(v, Ordering::Relaxed);
-        shard.max_us.fetch_max(v, Ordering::Relaxed);
+        shard.sum_us.fetch_add(v, Ordering::Relaxed); // ORDERING: see buckets above
+        shard.min_us.fetch_min(v, Ordering::Relaxed); // ORDERING: see buckets above
+        shard.max_us.fetch_max(v, Ordering::Relaxed); // ORDERING: see buckets above
     }
 
     /// Records one observation given as a [`std::time::Duration`].
@@ -165,10 +168,13 @@ impl Histogram {
     pub fn record_us_in_shard(&self, shard: usize, value_us: u64) {
         let v = value_us.min(self.clamp);
         let shard = &self.shards[shard % self.shards.len()];
+        // ORDERING: statistical counters with no partner; `snapshot` merges
+        // racy per-shard reads and tolerates torn cross-field views (a
+        // count/sum skew of a few in-flight observations).
         shard.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        shard.sum_us.fetch_add(v, Ordering::Relaxed);
-        shard.min_us.fetch_min(v, Ordering::Relaxed);
-        shard.max_us.fetch_max(v, Ordering::Relaxed);
+        shard.sum_us.fetch_add(v, Ordering::Relaxed); // ORDERING: see buckets above
+        shard.min_us.fetch_min(v, Ordering::Relaxed); // ORDERING: see buckets above
+        shard.max_us.fetch_max(v, Ordering::Relaxed); // ORDERING: see buckets above
     }
 
     /// Number of shards (for tests and capacity accounting).
@@ -195,11 +201,13 @@ impl Histogram {
         let mut max = 0u64;
         for shard in self.shards.iter() {
             for (i, c) in shard.buckets.iter().enumerate() {
+                // ORDERING: racy statistical read (partner: none); the
+                // snapshot is advisory and tolerates in-flight updates.
                 counts[i] += c.load(Ordering::Relaxed);
             }
-            sum = sum.wrapping_add(shard.sum_us.load(Ordering::Relaxed));
-            min = min.min(shard.min_us.load(Ordering::Relaxed));
-            max = max.max(shard.max_us.load(Ordering::Relaxed));
+            sum = sum.wrapping_add(shard.sum_us.load(Ordering::Relaxed)); // ORDERING: racy statistical read, partner: none
+            min = min.min(shard.min_us.load(Ordering::Relaxed)); // ORDERING: racy statistical read, partner: none
+            max = max.max(shard.max_us.load(Ordering::Relaxed)); // ORDERING: racy statistical read, partner: none
         }
         let count: u64 = counts.iter().sum();
         HistogramSnapshot { counts, count, sum_us: sum, min_us: min, max_us: max }

@@ -42,17 +42,22 @@ impl Counter {
     /// Adds one.
     #[inline]
     pub fn inc(&self) {
+        // ORDERING: monotonic counter with no partner; scrapes read a racy
+        // snapshot and only need eventual visibility.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ORDERING: monotonic counter with no partner (see `inc`).
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ORDERING: racy counter read (partner: none); scrape-time skew of
+        // in-flight increments is acceptable.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -76,11 +81,14 @@ impl Gauge {
     /// Sets the value.
     #[inline]
     pub fn set(&self, v: u64) {
+        // ORDERING: standalone gauge write with no partner; no data is
+        // published under this value.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ORDERING: racy gauge read, partner: none.
         self.0.load(Ordering::Relaxed)
     }
 }

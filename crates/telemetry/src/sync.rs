@@ -39,6 +39,8 @@ mod imp {
         }
         static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
         SLOT.with(|c| {
+            // ORDERING: round-robin ticket counter with no partner; shard
+            // choice needs uniqueness, not ordering.
             *c.get_or_init(|| NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed))
         }) % shards
     }

@@ -119,19 +119,25 @@ impl TraceRing {
 
     /// Adjusts the sampling knob at runtime (0 disables tracing).
     pub fn set_sample_every(&self, n: u64) {
+        // ORDERING: standalone knob with no partner; `record` tolerates a
+        // stale value (it only skews the sample rate for a few requests).
         self.sample_every.store(n, Ordering::Relaxed);
     }
 
     /// Adjusts the slow threshold (microseconds) at runtime.
     pub fn set_slow_threshold_us(&self, us: u64) {
+        // ORDERING: standalone knob with no partner; a stale threshold only
+        // mis-filters a few samples.
         self.slow_threshold_us.store(us, Ordering::Relaxed);
     }
 
     /// Current `(sample_every, slow_threshold_us)` knob values.
     pub fn knobs(&self) -> (u64, u64) {
+        // ORDERING: standalone knob reads, partnered with nothing; the
+        // setters publish no data under these values.
         (
             self.sample_every.load(Ordering::Relaxed),
-            self.slow_threshold_us.load(Ordering::Relaxed),
+            self.slow_threshold_us.load(Ordering::Relaxed), // ORDERING: standalone knob read, partner: none
         )
     }
 
@@ -141,31 +147,41 @@ impl TraceRing {
     /// another writer on its slot.
     #[inline]
     pub fn record(&self, sample: &TraceSample) {
+        // ORDERING: standalone knob read (partner: none); staleness only
+        // skews the sampling rate.
         let every = self.sample_every.load(Ordering::Relaxed);
         if every == 0 {
             return;
         }
+        // ORDERING: ticket counter only (partner: none); slot data is
+        // published by the version seqlock below, never by this counter.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         if seq % every != 0 {
             return;
         }
+        // ORDERING: standalone knob read (partner: none).
         if sample.total_us < self.slow_threshold_us.load(Ordering::Relaxed) {
             return;
         }
         let slot = &self.slots[(seq / every) as usize % self.slots.len()];
+        // ORDERING: pairs with the `busy.store(0, Release)` below; winning
+        // the slot happens-after the previous owner's writes, so two
+        // writers can never interleave stores into one slot.
         if slot.busy.swap(1, Ordering::Acquire) == 1 {
             return;
         }
         slot.version.fetch_add(1, Ordering::SeqCst); // now odd: mid-write
-        slot.request_id.store(sample.request_id, Ordering::Relaxed);
-        slot.total_us.store(sample.total_us, Ordering::Relaxed);
-        slot.session_us.store(sample.session_us, Ordering::Relaxed);
-        slot.predict_us.store(sample.predict_us, Ordering::Relaxed);
-        slot.policy_us.store(sample.policy_us, Ordering::Relaxed);
-        slot.session_len.store(sample.session_len, Ordering::Relaxed);
+        slot.request_id.store(sample.request_id, Ordering::Release); // ORDERING: pairs with snapshot's Acquire load
+        slot.total_us.store(sample.total_us, Ordering::Release); // ORDERING: pairs with snapshot's Acquire load
+        slot.session_us.store(sample.session_us, Ordering::Release); // ORDERING: pairs with snapshot's Acquire load
+        slot.predict_us.store(sample.predict_us, Ordering::Release); // ORDERING: pairs with snapshot's Acquire load
+        slot.policy_us.store(sample.policy_us, Ordering::Release); // ORDERING: pairs with snapshot's Acquire load
+        slot.session_len.store(sample.session_len, Ordering::Release); // ORDERING: pairs with snapshot's Acquire load
         let flags = if sample.depersonalised { FLAG_DEPERSONALISED } else { 0 };
-        slot.flags.store(flags, Ordering::Relaxed);
+        slot.flags.store(flags, Ordering::Release); // ORDERING: pairs with snapshot's Acquire load
         slot.version.fetch_add(1, Ordering::SeqCst); // even again: published
+        // ORDERING: pairs with the next writer's `busy.swap(1, Acquire)`
+        // above, handing the slot over with all our stores visible.
         slot.busy.store(0, Ordering::Release);
     }
 
@@ -180,13 +196,16 @@ impl TraceRing {
                 continue;
             }
             let sample = TraceSample {
-                request_id: slot.request_id.load(Ordering::Relaxed),
-                total_us: slot.total_us.load(Ordering::Relaxed),
-                session_us: slot.session_us.load(Ordering::Relaxed),
-                predict_us: slot.predict_us.load(Ordering::Relaxed),
-                policy_us: slot.policy_us.load(Ordering::Relaxed),
-                session_len: slot.session_len.load(Ordering::Relaxed),
-                depersonalised: slot.flags.load(Ordering::Relaxed) & FLAG_DEPERSONALISED != 0,
+                // ORDERING: Acquire data loads pair with `record`'s Release
+                // stores and keep the closing `version` re-check below from
+                // being hoisted above them — the seqlock's read bracket.
+                request_id: slot.request_id.load(Ordering::Acquire),
+                total_us: slot.total_us.load(Ordering::Acquire), // ORDERING: see request_id above
+                session_us: slot.session_us.load(Ordering::Acquire), // ORDERING: see request_id above
+                predict_us: slot.predict_us.load(Ordering::Acquire), // ORDERING: see request_id above
+                policy_us: slot.policy_us.load(Ordering::Acquire), // ORDERING: see request_id above
+                session_len: slot.session_len.load(Ordering::Acquire), // ORDERING: see request_id above
+                depersonalised: slot.flags.load(Ordering::Acquire) & FLAG_DEPERSONALISED != 0, // ORDERING: see request_id above
             };
             if slot.version.load(Ordering::SeqCst) == v1 {
                 out.push(sample);
@@ -201,8 +220,8 @@ impl std::fmt::Debug for TraceRing {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TraceRing")
             .field("slots", &self.slots.len())
-            .field("sample_every", &self.sample_every.load(Ordering::Relaxed))
-            .field("slow_threshold_us", &self.slow_threshold_us.load(Ordering::Relaxed))
+            .field("sample_every", &self.sample_every.load(Ordering::Relaxed)) // ORDERING: debug knob read, partner: none
+            .field("slow_threshold_us", &self.slow_threshold_us.load(Ordering::Relaxed)) // ORDERING: debug knob read, partner: none
             .finish()
     }
 }

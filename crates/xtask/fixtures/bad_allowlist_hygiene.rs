@@ -1,0 +1,8 @@
+// Allowlist hygiene: a malformed entry and an entry that waives nothing
+// are both findings, so the exception list can only shrink.
+// path: crates/app/src/lib.rs
+// allow: reactor-blocking :: crates/app/src/lib.rs :: Nope::missing :: `.lock(` :: waives nothing, must be reported stale
+// allow: this line is missing its separators
+// expect: analyze-allowlist-stale
+// expect: analyze-allowlist-format
+pub fn noop() {}

@@ -1,0 +1,11 @@
+// An ORDERING comment separated from its statement by a blank line does
+// not count: attachment must be adjacent, same as the SAFETY rule.
+// path: crates/app/src/ticket.rs
+// expect: atomic-ordering-comment
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn tick(c: &AtomicU64) -> u64 {
+    // ORDERING: ticket counter, partner: none.
+
+    c.fetch_add(1, Ordering::Relaxed)
+}

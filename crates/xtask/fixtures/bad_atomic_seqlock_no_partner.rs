@@ -1,0 +1,26 @@
+// Mis-ordered seqlock: the writer publishes `data` with a Relaxed store,
+// so the reader's Acquire load synchronises with nothing — the classic
+// "annotated but still wrong" shape the partner rule exists for.
+// path: crates/app/src/seqlock.rs
+// expect: atomic-acquire-partner
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Cell {
+    seq: AtomicU64,
+    data: AtomicU64,
+}
+
+impl Cell {
+    pub fn write(&self, v: u64) {
+        self.seq.fetch_add(1, Ordering::SeqCst);
+        // ORDERING: (wrong) relaxed publish — the seeded bug under test.
+        self.data.store(v, Ordering::Relaxed);
+        self.seq.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn read(&self) -> u64 {
+        // ORDERING: claims to pair with the writer's `data` store, but that
+        // store is Relaxed: no Release partner exists.
+        self.data.load(Ordering::Acquire)
+    }
+}

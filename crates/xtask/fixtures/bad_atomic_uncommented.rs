@@ -1,0 +1,8 @@
+// A non-SeqCst ordering with no `// ORDERING:` comment.
+// path: crates/app/src/metrics.rs
+// expect: atomic-ordering-comment
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

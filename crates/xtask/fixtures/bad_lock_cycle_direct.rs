@@ -1,0 +1,24 @@
+// Seeded deadlock: `forward` and `backward` acquire the same two mutexes in
+// opposite orders, so two threads can each hold one and wait on the other.
+// path: crates/app/src/locks.rs
+// expect: lock-order-cycle
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga + *gb
+    }
+}

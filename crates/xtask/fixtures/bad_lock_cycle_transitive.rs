@@ -1,0 +1,35 @@
+// Seeded deadlock, one call hop deep: `ingest` holds `front` while a callee
+// takes `back`; `flush` holds `back` while a callee takes `front`. The
+// cycle only exists through the call graph.
+// path: crates/app/src/pipeline.rs
+// expect: lock-order-cycle
+use std::sync::Mutex;
+
+pub struct Sys {
+    front: Mutex<Vec<u32>>,
+    back: Mutex<Vec<u32>>,
+}
+
+impl Sys {
+    fn drain_back(&self) {
+        let g = self.back.lock().unwrap();
+        drop(g);
+    }
+
+    fn drain_front(&self) {
+        let g = self.front.lock().unwrap();
+        drop(g);
+    }
+
+    pub fn ingest(&self) {
+        let g = self.front.lock().unwrap();
+        self.drain_back();
+        drop(g);
+    }
+
+    pub fn flush(&self) {
+        let g = self.back.lock().unwrap();
+        self.drain_front();
+        drop(g);
+    }
+}

@@ -1,0 +1,21 @@
+// The blocking call hides one hop below the lock holder: `reap` holds
+// `jobs` while `backoff` sleeps.
+// path: crates/app/src/pool.rs
+// expect: lock-held-across-blocking
+use std::sync::Mutex;
+
+pub struct Pool {
+    jobs: Mutex<Vec<u64>>,
+}
+
+impl Pool {
+    fn backoff(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    pub fn reap(&self) {
+        let g = self.jobs.lock().unwrap();
+        self.backoff();
+        drop(g);
+    }
+}

@@ -1,0 +1,16 @@
+// A guard held across a sleep convoys every thread that needs the lock.
+// path: crates/app/src/worker.rs
+// expect: lock-held-across-blocking
+use std::sync::Mutex;
+
+pub struct Worker {
+    state: Mutex<u64>,
+}
+
+impl Worker {
+    pub fn drain(&self) {
+        let mut g = self.state.lock().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        *g += 1;
+    }
+}

@@ -1,0 +1,15 @@
+// The event-loop tick sleeps directly.
+// path: crates/app/src/evloop.rs
+// root: crates/app/src/evloop.rs :: EventLoop::run
+// expect: reactor-blocking
+pub struct EventLoop {
+    live: bool,
+}
+
+impl EventLoop {
+    pub fn run(&self) {
+        while self.live {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+}

@@ -1,0 +1,9 @@
+// The configured event-loop root does not exist: with require_roots set
+// (as in the live workspace) that is itself a finding, so a renamed or
+// deleted reactor cannot silently disable the rule.
+// path: crates/app/src/evloop.rs
+// root: crates/app/src/evloop.rs :: EventLoop::run
+// expect: reactor-blocking
+pub fn unrelated() -> u32 {
+    7
+}

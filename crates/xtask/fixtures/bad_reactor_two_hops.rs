@@ -1,0 +1,33 @@
+// The blocking call is smuggled two resolved call hops below the tick:
+// run -> forward -> Queue::push_blocking, which takes a mutex and sleeps.
+// path: crates/app/src/evloop.rs
+// root: crates/app/src/evloop.rs :: EventLoop::run
+// expect: reactor-blocking
+use std::sync::Mutex;
+
+pub struct Queue {
+    inner: Mutex<Vec<u64>>,
+}
+
+impl Queue {
+    fn push_blocking(&self, v: u64) {
+        let mut g = self.inner.lock().unwrap();
+        g.push(v);
+        drop(g);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+pub struct EventLoop {
+    q: Queue,
+}
+
+impl EventLoop {
+    fn forward(&self, v: u64) {
+        self.q.push_blocking(v);
+    }
+
+    pub fn run(&self) {
+        self.forward(1);
+    }
+}

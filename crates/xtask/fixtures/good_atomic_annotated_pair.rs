@@ -1,0 +1,27 @@
+// Weak orderings done right: every non-SeqCst site carries an ORDERING
+// comment and the Acquire loads have Release store partners on the same
+// fields.
+// path: crates/app/src/publish.rs
+// expect: none
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Publisher {
+    data: AtomicU64,
+    ready: AtomicU64,
+}
+
+impl Publisher {
+    pub fn publish(&self, v: u64) {
+        self.data.store(v, Ordering::Release); // ORDERING: pairs with consume's Acquire load of data
+        self.ready.store(1, Ordering::Release); // ORDERING: pairs with consume's Acquire load of ready
+    }
+
+    pub fn consume(&self) -> Option<u64> {
+        // ORDERING: pairs with publish's Release store of ready.
+        if self.ready.load(Ordering::Acquire) == 1 {
+            // ORDERING: pairs with publish's Release store of data.
+            return Some(self.data.load(Ordering::Acquire));
+        }
+        None
+    }
+}

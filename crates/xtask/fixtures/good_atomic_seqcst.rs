@@ -1,0 +1,18 @@
+// SeqCst everywhere: the default needs no justification comments.
+// path: crates/app/src/flag.rs
+// expect: none
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flag {
+    ready: AtomicU64,
+}
+
+impl Flag {
+    pub fn raise(&self) {
+        self.ready.store(1, Ordering::SeqCst);
+    }
+
+    pub fn is_raised(&self) -> bool {
+        self.ready.load(Ordering::SeqCst) == 1
+    }
+}

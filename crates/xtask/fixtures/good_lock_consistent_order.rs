@@ -1,0 +1,24 @@
+// Nested acquisition is fine when every path agrees on the order: the
+// acquisition graph has an a->b edge but no cycle.
+// path: crates/app/src/locks.rs
+// expect: none
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn one(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn two(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga * *gb
+    }
+}

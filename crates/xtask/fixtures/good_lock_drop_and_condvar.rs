@@ -1,0 +1,25 @@
+// Two legitimate patterns: a guard explicitly dropped before the blocking
+// call, and a condvar wait (which releases the mutex while parked).
+// path: crates/app/src/queue.rs
+// expect: none
+use std::sync::{Condvar, Mutex};
+
+pub struct Queue {
+    inner: Mutex<Vec<u64>>,
+    cond: Condvar,
+}
+
+impl Queue {
+    pub fn pop_wait(&self) -> Option<u64> {
+        let g = self.inner.lock().unwrap();
+        let mut g = self.cond.wait(g).unwrap();
+        g.pop()
+    }
+
+    pub fn sweep(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.clear();
+        drop(g);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

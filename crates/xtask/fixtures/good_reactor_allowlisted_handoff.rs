@@ -1,0 +1,29 @@
+// The worker-pool handoff pattern: the tick pushes into a mutex-guarded
+// queue, vetted by an allowlist entry with a justification — mirroring the
+// live workspace's DispatchQueue::push entry.
+// path: crates/app/src/evloop.rs
+// root: crates/app/src/evloop.rs :: EventLoop::run
+// allow: reactor-blocking :: crates/app/src/evloop.rs :: Queue::push :: `.lock(` :: O(1) enqueue under a short critical section
+// expect: none
+use std::sync::Mutex;
+
+pub struct Queue {
+    inner: Mutex<Vec<u64>>,
+}
+
+impl Queue {
+    fn push(&self, v: u64) {
+        let mut g = self.inner.lock().unwrap();
+        g.push(v);
+    }
+}
+
+pub struct EventLoop {
+    q: Queue,
+}
+
+impl EventLoop {
+    pub fn run(&self) {
+        self.q.push(1);
+    }
+}

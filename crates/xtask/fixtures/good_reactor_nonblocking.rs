@@ -1,0 +1,18 @@
+// A tick that only computes: reachable functions contain no locks and no
+// blocking operations.
+// path: crates/app/src/evloop.rs
+// root: crates/app/src/evloop.rs :: EventLoop::run
+// expect: none
+pub struct EventLoop {
+    acc: u64,
+}
+
+impl EventLoop {
+    fn compute(&self) -> u64 {
+        self.acc.wrapping_mul(31).wrapping_add(1)
+    }
+
+    pub fn run(&mut self) {
+        self.acc = self.compute();
+    }
+}

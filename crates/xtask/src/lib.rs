@@ -29,8 +29,16 @@
 //!   mutex acquisition (snapshot/render functions are naturally exempt —
 //!   the rule keys on the function name).
 
+pub mod analyze;
+pub mod callgraph;
+pub mod facts;
+pub mod lexer;
+pub mod rules;
+
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+use lexer::{braces, find_token, Lexer};
 
 /// One rule violation at a specific line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -167,126 +175,6 @@ pub fn parse_allowlist(content: &str) -> (Vec<AllowEntry>, Vec<Violation>) {
         });
     }
     (entries, violations)
-}
-
-/// A source line with comments and string/char literal bodies blanked out,
-/// plus what was inside the comments (R1 needs to see `SAFETY:` text).
-struct LexedLine {
-    /// Code with literals/comments replaced by spaces — safe to substring-match.
-    code: String,
-    /// Concatenated comment text on this line.
-    comment: String,
-}
-
-/// Persistent lexer state across lines of one file.
-#[derive(Default)]
-struct Lexer {
-    /// Depth of nested `/* */` block comments.
-    block_comment: usize,
-    /// Inside a raw string literal: number of `#`s in its delimiter.
-    raw_string: Option<usize>,
-}
-
-impl Lexer {
-    /// Strips one line. A hand-rolled scanner beats regexes here: it has to
-    /// survive nested block comments, raw strings spanning lines, and
-    /// lifetimes-vs-char-literals (`'a` vs `'a'`).
-    fn lex(&mut self, line: &str) -> LexedLine {
-        let b = line.as_bytes();
-        let mut code = String::with_capacity(line.len());
-        let mut comment = String::new();
-        let mut i = 0;
-        while i < b.len() {
-            if self.block_comment > 0 {
-                if b[i..].starts_with(b"*/") {
-                    self.block_comment -= 1;
-                    i += 2;
-                } else if b[i..].starts_with(b"/*") {
-                    self.block_comment += 1;
-                    i += 2;
-                } else {
-                    comment.push(b[i] as char);
-                    i += 1;
-                }
-                code.push(' ');
-                continue;
-            }
-            if let Some(hashes) = self.raw_string {
-                let mut closer = String::from("\"");
-                closer.push_str(&"#".repeat(hashes));
-                if b[i..].starts_with(closer.as_bytes()) {
-                    self.raw_string = None;
-                    i += closer.len();
-                } else {
-                    i += 1;
-                }
-                code.push(' ');
-                continue;
-            }
-            if b[i..].starts_with(b"//") {
-                comment.push_str(&line[i + 2..]);
-                // Pad so column numbers stay meaningful.
-                code.push_str(&" ".repeat(b.len() - i));
-                break;
-            }
-            if b[i..].starts_with(b"/*") {
-                self.block_comment += 1;
-                code.push_str("  ");
-                i += 2;
-                continue;
-            }
-            // Raw strings: r"..." / r#"..."# / br#"..."#.
-            if b[i] == b'r' || (b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'r') {
-                let start = if b[i] == b'b' { i + 2 } else { i + 1 };
-                let mut j = start;
-                while j < b.len() && b[j] == b'#' {
-                    j += 1;
-                }
-                if j < b.len() && b[j] == b'"' {
-                    self.raw_string = Some(j - start);
-                    code.push_str(&" ".repeat(j + 1 - i));
-                    i = j + 1;
-                    continue;
-                }
-            }
-            if b[i] == b'"' {
-                // Ordinary string literal; honours backslash escapes but
-                // (deliberately) not multi-line strings — rare in this
-                // workspace, and the lexer self-heals at the closing quote.
-                code.push(' ');
-                i += 1;
-                while i < b.len() {
-                    if b[i] == b'\\' {
-                        code.push_str("  ");
-                        i += 2;
-                        continue;
-                    }
-                    if b[i] == b'"' {
-                        code.push(' ');
-                        i += 1;
-                        break;
-                    }
-                    code.push(' ');
-                    i += 1;
-                }
-                continue;
-            }
-            // Char literal, distinguished from a lifetime by the closing
-            // quote one-or-two bytes later.
-            if b[i] == b'\'' {
-                let escaped = i + 1 < b.len() && b[i + 1] == b'\\';
-                let close = if escaped { i + 3 } else { i + 2 };
-                if close < b.len() && b[close] == b'\'' {
-                    code.push_str(&" ".repeat(close + 1 - i));
-                    i = close + 1;
-                    continue;
-                }
-            }
-            code.push(b[i] as char);
-            i += 1;
-        }
-        LexedLine { code, comment }
-    }
 }
 
 /// Per-file lint over `content`. `relpath` is workspace-relative with `/`
@@ -498,39 +386,6 @@ pub fn scan_file(relpath: &str, content: &str) -> Vec<Violation> {
     violations
 }
 
-/// Net brace depth change of a lexed code line.
-fn braces(code: &str) -> i32 {
-    let mut d = 0;
-    for b in code.bytes() {
-        match b {
-            b'{' => d += 1,
-            b'}' => d -= 1,
-            _ => {}
-        }
-    }
-    d
-}
-
-/// Finds `token` in `code` at a word boundary.
-fn find_token(code: &str, token: &str) -> Option<usize> {
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(token) {
-        let at = from + pos;
-        let before_ok = at == 0 || !is_ident(code.as_bytes()[at - 1]);
-        let end = at + token.len();
-        let after_ok = end >= code.len() || !is_ident(code.as_bytes()[end]);
-        if before_ok && after_ok {
-            return Some(at);
-        }
-        from = end;
-    }
-    None
-}
-
-fn is_ident(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
 /// R5: every shim directory must be wired into the workspace under its
 /// package name and documented in the shim README. Catches the classic
 /// drift where a shim is edited or added but the workspace silently keeps
@@ -664,6 +519,28 @@ pub fn apply_allowlist(
 
 /// Walks the workspace and runs every rule. `root` is the workspace root
 /// (the directory holding the top-level `Cargo.toml`).
+/// The workspace-relative paths the lint walks — exposed so tests can pin
+/// coverage (e.g. that `shims/loom` and the reactor's raw-syscall module
+/// are inside the SAFETY-comment rule's reach).
+pub fn lint_targets(root: &Path) -> Result<Vec<String>, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for top in ["crates", "shims", "tests"] {
+        collect_rs(&root.join(top), &mut files)?;
+    }
+    files.sort();
+    Ok(files
+        .iter()
+        .map(|p| {
+            p.strip_prefix(root)
+                .unwrap_or(p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/")
+        })
+        .collect())
+}
+
 pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
     let mut violations = Vec::new();
 
@@ -725,7 +602,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
     Ok(violations)
 }
 
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return Ok(()); // e.g. no workspace-level tests/ dir
     };
@@ -734,7 +611,9 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
         let path = entry.path();
         let name = entry.file_name().to_string_lossy().into_owned();
         if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
+            // `fixtures/` holds deliberately-bad analyzer corpora; walking
+            // them would fail the workspace on its own test data.
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
                 continue;
             }
             collect_rs(&path, out)?;

@@ -14,6 +14,12 @@ cargo test -q
 echo "==> workspace lint"
 cargo run -q -p xtask -- lint
 
+echo "==> concurrency analyzer: lock order, atomic orderings, reactor blocking (vs committed baseline)"
+cargo run -q -p xtask -- analyze --baseline crates/xtask/analyze_baseline.json
+
+echo "==> analyzer self-tests: fixture corpus + live-workspace pins + stale-allowlist detection"
+cargo test -q -p xtask
+
 echo "==> telemetry: histogram property tests + exposition conformance"
 cargo test -q -p serenade-telemetry
 
