@@ -1,0 +1,208 @@
+//! Streaming-ingest publish latency and the read SLA under churn.
+//!
+//! Two numbers justify the ingest subsystem's existence:
+//!
+//! * **publish-to-visible latency** — how long a submitted click batch
+//!   takes to become servable: drain + incremental fold + `VmisKnn`
+//!   rebuild + `IndexHandle::store`. Measured by timing synchronous
+//!   `submit` + `flush` round-trips on a pipeline whose cadence timer is
+//!   parked (an hour-long interval), so every timed publish does the full
+//!   cycle and nothing races it.
+//! * **read p99 under mixed load** — the epoch-bucketed cache's promise is
+//!   that continuous mini-publishes do *not* blow up the read tail,
+//!   because untouched entries revalidate instead of churning. Measured by
+//!   running the identical open-loop schedule twice on one live cluster:
+//!   read-only first (publisher idle), then with a seeded 10% write
+//!   fraction while the index mini-publishes underneath. The read-side p99
+//!   of the mixed run must stay within +10% of the read-only baseline
+//!   (plus a small absolute floor for scheduler noise on sub-millisecond
+//!   tails).
+//!
+//! Results land in the repo-root `BENCH_ingest.json`. With `--check`, the
+//! harness instead *reads* the committed artefact and fails if the fresh
+//! publish-to-visible p99 regressed more than 10% against it — the
+//! `scripts/check.sh` SLA gate. The mixed-vs-read-only bound is asserted
+//! in both modes.
+//!
+//! Not a criterion bench for the same reason as `server_batch`: the
+//! in-tree criterion shim emits no JSON and this harness needs a
+//! machine-readable artefact plus hard assertions.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serenade_core::{Click, SessionIndex};
+use serenade_dataset::{generate, SyntheticConfig};
+use serenade_serving::engine::EngineConfig;
+use serenade_serving::loadgen::{
+    run_load_test, run_mixed_load_test, zipf_requests, LoadGenConfig, MixedLoadConfig,
+};
+use serenade_serving::{BusinessRules, IngestConfig, ServingCluster};
+
+/// Publishes timed for the latency distribution.
+const ROUNDS: usize = 40;
+/// Clicks per timed publish: a small collector-tier batch.
+const CLICKS_PER_PUBLISH: usize = 8;
+/// Absolute slack on the mixed-vs-read-only p99 bound. The read tail is a
+/// few hundred microseconds; a strict 10% of that is inside scheduler
+/// jitter on a shared machine, so the gate takes whichever is looser.
+const NOISE_FLOOR_US: f64 = 200.0;
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+
+    let dataset = generate(&SyntheticConfig::ecom_1m().scaled(0.05));
+
+    // --- publish-to-visible latency -------------------------------------
+    // A dedicated cluster with the cadence timer parked: only the timed
+    // `flush` calls publish, so each sample is one full publish cycle.
+    let index = Arc::new(SessionIndex::build(&dataset.clicks, 500).unwrap());
+    let publish_cluster = Arc::new(
+        ServingCluster::new(
+            Arc::clone(&index),
+            2,
+            EngineConfig::default(),
+            BusinessRules::none(),
+        )
+        .unwrap(),
+    );
+    publish_cluster
+        .enable_ingest(
+            IngestConfig {
+                publish_interval: Duration::from_secs(3_600),
+                ..IngestConfig::default()
+            },
+            &dataset.clicks,
+        )
+        .unwrap();
+    let pipeline = Arc::clone(publish_cluster.ingest().unwrap());
+
+    let generation_before = publish_cluster.telemetry().index_generation();
+    let mut samples = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        let session = 7_000_000 + round as u64;
+        let batch: Vec<Click> = (0..CLICKS_PER_PUBLISH)
+            .map(|k| {
+                let item = dataset.clicks[(round * 131 + k * 17) % dataset.clicks.len()]
+                    .item_id;
+                Click::new(session, item, 2_000_000 + (round * 10 + k) as u64)
+            })
+            .collect();
+        let t0 = Instant::now();
+        assert!(pipeline.submit(&batch), "parked pipeline must accept the batch");
+        pipeline.flush().unwrap();
+        samples.push(t0.elapsed());
+    }
+    assert_eq!(
+        publish_cluster.telemetry().index_generation(),
+        generation_before + ROUNDS as u64,
+        "every timed flush must publish exactly one generation"
+    );
+    samples.sort();
+    let publish_min = samples[0];
+    let publish_p99 = samples[((samples.len() - 1) as f64 * 0.99).round() as usize];
+
+    // --- read p99 under churn vs read-only baseline ---------------------
+    // One live cluster, one schedule, run twice. The read-only pass never
+    // submits, so the publisher idles and the pass is a faithful baseline
+    // for the identical mixed pass that follows.
+    let load_cluster = Arc::new(
+        ServingCluster::new(index, 2, EngineConfig::default(), BusinessRules::none())
+            .unwrap(),
+    );
+    load_cluster
+        .enable_ingest(
+            IngestConfig {
+                publish_interval: Duration::from_millis(25),
+                ..IngestConfig::default()
+            },
+            &dataset.clicks,
+        )
+        .unwrap();
+
+    let mut counts: std::collections::HashMap<u64, usize> =
+        std::collections::HashMap::new();
+    for click in &dataset.clicks {
+        *counts.entry(click.item_id).or_default() += 1;
+    }
+    let mut by_popularity: Vec<u64> = counts.keys().copied().collect();
+    by_popularity.sort_by_key(|item| std::cmp::Reverse(counts[item]));
+    by_popularity.truncate(2_000);
+    let traffic = zipf_requests(&by_popularity, 4_096, 1.1, 42);
+
+    let config = LoadGenConfig {
+        target_rps: 800.0,
+        duration: Duration::from_secs(2),
+        workers: 4,
+        window: Duration::from_millis(500),
+        seed: 0xF19_3B,
+        jitter: 0.3,
+    };
+
+    let readonly = run_load_test(&load_cluster, &traffic, config);
+    let mixed =
+        run_mixed_load_test(&load_cluster, &traffic, config, MixedLoadConfig::default());
+
+    let readonly_p99 =
+        readonly.total.as_ref().expect("read-only run produced no samples").p99_us as f64;
+    let mixed_p99 =
+        mixed.reads.total.as_ref().expect("mixed run produced no samples").p99_us as f64;
+    let overhead = mixed_p99 / readonly_p99;
+
+    println!("ingest_publish: {ROUNDS} publishes of {CLICKS_PER_PUBLISH} clicks");
+    println!(
+        "  publish-to-visible: min {:>8.2}us, p99 {:>8.2}us",
+        micros(publish_min),
+        micros(publish_p99)
+    );
+    println!(
+        "  read p99: read-only {readonly_p99:.0}us vs mixed {mixed_p99:.0}us ({overhead:.2}x) \
+         over {} publishes, {} writes accepted, {} shed",
+        mixed.publishes, mixed.writes_accepted, mixed.writes_rejected
+    );
+
+    assert!(mixed.publishes >= 1, "mixed run must mini-publish at least once");
+    assert!(mixed.writes_accepted > 0, "mixed run must land writes");
+    let bound = (readonly_p99 * 1.10).max(readonly_p99 + NOISE_FLOOR_US);
+    assert!(
+        mixed_p99 <= bound,
+        "read p99 under churn blew the +10% SLA: {mixed_p99:.0}us vs \
+         read-only {readonly_p99:.0}us (bound {bound:.0}us)"
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    if check_mode {
+        // SLA gate: the fresh publish-to-visible p99 must be within 10% of
+        // the committed baseline.
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--check needs a committed {path}: {e}"));
+        let needle = "\"publish_visible_p99_us\": ";
+        let at = committed.find(needle).expect("baseline field missing");
+        let rest = &committed[at + needle.len()..];
+        let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+        let baseline: f64 = rest[..end].trim().parse().expect("baseline p99 unparsable");
+        let fresh = micros(publish_p99);
+        println!("  p99 gate: fresh {fresh:.2}us vs committed {baseline:.2}us (+10% allowed)");
+        assert!(
+            fresh <= baseline * 1.10,
+            "publish-to-visible p99 regressed >10%: {fresh:.2}us vs committed {baseline:.2}us"
+        );
+    } else {
+        let json = format!(
+            "{{\n  \"bench\": \"ingest_publish\",\n  \"rounds\": {ROUNDS},\n  \"clicks_per_publish\": {CLICKS_PER_PUBLISH},\n  \"publish_visible_min_us\": {:.2},\n  \"publish_visible_p99_us\": {:.2},\n  \"readonly_read_p99_us\": {:.2},\n  \"mixed_read_p99_us\": {:.2},\n  \"mixed_read_overhead\": {:.3},\n  \"publishes_during_mixed\": {},\n  \"writes_accepted\": {}\n}}\n",
+            micros(publish_min),
+            micros(publish_p99),
+            readonly_p99,
+            mixed_p99,
+            overhead,
+            mixed.publishes,
+            mixed.writes_accepted,
+        );
+        std::fs::write(path, &json).unwrap();
+        println!("  wrote {path}");
+    }
+}

@@ -25,10 +25,10 @@ use serenade_dataset::SyntheticConfig;
 use serenade_serving::engine::EngineConfig;
 use serenade_serving::http::{HttpClient, HttpServer, HttpServerConfig};
 use serenade_serving::loadgen::{
-    requests_from_sessions, run_connection_ramp, run_load_test_scraped, run_overload_test,
-    ConnectionRampConfig, LoadGenConfig, OverloadConfig,
+    requests_from_sessions, run_connection_ramp, run_load_test_scraped, run_mixed_load_test,
+    run_overload_test, ConnectionRampConfig, LoadGenConfig, MixedLoadConfig, OverloadConfig,
 };
-use serenade_serving::{BusinessRules, ServingCluster};
+use serenade_serving::{BusinessRules, IngestConfig, ServingCluster};
 
 fn main() {
     let args = BenchArgs::from_env();
@@ -146,6 +146,65 @@ fn main() {
     println!(
         "\nPaper (Fig. 3b): >1,000 rps handled on 2 pods, ~500 rps per busy core,\n\
          p90 < 7ms and p99.5 < 15ms throughout."
+    );
+
+    // Mixed read/write scenario: the same open-loop schedule at 1,000 rps,
+    // but a seeded 10% of slots submit click batches to the live ingest
+    // pipeline while the index mini-publishes underneath. The read-side
+    // percentiles are the serving SLA *under churn* — directly comparable
+    // to the 1,000-rps read-only row above.
+    println!("\nmixed read/write (10% ingest slots, live mini-publishes, 1,000 rps):");
+    cluster
+        .enable_ingest(
+            IngestConfig {
+                publish_interval: Duration::from_millis(100),
+                ..IngestConfig::default()
+            },
+            &split.train,
+        )
+        .expect("enable ingest");
+    let mixed = run_mixed_load_test(
+        &cluster,
+        &traffic,
+        LoadGenConfig {
+            target_rps: 1_000.0,
+            duration: Duration::from_secs(seconds),
+            workers: 8,
+            window: Duration::from_secs(1),
+            seed: 0xF19_3B,
+            jitter: 0.0,
+        },
+        MixedLoadConfig::default(),
+    );
+    let read_total = mixed.reads.total.expect("mixed run produced reads");
+    let (wp50, wp90) = mixed.write_latency.map_or((0, 0), |l| (l.p50_us, l.p90_us));
+    print_table(
+        &[
+            "read rps",
+            "read p75",
+            "read p90",
+            "read p99.5",
+            "writes ok",
+            "writes shed",
+            "write p50",
+            "write p90",
+            "publishes",
+        ],
+        &[vec![
+            format!("{:.0}", mixed.reads.achieved_rps),
+            fmt_us(read_total.p75_us),
+            fmt_us(read_total.p90_us),
+            fmt_us(read_total.p995_us),
+            mixed.writes_accepted.to_string(),
+            mixed.writes_rejected.to_string(),
+            fmt_us(wp50),
+            fmt_us(wp90),
+            mixed.publishes.to_string(),
+        ]],
+    );
+    println!(
+        "(every publish rebuilds and atomically republishes the index to both\n\
+         pods; epoch-bucketed cache invalidation keeps untouched items cached.)"
     );
     server.shutdown();
 

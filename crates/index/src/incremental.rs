@@ -34,14 +34,73 @@
 //! reappears later it is treated as a new session. [`retained_clicks`]
 //! exposes the current log size for monitoring.
 //!
+//! ## Deletion (unlearning)
+//!
+//! [`IncrementalIndexer::delete_session`] removes one session from the click
+//! log and rebuilds, so the next [`snapshot`] is indistinguishable from a
+//! from-scratch build over a log that never contained the session — the
+//! GDPR-style unlearning contract, verified by the differential property
+//! suite. Deletion and retention eviction share one removal path
+//! ([`remove_sessions`]), so the sliding window and explicit deletes cannot
+//! double-remove a session or disagree about the log. Unlike an evicted
+//! session, a *deleted* session id is **tombstoned**: clicks for it arriving
+//! in later batches are silently discarded instead of resurrecting the
+//! session as new traffic.
+//!
+//! ## Touched-item tracking
+//!
+//! The indexer accumulates the set of items whose posting lists may have
+//! changed since the last [`drain_touched`] call — appends record the batch
+//! items, removals record the removed sessions' items, and slow-path
+//! rebuilds record every item of the sessions the batch modified. Publishers
+//! drain this set per publish to drive *epoch-bucketed* cache invalidation:
+//! a cached prediction for an untouched item survives the publish. The set
+//! is a sound over-approximation of the semantic posting diff (see
+//! [`crate::diff::changed_items`]), which the property suite verifies.
+//!
 //! [`snapshot`]: IncrementalIndexer::snapshot
 //! [`retained_clicks`]: IncrementalIndexer::retained_clicks
+//! [`remove_sessions`]: IncrementalIndexer::remove_sessions
+//! [`drain_touched`]: IncrementalIndexer::drain_touched
 
 use serenade_core::index::Posting;
 use serenade_core::{Click, CoreError, FxHashMap, FxHashSet, ItemId, SessionId, SessionIndex, Timestamp};
 
 /// A batch session pending insertion: `(session ts, external id, clicks)`.
 type PendingSession = (Timestamp, u64, Vec<(Timestamp, ItemId)>);
+
+/// Items whose posting lists may have changed since the last drain — the
+/// unit of epoch-bucketed cache invalidation (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TouchedItems {
+    /// Every posting may have changed; invalidate unconditionally.
+    All,
+    /// Only these items' postings may have changed.
+    Items(FxHashSet<ItemId>),
+}
+
+impl TouchedItems {
+    /// `true` if `item` is in the touched set.
+    pub fn contains(&self, item: ItemId) -> bool {
+        match self {
+            TouchedItems::All => true,
+            TouchedItems::Items(set) => set.contains(&item),
+        }
+    }
+
+    /// Number of touched items (`None` for [`TouchedItems::All`]).
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            TouchedItems::All => None,
+            TouchedItems::Items(set) => Some(set.len()),
+        }
+    }
+
+    /// `true` if no item is touched.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, TouchedItems::Items(set) if set.is_empty())
+    }
+}
 
 /// Stateful incremental index maintainer.
 #[derive(Debug, Clone)]
@@ -71,6 +130,14 @@ pub struct IncrementalIndexer {
     rebuilds: usize,
     /// Number of retention compactions (oldest-session drops) — observability.
     compactions: usize,
+    /// External ids of explicitly deleted sessions; their clicks are
+    /// discarded from all future batches (no resurrection).
+    tombstones: FxHashSet<u64>,
+    /// Number of sessions removed by [`IncrementalIndexer::delete_session`].
+    deletions: usize,
+    /// Items whose postings may have changed since the last
+    /// [`IncrementalIndexer::drain_touched`].
+    touched: FxHashSet<ItemId>,
 }
 
 impl IncrementalIndexer {
@@ -117,6 +184,9 @@ impl IncrementalIndexer {
             seen_in_session: FxHashSet::default(),
             rebuilds: 0,
             compactions: 0,
+            tombstones: FxHashSet::default(),
+            deletions: 0,
+            touched: FxHashSet::default(),
         })
     }
 
@@ -135,6 +205,16 @@ impl IncrementalIndexer {
         self.compactions
     }
 
+    /// How many sessions have been removed by explicit deletion.
+    pub fn deletion_count(&self) -> usize {
+        self.deletions
+    }
+
+    /// Number of tombstoned (explicitly deleted) session ids.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
     /// Number of clicks currently retained for rebuild fallbacks.
     pub fn retained_clicks(&self) -> usize {
         self.clicks.len()
@@ -147,8 +227,23 @@ impl IncrementalIndexer {
         &self.clicks
     }
 
-    /// Folds a batch of clicks into the index.
+    /// Folds a batch of clicks into the index. Clicks for tombstoned
+    /// (explicitly deleted) sessions are discarded — a delete is permanent,
+    /// late-arriving clicks must not resurrect the session.
     pub fn apply_batch(&mut self, batch: &[Click]) -> Result<(), CoreError> {
+        let filtered: Vec<Click>;
+        let batch = if self.tombstones.is_empty()
+            || batch.iter().all(|c| !self.tombstones.contains(&c.session_id))
+        {
+            batch
+        } else {
+            filtered = batch
+                .iter()
+                .filter(|c| !self.tombstones.contains(&c.session_id))
+                .copied()
+                .collect();
+            &filtered
+        };
         if batch.is_empty() {
             return Ok(());
         }
@@ -179,12 +274,69 @@ impl IncrementalIndexer {
         });
 
         if fast {
+            for (_, _, clicks) in &sessions {
+                self.touched.extend(clicks.iter().map(|&(_, item)| item));
+            }
             self.append_sessions(sessions)?;
         } else {
+            // A modified session's timestamp moves, shifting the recency of
+            // *every* item it contains — touch the sessions' full item sets
+            // from the log, not just the items in this batch.
+            let modified: FxHashSet<u64> = sessions.iter().map(|&(_, ext, _)| ext).collect();
+            for c in &self.clicks {
+                if modified.contains(&c.session_id) {
+                    self.touched.insert(c.item_id);
+                }
+            }
             self.rebuilds += 1;
             self.rebuild()?;
         }
         self.enforce_retention()
+    }
+
+    /// Drains the accumulated touched-item set: the items whose postings may
+    /// have changed since the previous drain. Publishers call this once per
+    /// publish to bucket cache invalidation by epoch.
+    pub fn drain_touched(&mut self) -> TouchedItems {
+        TouchedItems::Items(std::mem::take(&mut self.touched))
+    }
+
+    /// Removes one session from the click log and the index, tombstoning its
+    /// external id so later clicks cannot resurrect it. Returns `true` if
+    /// the session was present (its clicks were removed and the index
+    /// rebuilt), `false` if it was unknown (the tombstone is still laid).
+    ///
+    /// After this call [`IncrementalIndexer::snapshot`] is indistinguishable
+    /// from a from-scratch build over a log that never contained the
+    /// session — the unlearning contract of the differential suite.
+    pub fn delete_session(&mut self, ext_id: u64) -> Result<bool, CoreError> {
+        self.tombstones.insert(ext_id);
+        if !self.known_sessions.contains(&ext_id) {
+            return Ok(false);
+        }
+        let mut drop = FxHashSet::default();
+        drop.insert(ext_id);
+        self.remove_sessions(&drop)?;
+        self.deletions += 1;
+        Ok(true)
+    }
+
+    /// The single removal path shared by retention eviction and explicit
+    /// deletion: records the removed sessions' items as touched, drops their
+    /// clicks from the log and rebuilds over the retained suffix. Removing a
+    /// session that is already gone is a no-op (no double-remove).
+    fn remove_sessions(&mut self, drop: &FxHashSet<u64>) -> Result<(), CoreError> {
+        let before = self.clicks.len();
+        for c in &self.clicks {
+            if drop.contains(&c.session_id) {
+                self.touched.insert(c.item_id);
+            }
+        }
+        self.clicks.retain(|c| !drop.contains(&c.session_id));
+        if self.clicks.len() == before {
+            return Ok(());
+        }
+        self.rebuild()
     }
 
     fn append_sessions(&mut self, sessions: Vec<PendingSession>) -> Result<(), CoreError> {
@@ -219,6 +371,18 @@ impl IncrementalIndexer {
     }
 
     fn rebuild(&mut self) -> Result<(), CoreError> {
+        if self.clicks.is_empty() {
+            // Everything was removed (e.g. the only session was deleted):
+            // reset to the empty state instead of building an empty index.
+            self.timestamps.clear();
+            self.items_flat.clear();
+            self.items_offsets = vec![0];
+            self.postings.clear();
+            self.supports.clear();
+            self.known_sessions.clear();
+            self.max_session_ts = 0;
+            return Ok(());
+        }
         let index = SessionIndex::build(&self.clicks, self.m_max)?;
         self.timestamps.clear();
         self.items_flat.clear();
@@ -278,8 +442,7 @@ impl IncrementalIndexer {
             return Ok(()); // a single oversized session: keep it whole
         }
         self.compactions += 1;
-        self.clicks.retain(|c| !dropped.contains(&c.session_id));
-        self.rebuild()
+        self.remove_sessions(&dropped)
     }
 
     /// Materialises the current state as a validated [`SessionIndex`].
@@ -505,6 +668,134 @@ mod tests {
         // from-scratch build over exactly the retained suffix of the log.
         let reference = SessionIndex::build(inc.retained_log(), 4).unwrap();
         assert_same(&inc.snapshot().unwrap(), &reference);
+    }
+
+    #[test]
+    fn delete_session_matches_build_without_it() {
+        let mut inc = IncrementalIndexer::new(7).unwrap();
+        let all = batch(1..20, 1_000);
+        inc.apply_batch(&all).unwrap();
+        assert!(inc.delete_session(5).unwrap());
+        assert_eq!(inc.deletion_count(), 1);
+        let without: Vec<Click> = all.iter().filter(|c| c.session_id != 5).copied().collect();
+        let reference = SessionIndex::build(&without, 7).unwrap();
+        assert_same(&inc.snapshot().unwrap(), &reference);
+        // A second delete of the same session is a no-op, not an error.
+        assert!(!inc.delete_session(5).unwrap());
+        assert_eq!(inc.deletion_count(), 1);
+        assert_same(&inc.snapshot().unwrap(), &reference);
+    }
+
+    #[test]
+    fn deleting_unknown_session_lays_a_tombstone() {
+        let mut inc = IncrementalIndexer::new(7).unwrap();
+        inc.apply_batch(&batch(1..5, 1_000)).unwrap();
+        assert!(!inc.delete_session(99).unwrap());
+        assert_eq!(inc.tombstone_count(), 1);
+        assert_eq!(inc.deletion_count(), 0);
+        // The pre-delete index is untouched...
+        let reference = SessionIndex::build(&batch(1..5, 1_000), 7).unwrap();
+        assert_same(&inc.snapshot().unwrap(), &reference);
+        // ...and clicks for the tombstoned id arriving later are discarded.
+        inc.apply_batch(&[Click::new(99, 3, 90_000)]).unwrap();
+        assert_same(&inc.snapshot().unwrap(), &reference);
+    }
+
+    #[test]
+    fn tombstoned_session_cannot_be_resurrected_by_later_batches() {
+        let mut inc = IncrementalIndexer::new(7).unwrap();
+        let all = batch(1..10, 1_000);
+        inc.apply_batch(&all).unwrap();
+        assert!(inc.delete_session(3).unwrap());
+        // A mixed batch: the tombstoned session's clicks are dropped, the
+        // rest applies normally.
+        inc.apply_batch(&[Click::new(3, 1, 50_000), Click::new(40, 2, 50_001)]).unwrap();
+        let mut expected: Vec<Click> =
+            all.iter().filter(|c| c.session_id != 3).copied().collect();
+        expected.push(Click::new(40, 2, 50_001));
+        let reference = SessionIndex::build(&expected, 7).unwrap();
+        assert_same(&inc.snapshot().unwrap(), &reference);
+    }
+
+    #[test]
+    fn eviction_and_deletion_share_one_removal_path() {
+        // Delete a session that retention would also drop: neither path may
+        // double-remove or resurrect it, and the sliding-window contract
+        // must keep holding afterwards.
+        let mut inc = IncrementalIndexer::with_retained_clicks_cap(5, 20).unwrap();
+        for s in 1..=10u64 {
+            inc.apply_batch(&[Click::new(s, s % 4, s * 10), Click::new(s, (s + 1) % 4, s * 10 + 1)])
+                .unwrap();
+        }
+        // Session 9 is still retained; delete it, then push more traffic so
+        // retention compacts around the hole.
+        assert!(inc.delete_session(9).unwrap());
+        for s in 11..=30u64 {
+            inc.apply_batch(&[Click::new(s, s % 4, s * 10), Click::new(s, (s + 1) % 4, s * 10 + 1)])
+                .unwrap();
+        }
+        assert!(inc.compaction_count() > 0);
+        assert!(inc.retained_log().iter().all(|c| c.session_id != 9));
+        let reference = SessionIndex::build(inc.retained_log(), 5).unwrap();
+        assert_same(&inc.snapshot().unwrap(), &reference);
+    }
+
+    #[test]
+    fn deleting_the_only_session_empties_the_index() {
+        let mut inc = IncrementalIndexer::new(5).unwrap();
+        inc.apply_batch(&[Click::new(1, 0, 100), Click::new(1, 1, 101)]).unwrap();
+        assert!(inc.delete_session(1).unwrap());
+        assert_eq!(inc.num_sessions(), 0);
+        assert_eq!(inc.retained_clicks(), 0);
+        assert!(inc.snapshot().is_err(), "empty index has no snapshot");
+        // The indexer keeps working after emptying out.
+        inc.apply_batch(&[Click::new(2, 2, 200)]).unwrap();
+        assert_eq!(inc.num_sessions(), 1);
+    }
+
+    #[test]
+    fn fast_path_touches_exactly_the_batch_items() {
+        let mut inc = IncrementalIndexer::new(7).unwrap();
+        inc.apply_batch(&[Click::new(1, 3, 100), Click::new(1, 5, 101)]).unwrap();
+        match inc.drain_touched() {
+            TouchedItems::Items(set) => {
+                let mut items: Vec<_> = set.into_iter().collect();
+                items.sort_unstable();
+                assert_eq!(items, vec![3, 5]);
+            }
+            TouchedItems::All => panic!("fast path must report a precise set"),
+        }
+        // Draining resets the accumulator.
+        assert!(inc.drain_touched().is_empty());
+    }
+
+    #[test]
+    fn deletion_touches_the_deleted_sessions_items() {
+        let mut inc = IncrementalIndexer::new(7).unwrap();
+        inc.apply_batch(&[
+            Click::new(1, 3, 100),
+            Click::new(1, 5, 101),
+            Click::new(2, 7, 200),
+        ])
+        .unwrap();
+        inc.drain_touched();
+        assert!(inc.delete_session(1).unwrap());
+        let touched = inc.drain_touched();
+        assert!(touched.contains(3) && touched.contains(5));
+        assert!(!touched.contains(7), "unrelated session's item must not be touched");
+    }
+
+    #[test]
+    fn reappearing_session_touches_its_old_items_too() {
+        let mut inc = IncrementalIndexer::new(7).unwrap();
+        inc.apply_batch(&[Click::new(1, 3, 100), Click::new(2, 9, 200)]).unwrap();
+        inc.drain_touched();
+        // Session 1 reappears with a new item: its old item 3 moves in
+        // recency and must be reported as touched alongside the new item.
+        inc.apply_batch(&[Click::new(1, 4, 300)]).unwrap();
+        let touched = inc.drain_touched();
+        assert!(touched.contains(3) && touched.contains(4));
+        assert!(!touched.contains(9));
     }
 
     #[test]

@@ -19,17 +19,24 @@
 //! * [`compressed`] — a delta+varint compressed index representation with
 //!   on-the-fly decoding queries (future work, Section 7);
 //! * [`incremental`] — an incremental indexer that folds new click batches
-//!   into the index without a full rebuild (future work, Section 7).
+//!   into the index without a full rebuild, supports GDPR-style session
+//!   deletion, and tracks touched items per publish (future work,
+//!   Section 7);
+//! * [`diff`] — semantic (dense-id-independent) snapshot diffing used to
+//!   verify the touched-item tracking that drives epoch-bucketed cache
+//!   invalidation.
 
 #![warn(missing_docs)]
 
 pub mod binfmt;
 pub mod builder;
 pub mod compressed;
+pub mod diff;
 pub mod incremental;
 pub mod varint;
 
 pub use binfmt::{read_index, write_index, BinError};
 pub use builder::{build_parallel, BuilderConfig};
 pub use compressed::CompressedIndex;
-pub use incremental::IncrementalIndexer;
+pub use diff::changed_items;
+pub use incremental::{IncrementalIndexer, TouchedItems};

@@ -52,6 +52,18 @@ pub trait SessionStore<K, V>: Send + Sync {
     /// Removes an entry, returning its value if it was live.
     fn remove(&self, key: &K) -> Option<V>;
 
+    /// Erases an entry unconditionally — live **or** expired — returning
+    /// whether one was physically dropped. This is the unlearning hook: a
+    /// session deleted from the click log must also vanish from the
+    /// evolving-session state, even if its TTL already lapsed (an expired
+    /// entry still holds the data until it is reclaimed). The default
+    /// delegates to [`SessionStore::remove`], which only sees live entries;
+    /// implementations holding expired data past its deadline should
+    /// override it with a physical erase.
+    fn forget(&self, key: &K) -> bool {
+        self.remove(key).is_some()
+    }
+
     /// `true` if a live entry exists. Must not refresh the TTL.
     fn contains(&self, key: &K) -> bool;
 
@@ -93,6 +105,10 @@ where
 
     fn remove(&self, key: &K) -> Option<V> {
         TtlStore::remove(self, key)
+    }
+
+    fn forget(&self, key: &K) -> bool {
+        TtlStore::forget(self, key)
     }
 
     fn contains(&self, key: &K) -> bool {
@@ -197,6 +213,17 @@ mod conformance {
         store.update_or_insert(3, Vec::new, |v| v.push(30));
         assert_eq!(store.remove(&3), Some(vec![30]));
         assert_eq!(store.remove(&3), None);
+
+        // forget erases unconditionally: live entries, then nothing, and —
+        // for stores that keep expired data until reclamation — expired
+        // entries too.
+        store.update_or_insert(4, Vec::new, |v| v.push(40));
+        assert!(store.forget(&4));
+        assert!(!store.forget(&4));
+        store.update_or_insert(5, Vec::new, |v| v.push(50));
+        clock.advance_ms(TTL_MS + 1);
+        store.forget(&5); // must not panic; erasure of expired data is best-effort per impl
+        assert!(!store.contains(&5));
 
         // Eager eviction reclaims exactly the expired entries.
         store.clear();

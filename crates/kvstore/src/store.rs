@@ -265,6 +265,16 @@ impl<K: Hash + Eq, V, C: Clock> TtlStore<K, V, C> {
         (self.expired.load(Ordering::Relaxed), self.swept.load(Ordering::Relaxed))
     }
 
+    /// Physically drops an entry — live **or** expired — returning whether
+    /// one existed. Unlike [`TtlStore::remove`] this never clones or returns
+    /// the value and does not count an expired entry as a lazy expiry: the
+    /// caller is erasing the key on purpose (GDPR-style unlearning), not
+    /// observing a TTL event, so reclamation statistics stay untouched.
+    pub fn forget(&self, key: &K) -> bool {
+        let mut shard = self.shard_of(key).lock();
+        shard.remove(key).is_some()
+    }
+
     /// Removes all entries.
     pub fn clear(&self) {
         for shard in self.shards.iter() {
@@ -410,6 +420,24 @@ mod tests {
         s.put(2, vec![6]);
         clock.advance_ms(2_000);
         assert_eq!(s.remove(&2), None, "expired values are not returned");
+    }
+
+    #[test]
+    fn forget_erases_live_and_expired_entries_without_counting_expiry() {
+        let (s, clock) = store(1_000, false);
+        s.put(1, vec![1]);
+        assert!(s.forget(&1), "live entry must be erased");
+        assert!(!s.contains(&1));
+        assert!(!s.forget(&1), "second erase finds nothing");
+
+        // Expired entries are still physically present until reclaimed;
+        // forget must erase them too, and must NOT book a lazy expiry —
+        // this is deliberate unlearning, not a TTL event.
+        s.put(2, vec![2]);
+        clock.advance_ms(2_000);
+        assert!(s.forget(&2), "expired-but-unreclaimed entry must be erased");
+        assert_eq!(s.expiry_counts(), (0, 0));
+        assert_eq!(s.evict_expired(), 0, "nothing left for the sweep");
     }
 
     #[test]

@@ -32,6 +32,24 @@
 //! checks this claim and kills the `mutation-skip-generation-check` seeded
 //! mutation that drops the stamp comparison.
 //!
+//! ## Epoch-bucketed invalidation
+//!
+//! Whole-generation invalidation is right for the daily rollover (every
+//! posting changed) but thrashes under streaming ingest, where a
+//! mini-publish every few hundred milliseconds touches a handful of items.
+//! [`GenerationCache::get_with_validity`] therefore lets the caller supply
+//! an *epoch validity* predicate: on a stamp mismatch, the predicate is
+//! consulted with the entry's stamp, and if every publish epoch between the
+//! stamp and the current generation is known **not** to have touched the
+//! entry's item (see [`crate::ingest::epoch::EpochLog`]), the entry is
+//! **re-stamped** to the current generation and served
+//! ([`Lookup::Revalidated`]) instead of being evicted. A missing epoch
+//! record degrades to the conservative whole-generation behaviour — false
+//! staleness is always safe, false validity never happens. The
+//! publish/probe protocol is loom-modelled in `tests/loom_models.rs`, which
+//! also kills the `mutation-skip-epoch-check` seeded mutation that ignores
+//! the per-item touched sets.
+//!
 //! ## Structure
 //!
 //! [`GenerationCache`] is the pure, generic layer: hash-sharded, each shard
@@ -52,6 +70,7 @@ use std::time::Duration;
 use serenade_core::{FxHashMap, ItemId, ItemScore};
 use serenade_telemetry::{Counter, Histogram, HistogramConfig, Registry};
 
+use crate::ingest::epoch::EpochLog;
 use crate::sync::Mutex;
 
 /// Which single-item view a cached list was computed for. The two variants
@@ -85,6 +104,10 @@ pub type CachedList = Arc<Vec<ItemScore>>;
 pub enum Lookup<V> {
     /// Entry present and stamped with the requested generation.
     Hit(V),
+    /// Entry stamped with an older generation, but the caller's validity
+    /// predicate vouched for every intervening publish epoch: the entry was
+    /// re-stamped to the requested generation and served.
+    Revalidated(V),
     /// Entry present but stamped with a different generation — the index
     /// rolled over since it was computed. The entry has been evicted.
     Stale,
@@ -152,6 +175,26 @@ impl<K: Hash + Eq + Clone, V: Clone> GenerationCache<K, V> {
     /// rollover, old entries die on first touch instead of occupying slots
     /// until the CLOCK hand reclaims them.
     pub fn get(&self, key: &K, generation: u64) -> Lookup<V> {
+        self.get_with_validity(key, generation, |_| false)
+    }
+
+    /// [`Self::get`] with an epoch escape hatch: on a stamp mismatch,
+    /// `still_valid` is consulted with the entry's stamp before eviction.
+    /// `true` means every publish between that stamp and `generation` is
+    /// known not to have changed this entry's answer; the entry is then
+    /// **re-stamped** to `generation` and served as [`Lookup::Revalidated`]
+    /// (re-stamping is sound because the validated span is now covered —
+    /// a later probe only needs to vouch for epochs after `generation`).
+    ///
+    /// The predicate runs under the shard lock; it must only take locks that
+    /// are never held while calling into this cache (the epoch log qualifies:
+    /// publishers record epochs without touching cache shards).
+    pub fn get_with_validity(
+        &self,
+        key: &K,
+        generation: u64,
+        still_valid: impl FnOnce(u64) -> bool,
+    ) -> Lookup<V> {
         let mut shard = self.shard(key).lock();
         let Some(&idx) = shard.map.get(key) else {
             return Lookup::Miss;
@@ -164,12 +207,23 @@ impl<K: Hash + Eq + Clone, V: Clone> GenerationCache<K, V> {
         };
         #[cfg(not(feature = "mutation-skip-generation-check"))]
         if entry_generation != generation {
+            if still_valid(entry_generation) {
+                match shard.slots[idx].as_mut() {
+                    Some(slot) => {
+                        slot.generation = generation;
+                        slot.referenced = true;
+                        return Lookup::Revalidated(slot.value.clone());
+                    }
+                    None => return Lookup::Miss,
+                }
+            }
             shard.slots[idx] = None;
             shard.map.remove(key);
             return Lookup::Stale;
         }
         #[cfg(feature = "mutation-skip-generation-check")]
-        let _ = (entry_generation, generation); // seeded mutation: serve regardless
+        // seeded mutation: serve regardless
+        let _ = (entry_generation, generation, still_valid);
         match shard.slots[idx].as_mut() {
             Some(slot) => {
                 slot.referenced = true;
@@ -245,13 +299,19 @@ pub struct CacheConfig {
     pub shards: usize,
     /// Bounded CLOCK capacity per shard; total capacity is the product.
     pub capacity_per_shard: usize,
+    /// How many publish epochs the attached [`EpochLog`] retains. An entry
+    /// older than the window can no longer be revalidated and degrades to
+    /// the whole-generation stale path.
+    pub epoch_window: usize,
 }
 
 impl Default for CacheConfig {
     /// 8 shards × 512 entries ≈ 4k distinct single-item views — far more
-    /// than the hot head of a Zipf-distributed catalogue needs.
+    /// than the hot head of a Zipf-distributed catalogue needs. 64 retained
+    /// epochs cover multiple seconds of mini-publishing at the default
+    /// ingest cadence.
     fn default() -> Self {
-        Self { enabled: true, shards: 8, capacity_per_shard: 512 }
+        Self { enabled: true, shards: 8, capacity_per_shard: 512, epoch_window: 64 }
     }
 }
 
@@ -273,11 +333,13 @@ fn hit_latency_config() -> HistogramConfig {
 #[derive(Debug)]
 pub struct PredictionCache {
     inner: GenerationCache<CacheKey, CachedList>,
+    epochs: Arc<EpochLog>,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     stale: Arc<Counter>,
     evictions: Arc<Counter>,
     insertions: Arc<Counter>,
+    revalidations: Arc<Counter>,
     hit_latency: Arc<Histogram>,
 }
 
@@ -287,21 +349,40 @@ impl PredictionCache {
     pub fn new(config: CacheConfig) -> Self {
         Self {
             inner: GenerationCache::new(config.shards, config.capacity_per_shard),
+            epochs: Arc::new(EpochLog::new(config.epoch_window)),
             hits: Arc::new(Counter::new()),
             misses: Arc::new(Counter::new()),
             stale: Arc::new(Counter::new()),
             evictions: Arc::new(Counter::new()),
             insertions: Arc::new(Counter::new()),
+            revalidations: Arc::new(Counter::new()),
             hit_latency: Arc::new(Histogram::new(hit_latency_config())),
         }
     }
 
+    /// The publish-epoch log that index publishers (streaming ingest, the
+    /// daily rollover) record into *before* storing a new snapshot.
+    pub fn epoch_log(&self) -> &Arc<EpochLog> {
+        &self.epochs
+    }
+
     /// Generation-checked lookup. `None` covers both a true miss and a
     /// stale entry (counted separately); the caller recomputes either way.
+    /// An entry stamped by an older generation is still served when the
+    /// epoch log vouches that no intervening publish touched `key.item`.
     pub fn lookup(&self, key: CacheKey, generation: u64) -> Option<CachedList> {
-        match self.inner.get(&key, generation) {
+        let epochs = &self.epochs;
+        let verdict = self.inner.get_with_validity(&key, generation, |stamp| {
+            epochs.still_valid(key.item, stamp, generation)
+        });
+        match verdict {
             Lookup::Hit(list) => {
                 self.hits.inc();
+                Some(list)
+            }
+            Lookup::Revalidated(list) => {
+                self.hits.inc();
+                self.revalidations.inc();
                 Some(list)
             }
             Lookup::Stale => {
@@ -362,6 +443,13 @@ impl PredictionCache {
             &[],
             Arc::clone(&self.insertions),
         );
+        registry.counter_shared(
+            "serenade_cache_epoch_revalidations_total",
+            "Prediction-cache entries served across a publish because no \
+             intervening epoch touched their item.",
+            &[],
+            Arc::clone(&self.revalidations),
+        );
         registry.histogram_shared(
             "serenade_cache_hit_duration_seconds",
             "End-to-end prediction-stage latency of cache hits.",
@@ -405,6 +493,12 @@ impl PredictionCache {
     /// Total CLOCK evictions.
     pub fn eviction_count(&self) -> u64 {
         self.evictions.get()
+    }
+
+    /// Total entries served across a publish via epoch revalidation (these
+    /// are also counted as hits).
+    pub fn revalidation_count(&self) -> u64 {
+        self.revalidations.get()
     }
 }
 
@@ -480,6 +574,72 @@ mod tests {
             (1, 1, 1)
         );
         assert!(cache.is_empty(), "stale entry evicted");
+    }
+
+    #[test]
+    fn validity_predicate_revalidates_and_restamps() {
+        let c: GenerationCache<u64, u64> = GenerationCache::new(1, 4);
+        c.insert(7, 1, 42);
+        // The predicate sees the entry's stamp and vouches for the span.
+        let mut seen_stamp = None;
+        let got = c.get_with_validity(&7, 3, |stamp| {
+            seen_stamp = Some(stamp);
+            true
+        });
+        assert_eq!(got, Lookup::Revalidated(42));
+        assert_eq!(seen_stamp, Some(1));
+        // Re-stamped: a plain generation-checked probe at 3 now hits.
+        assert_eq!(c.get(&7, 3), Lookup::Hit(42));
+    }
+
+    #[test]
+    fn validity_predicate_rejection_falls_back_to_stale() {
+        let c: GenerationCache<u64, u64> = GenerationCache::new(1, 4);
+        c.insert(7, 1, 42);
+        assert_eq!(c.get_with_validity(&7, 2, |_| false), Lookup::Stale);
+        assert_eq!(c.len(), 0, "rejected entry is eagerly evicted");
+    }
+
+    #[test]
+    fn validity_predicate_not_consulted_on_exact_generation() {
+        let c: GenerationCache<u64, u64> = GenerationCache::new(1, 4);
+        c.insert(7, 5, 42);
+        let got = c.get_with_validity(&7, 5, |_| panic!("must not consult on exact match"));
+        assert_eq!(got, Lookup::Hit(42));
+    }
+
+    #[test]
+    fn prediction_cache_revalidates_untouched_items_across_publishes() {
+        use crate::ingest::epoch::EpochChange;
+
+        let cache = PredictionCache::new(CacheConfig::default());
+        let hot = CacheKey { item: 9, view: ViewKind::Depersonalised };
+        let churned = CacheKey { item: 4, view: ViewKind::Depersonalised };
+        cache.store_list(hot, 1, vec![ItemScore { item: 1, score: 1.0 }]);
+        cache.store_list(churned, 1, vec![ItemScore { item: 2, score: 1.0 }]);
+
+        // A mini-publish bumping the generation to 2 touched only item 4.
+        cache.epoch_log().record(2, EpochChange::items([4]));
+        assert!(cache.lookup(hot, 2).is_some(), "untouched item survives the publish");
+        assert!(cache.lookup(churned, 2).is_none(), "touched item is invalidated");
+        assert_eq!(cache.revalidation_count(), 1);
+        assert_eq!(cache.stale_count(), 1);
+
+        // A full rollover (EpochChange::All) invalidates the survivor too.
+        cache.epoch_log().record(3, EpochChange::All);
+        assert!(cache.lookup(hot, 3).is_none(), "rollover invalidates everything");
+    }
+
+    #[test]
+    fn prediction_cache_degrades_to_stale_on_missing_epochs() {
+        let cache = PredictionCache::new(CacheConfig::default());
+        let key = CacheKey { item: 9, view: ViewKind::Depersonalised };
+        cache.store_list(key, 1, vec![ItemScore { item: 1, score: 1.0 }]);
+        // Generation moved to 2 but no epoch was recorded (e.g. a direct
+        // handle store): conservative whole-generation invalidation.
+        assert!(cache.lookup(key, 2).is_none());
+        assert_eq!(cache.stale_count(), 1);
+        assert_eq!(cache.revalidation_count(), 0);
     }
 
     #[test]

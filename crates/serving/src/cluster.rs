@@ -12,10 +12,10 @@
 //! If the build or validation fails, nothing is published and every pod
 //! keeps serving the old index.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use serenade_core::{CoreError, ItemScore, SessionIndex, VmisKnn};
+use serenade_core::{Click, CoreError, ItemScore, SessionIndex, VmisKnn};
 use serenade_telemetry::{TraceConfig, TraceSample};
 
 use crate::cache::PredictionCache;
@@ -23,6 +23,8 @@ use crate::context::{BatchContext, RequestContext};
 use crate::engine::{build_recommender, Engine, EngineConfig, RecommendRequest};
 use crate::error::ServingError;
 use crate::handle::IndexHandle;
+use crate::ingest::epoch::EpochChange;
+use crate::ingest::{IngestConfig, IngestPipeline};
 use crate::router::StickyRouter;
 use crate::rules::BusinessRules;
 use crate::telemetry::ClusterTelemetry;
@@ -38,6 +40,9 @@ pub struct ServingCluster {
     /// the generation stamp) is cluster-wide, so a list computed on one pod
     /// is valid on all of them. `None` when disabled in the config.
     cache: Option<Arc<PredictionCache>>,
+    /// The streaming write path, set once by
+    /// [`ServingCluster::enable_ingest`]; `None` for read-only clusters.
+    ingest: OnceLock<Arc<IngestPipeline>>,
 }
 
 impl ServingCluster {
@@ -112,6 +117,7 @@ impl ServingCluster {
             config,
             telemetry,
             cache,
+            ingest: OnceLock::new(),
         })
     }
 
@@ -120,16 +126,96 @@ impl ServingCluster {
         self.cache.as_ref()
     }
 
+    /// Enables the streaming write path: seeds an incremental indexer with
+    /// `seed` (the click log the serving index was built from) and starts
+    /// the publisher thread that mini-publishes to every pod through the
+    /// shared [`IndexHandle`]. At most once per cluster; while ingest is
+    /// live the publisher is the single index writer — do not call
+    /// [`ServingCluster::reload_index`] concurrently.
+    pub fn enable_ingest(
+        &self,
+        config: IngestConfig,
+        seed: &[Click],
+    ) -> Result<Arc<IngestPipeline>, CoreError> {
+        let pipeline = IngestPipeline::start(
+            config,
+            seed,
+            Arc::clone(&self.index),
+            self.config.clone(),
+            self.cache.clone(),
+            Arc::clone(&self.telemetry),
+        )?;
+        if self.ingest.set(Arc::clone(&pipeline)).is_err() {
+            return Err(CoreError::InvalidConfig {
+                parameter: "ingest",
+                reason: String::from("ingest is already enabled on this cluster"),
+            });
+        }
+        pipeline.metrics().register_into(self.telemetry.registry());
+        {
+            let pipeline = Arc::clone(&pipeline);
+            self.telemetry.registry().polled_gauge(
+                "serenade_ingest_pending_clicks",
+                "Click events waiting for the next mini-publish.",
+                &[],
+                move || pipeline.pending_clicks() as u64,
+            );
+        }
+        Ok(pipeline)
+    }
+
+    /// The streaming ingest pipeline, if enabled.
+    pub fn ingest(&self) -> Option<&Arc<IngestPipeline>> {
+        self.ingest.get()
+    }
+
+    /// Unlearns a session cluster-wide: removes it from the retained click
+    /// log and republishes the index (synchronous, through the ingest
+    /// pipeline), then erases its evolving state from the owning pod's
+    /// session store so the session also stops influencing its *own* future
+    /// requests. Returns whether the session existed anywhere. Requires
+    /// ingest to be enabled.
+    pub fn delete_session(&self, session_id: u64) -> Result<bool, ServingError> {
+        let Some(pipeline) = self.ingest.get() else {
+            return Err(ServingError::Internal("ingest is not enabled on this cluster"));
+        };
+        let in_log = pipeline.delete_session(session_id)?;
+        // Sticky routing pins a session to one pod, but erasure is a
+        // compliance action: sweep every pod in case the pod count changed
+        // since the session was live.
+        let mut in_store = false;
+        for pod in &self.pods {
+            in_store |= pod.forget_session(session_id);
+        }
+        Ok(in_log || in_store)
+    }
+
     /// The cluster's observability hub (metric registry, trace ring,
     /// request-id source).
     pub fn telemetry(&self) -> &Arc<ClusterTelemetry> {
         &self.telemetry
     }
 
+    /// Feeds a served request back into the live index when the ingest
+    /// hook is enabled. Consent-gated: depersonalised traffic never lands
+    /// in the retained click log.
+    fn feed_ingest(&self, req: &RecommendRequest) {
+        if !req.consent {
+            return;
+        }
+        if let Some(pipeline) = self.ingest.get() {
+            pipeline.observe_request(req.session_id, req.item);
+        }
+    }
+
     /// Handles a request on the responsible pod with a per-thread context.
     /// Prefer [`ServingCluster::handle_with`] on worker threads.
     pub fn handle(&self, req: RecommendRequest) -> Result<Vec<ItemScore>, ServingError> {
-        self.pod_for(req.session_id).handle(req)
+        let result = self.pod_for(req.session_id).handle(req);
+        if result.is_ok() {
+            self.feed_ingest(&req);
+        }
+        result
     }
 
     /// Handles a request on the responsible pod, reusing the caller's
@@ -144,6 +230,7 @@ impl ServingCluster {
         let result = self.pod_for(req.session_id).handle_with(req, ctx);
         let request_id = ctx.take_request_id();
         if result.is_ok() {
+            self.feed_ingest(&req);
             let timings = ctx.last_timings();
             self.telemetry.traces().record(&TraceSample {
                 request_id: if request_id == 0 {
@@ -194,6 +281,7 @@ impl ServingCluster {
             if result.is_err() {
                 continue;
             }
+            self.feed_ingest(req);
             let timings = ctx.last_timings();
             self.telemetry.traces().record(&TraceSample {
                 request_id: if request_id == 0 {
@@ -247,6 +335,12 @@ impl ServingCluster {
     pub fn reload_index(&self, index: Arc<SessionIndex>) -> Result<(), CoreError> {
         let started = Instant::now();
         let fresh = crate::sync::Arc::new(build_recommender(index, &self.config)?);
+        // A rollover replaces the whole neighbourhood structure: record an
+        // all-items epoch (before the store — see the epoch-log contract)
+        // so no cached entry survives via epoch revalidation.
+        if let Some(cache) = &self.cache {
+            cache.epoch_log().record(self.index.generation() + 1, EpochChange::All);
+        }
         self.index.store(fresh);
         self.telemetry.record_rollover(started.elapsed());
         Ok(())
@@ -370,6 +464,252 @@ mod tests {
                 "all pods must serve the same index instance",
             );
         }
+    }
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod ingest_tests {
+    use super::*;
+    use crate::ingest::IngestConfig;
+    use serenade_core::Click;
+    use std::time::Duration;
+
+    fn seed_clicks() -> Vec<Click> {
+        let mut clicks = Vec::new();
+        for s in 0..40u64 {
+            let ts = 100 + s * 10;
+            clicks.push(Click::new(s + 1, s % 6, ts));
+            clicks.push(Click::new(s + 1, (s + 1) % 6, ts + 1));
+        }
+        clicks
+    }
+
+    fn cluster_with_ingest(config: IngestConfig) -> (ServingCluster, Arc<IngestPipeline>) {
+        let clicks = seed_clicks();
+        let index = Arc::new(SessionIndex::build(&clicks, 500).unwrap());
+        let cluster =
+            ServingCluster::new(index, 2, EngineConfig::default(), BusinessRules::none())
+                .unwrap();
+        let pipeline = cluster.enable_ingest(config, &clicks).unwrap();
+        (cluster, pipeline)
+    }
+
+    fn dep(session_id: u64, item: u64) -> RecommendRequest {
+        RecommendRequest { session_id, item, consent: false, filter_adult: false }
+    }
+
+    #[test]
+    fn ingested_clicks_become_visible_after_a_publish() {
+        let (c, p) = cluster_with_ingest(IngestConfig {
+            publish_interval: Duration::from_millis(5),
+            ..IngestConfig::default()
+        });
+        let generation_before = c.pods()[0].index_handle().generation();
+        // Item 42 does not exist in the seed log: nothing to recommend.
+        assert!(c.handle(dep(900, 42)).unwrap().is_empty());
+
+        assert!(p.submit(&[Click::new(1_000, 0, 10_000), Click::new(1_000, 42, 10_001)]));
+        let generation_after = p.flush().unwrap();
+        assert!(generation_after > generation_before, "publish must bump the generation");
+        assert_eq!(p.metrics().publishes(), 1);
+
+        // The live co-occurrence (0, 42) is now served.
+        let recs = c.handle(dep(901, 42)).unwrap();
+        assert!(recs.iter().any(|r| r.item == 0), "fresh neighbourhood must serve: {recs:?}");
+    }
+
+    #[test]
+    fn cluster_delete_purges_log_and_session_state() {
+        let (c, _p) = cluster_with_ingest(IngestConfig {
+            publish_interval: Duration::from_millis(5),
+            ..IngestConfig::default()
+        });
+        // A consented request leaves evolving state on the owning pod.
+        c.handle(RecommendRequest { session_id: 77, item: 3, consent: true, filter_adult: false })
+            .unwrap();
+        assert_eq!(c.pod_for(77).stored_session_len(77), 1);
+
+        // Unlearning erases both the state and (here, absent) log entry.
+        assert!(c.delete_session(77).unwrap(), "session state existed on a pod");
+        assert_eq!(c.pod_for(77).stored_session_len(77), 0);
+
+        // Seed session 5 exists only in the click log — still "existed".
+        assert!(c.delete_session(5).unwrap(), "session 5 was in the seed log");
+        // A session nobody ever saw: nothing anywhere.
+        assert!(!c.delete_session(999_999).unwrap());
+    }
+
+    #[test]
+    fn cluster_delete_requires_ingest() {
+        let clicks = seed_clicks();
+        let index = Arc::new(SessionIndex::build(&clicks, 500).unwrap());
+        let cluster =
+            ServingCluster::new(index, 2, EngineConfig::default(), BusinessRules::none())
+                .unwrap();
+        assert!(cluster.delete_session(1).is_err());
+    }
+
+    #[test]
+    fn observe_served_feeds_the_index() {
+        let (c, p) = cluster_with_ingest(IngestConfig {
+            publish_interval: Duration::from_millis(5),
+            ..IngestConfig::default()
+        });
+        p.observe_served(4_000, 3, 10_000);
+        p.observe_served(4_000, 99, 10_001);
+        p.flush().unwrap();
+        let recs = c.handle(dep(902, 99)).unwrap();
+        assert!(recs.iter().any(|r| r.item == 3), "served clicks must reach the index: {recs:?}");
+        assert_eq!(p.metrics().accepted_clicks(), 2);
+    }
+
+    #[test]
+    fn deleted_session_stops_influencing_recommendations() {
+        let (c, p) = cluster_with_ingest(IngestConfig {
+            publish_interval: Duration::from_millis(5),
+            ..IngestConfig::default()
+        });
+        assert!(p.submit(&[Click::new(2_000, 5, 10_000), Click::new(2_000, 77, 10_001)]));
+        p.flush().unwrap();
+        assert!(c.handle(dep(903, 77)).unwrap().iter().any(|r| r.item == 5));
+
+        assert!(p.delete_session(2_000).unwrap(), "the session existed");
+        assert!(
+            c.handle(dep(904, 77)).unwrap().is_empty(),
+            "the unlearned session must stop influencing predictions"
+        );
+        assert_eq!(p.metrics().deletions(), 1);
+        // Unknown sessions report false but still tombstone.
+        assert!(!p.delete_session(999_999).unwrap());
+    }
+
+    #[test]
+    fn flush_with_nothing_pending_is_a_cheap_sync_point() {
+        let (c, p) = cluster_with_ingest(IngestConfig::default());
+        let generation = c.pods()[0].index_handle().generation();
+        assert_eq!(p.flush().unwrap(), generation, "no publish without work");
+        assert_eq!(p.metrics().publishes(), 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_the_whole_batch() {
+        // A long interval keeps the publisher from draining mid-test.
+        let (_c, p) = cluster_with_ingest(IngestConfig {
+            publish_interval: Duration::from_secs(30),
+            max_pending_appends: 4,
+            ..IngestConfig::default()
+        });
+        let click = |s| Click::new(s, 1, 10_000);
+        assert!(p.submit(&[click(1), click(2), click(3)]));
+        assert!(!p.submit(&[click(4), click(5)]), "3 + 2 exceeds the bound of 4");
+        assert_eq!(p.pending_clicks(), 3, "rejected batches admit nothing");
+        assert_eq!(p.metrics().rejected_clicks(), 2);
+        assert!(p.submit(&[click(6)]), "room for one more");
+    }
+
+    #[test]
+    fn mini_publish_revalidates_untouched_cache_entries() {
+        let (c, p) = cluster_with_ingest(IngestConfig {
+            publish_interval: Duration::from_millis(5),
+            ..IngestConfig::default()
+        });
+        let cache = c.prediction_cache().unwrap();
+        let warm = c.handle(dep(905, 1)).unwrap();
+        assert_eq!(c.handle(dep(906, 1)).unwrap(), warm, "warm: second request hits");
+        let hits_before = cache.hit_count();
+
+        // A publish touching only brand-new items (40, 41).
+        assert!(p.submit(&[Click::new(3_000, 40, 10_000), Click::new(3_000, 41, 10_001)]));
+        p.flush().unwrap();
+
+        assert_eq!(c.handle(dep(907, 1)).unwrap(), warm, "untouched entry still serves");
+        assert_eq!(cache.revalidation_count(), 1, "served via epoch revalidation");
+        assert_eq!(cache.hit_count(), hits_before + 1);
+        assert_eq!(cache.stale_count(), 0, "no whole-generation eviction happened");
+    }
+
+    #[test]
+    fn mini_publish_invalidates_touched_cache_entries() {
+        let (c, p) = cluster_with_ingest(IngestConfig {
+            publish_interval: Duration::from_millis(5),
+            ..IngestConfig::default()
+        });
+        let cache = c.prediction_cache().unwrap();
+        let before = c.handle(dep(908, 1)).unwrap();
+        assert_eq!(c.handle(dep(909, 1)).unwrap(), before, "warm: second request hits");
+
+        // A session containing item 1 changes item 1's neighbourhood.
+        assert!(p.submit(&[Click::new(3_100, 1, 10_000), Click::new(3_100, 55, 10_001)]));
+        p.flush().unwrap();
+
+        let after = c.handle(dep(910, 1)).unwrap();
+        assert_ne!(after, before, "the touched item's answer must be recomputed");
+        assert!(after.iter().any(|r| r.item == 55), "and reflect the live click: {after:?}");
+        assert_eq!(cache.stale_count(), 1, "the touched entry was invalidated");
+        assert_eq!(cache.revalidation_count(), 0);
+    }
+
+    #[test]
+    fn served_session_hook_feeds_consented_requests_only() {
+        let (c, p) = cluster_with_ingest(IngestConfig {
+            publish_interval: Duration::from_secs(30),
+            observe_served: true,
+            ..IngestConfig::default()
+        });
+        let consented =
+            RecommendRequest { session_id: 700, item: 1, consent: true, filter_adult: false };
+        c.handle(consented).unwrap();
+        c.handle(dep(701, 1)).unwrap();
+        assert_eq!(
+            p.metrics().accepted_clicks(),
+            1,
+            "only the consented request feeds the index"
+        );
+        assert_eq!(p.pending_clicks(), 1);
+    }
+
+    #[test]
+    fn served_session_hook_is_off_by_default() {
+        let (c, p) = cluster_with_ingest(IngestConfig {
+            publish_interval: Duration::from_secs(30),
+            ..IngestConfig::default()
+        });
+        let consented =
+            RecommendRequest { session_id: 702, item: 1, consent: true, filter_adult: false };
+        c.handle(consented).unwrap();
+        assert_eq!(p.metrics().accepted_clicks(), 0);
+    }
+
+    #[test]
+    fn enable_ingest_is_at_most_once() {
+        let (c, _p) = cluster_with_ingest(IngestConfig::default());
+        assert!(c.ingest().is_some());
+        c.enable_ingest(IngestConfig::default(), &seed_clicks())
+            .expect_err("second enable must be rejected");
+    }
+
+    #[test]
+    fn rollover_after_ingest_invalidates_everything() {
+        let (c, p) = cluster_with_ingest(IngestConfig {
+            publish_interval: Duration::from_millis(5),
+            ..IngestConfig::default()
+        });
+        let cache = c.prediction_cache().unwrap();
+        let before = c.handle(dep(911, 1)).unwrap();
+        assert_eq!(c.handle(dep(912, 1)).unwrap(), before);
+
+        // Quiesce the publisher, then roll over to a different index: the
+        // all-items epoch must defeat revalidation for every entry.
+        p.flush().unwrap();
+        let mut clicks = seed_clicks();
+        for s in 0..20u64 {
+            clicks.push(Click::new(500 + s, (s + 3) % 6, 5_000 + s));
+            clicks.push(Click::new(500 + s, (s + 4) % 6, 5_001 + s));
+        }
+        c.reload_index(Arc::new(SessionIndex::build(&clicks, 500).unwrap())).unwrap();
+        let after = c.handle(dep(913, 1)).unwrap();
+        assert_ne!(after, before, "rollover must change the answer");
+        assert_eq!(cache.revalidation_count(), 0, "nothing survives an all-items epoch");
     }
 }
 

@@ -499,6 +499,15 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
         self.sessions.with_value(&session_id, Vec::len).unwrap_or(0)
     }
 
+    /// Erases a session's evolving state from this pod's store — live or
+    /// expired — returning whether anything was dropped. The unlearning
+    /// hook: [`crate::ServingCluster::delete_session`] calls this so a
+    /// session deleted from the click log also stops influencing its own
+    /// future requests (and its clicks stop occupying the TTL store).
+    pub fn forget_session(&self, session_id: u64) -> bool {
+        self.sessions.forget(&session_id)
+    }
+
     /// Count of live sessions on this pod.
     pub fn live_sessions(&self) -> usize {
         self.sessions.live_entries()

@@ -77,6 +77,15 @@ impl HttpClient {
         self.read_response()
     }
 
+    /// Issues a DELETE and returns `(status, body)` (the session-unlearning
+    /// endpoint `DELETE /ingest/session/{id}` is the only consumer).
+    pub fn delete(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        let writer = self.reader.get_mut();
+        write!(writer, "DELETE {path} HTTP/1.1\r\nhost: {}\r\n\r\n", self.addr)?;
+        writer.flush()?;
+        self.read_response()
+    }
+
     /// Issues a GET and returns `(status, body)`.
     pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
         let writer = self.reader.get_mut();

@@ -1,0 +1,124 @@
+//! `serenade_ingest_*` telemetry for the streaming write path.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use serenade_telemetry::{Counter, Histogram, HistogramConfig, Registry};
+
+/// Counters and histograms the ingest pipeline reports through `/metrics`.
+#[derive(Debug)]
+pub struct IngestMetrics {
+    accepted_clicks: Arc<Counter>,
+    rejected_clicks: Arc<Counter>,
+    deletions: Arc<Counter>,
+    publishes: Arc<Counter>,
+    publish_failures: Arc<Counter>,
+    publish_duration: Arc<Histogram>,
+}
+
+impl Default for IngestMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IngestMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self {
+            accepted_clicks: Arc::new(Counter::new()),
+            rejected_clicks: Arc::new(Counter::new()),
+            deletions: Arc::new(Counter::new()),
+            publishes: Arc::new(Counter::new()),
+            publish_failures: Arc::new(Counter::new()),
+            publish_duration: Arc::new(Histogram::new(HistogramConfig::default())),
+        }
+    }
+
+    pub(crate) fn record_accepted(&self, clicks: usize) {
+        self.accepted_clicks.add(clicks as u64);
+    }
+
+    pub(crate) fn record_rejected(&self, clicks: usize) {
+        self.rejected_clicks.add(clicks as u64);
+    }
+
+    pub(crate) fn record_deletion(&self) {
+        self.deletions.inc();
+    }
+
+    pub(crate) fn record_publish(&self, took: Duration) {
+        self.publishes.inc();
+        self.publish_duration.record(took);
+    }
+
+    pub(crate) fn record_publish_failure(&self) {
+        self.publish_failures.inc();
+    }
+
+    /// Clicks admitted into the pending queue.
+    pub fn accepted_clicks(&self) -> u64 {
+        self.accepted_clicks.get()
+    }
+
+    /// Clicks rejected because the pending queue was full.
+    pub fn rejected_clicks(&self) -> u64 {
+        self.rejected_clicks.get()
+    }
+
+    /// Sessions deleted (unlearned) through the pipeline.
+    pub fn deletions(&self) -> u64 {
+        self.deletions.get()
+    }
+
+    /// Successful mini-publishes (each bumps the index generation).
+    pub fn publishes(&self) -> u64 {
+        self.publishes.get()
+    }
+
+    /// Publish attempts that failed (e.g. an emptied index); the old
+    /// snapshot keeps serving.
+    pub fn publish_failures(&self) -> u64 {
+        self.publish_failures.get()
+    }
+
+    /// Registers the ingest metrics into a `/metrics` registry.
+    pub fn register_into(&self, registry: &Registry) {
+        registry.counter_shared(
+            "serenade_ingest_accepted_clicks_total",
+            "Click events admitted into the ingest pending queue.",
+            &[],
+            Arc::clone(&self.accepted_clicks),
+        );
+        registry.counter_shared(
+            "serenade_ingest_rejected_clicks_total",
+            "Click events rejected because the ingest queue was at capacity.",
+            &[],
+            Arc::clone(&self.rejected_clicks),
+        );
+        registry.counter_shared(
+            "serenade_ingest_deletions_total",
+            "Sessions deleted (unlearned) from the live index.",
+            &[],
+            Arc::clone(&self.deletions),
+        );
+        registry.counter_shared(
+            "serenade_ingest_publishes_total",
+            "Successful live index mini-publishes.",
+            &[],
+            Arc::clone(&self.publishes),
+        );
+        registry.counter_shared(
+            "serenade_ingest_publish_failures_total",
+            "Publish attempts that failed and left the previous index serving.",
+            &[],
+            Arc::clone(&self.publish_failures),
+        );
+        registry.histogram_shared(
+            "serenade_ingest_publish_duration_seconds",
+            "Apply-batch to index-visible latency of one mini-publish.",
+            &[],
+            Arc::clone(&self.publish_duration),
+        );
+    }
+}

@@ -18,6 +18,10 @@
 //!   single-item-view recommendation lists keyed by `(item, view-kind)`,
 //!   stamped with the [`handle`] generation so a rollover invalidates every
 //!   entry implicitly (business rules run per request, *after* the cache);
+//! * [`ingest`] — the streaming write path: live click ingestion batched
+//!   into an incremental indexer, continuous index mini-publishes through
+//!   [`handle`], GDPR-style session unlearning, and the publish-epoch log
+//!   behind the cache's epoch-bucketed invalidation;
 //! * [`context`] — per-worker request state (scratch buffers, session view,
 //!   per-stage timings) threaded through `http → cluster → engine`;
 //! * [`router`] — sticky-session partitioning across pods;
@@ -49,6 +53,7 @@ pub mod engine;
 pub mod error;
 pub mod handle;
 pub mod http;
+pub mod ingest;
 pub mod json;
 pub mod loadgen;
 pub mod router;
@@ -64,6 +69,7 @@ pub use context::{RequestContext, StageTimings};
 pub use engine::{Engine, EngineConfig, ServingVariant};
 pub use error::ServingError;
 pub use handle::IndexHandle;
+pub use ingest::{IngestConfig, IngestPipeline};
 pub use json::JsonValue;
 pub use router::StickyRouter;
 pub use rules::BusinessRules;

@@ -20,6 +20,12 @@
 //! ([`run_load_test_scraped`]) and report the *server-side* latency
 //! distribution of exactly the run's window alongside the client-side one.
 //!
+//! A **mixed read/write** variant ([`run_mixed_load_test`]) shares the same
+//! open-loop schedule but turns a seeded fraction of slots into ingest
+//! submissions, so the index mini-publishes continuously while the
+//! remaining slots read — the read-side percentiles then measure the
+//! serving SLA *under churn* (Figure 3b with live ingestion).
+//!
 //! A second, **closed-loop** generator ([`run_overload_test`]) drives the
 //! HTTP front end itself past saturation: each client fires its next
 //! request as soon as the previous one is answered, reconnecting whenever
@@ -318,6 +324,218 @@ pub fn run_load_test(
         completed,
         achieved_rps: completed as f64 / elapsed.as_secs_f64(),
         cores_busy: busy.as_secs_f64() / elapsed.as_secs_f64(),
+    }
+}
+
+/// Parameters of a mixed read/write run ([`run_mixed_load_test`]): reads go
+/// through the pods, writes through the ingest pipeline, on one shared
+/// open-loop schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedLoadConfig {
+    /// Fraction of scheduled slots that are ingest writes, in `[0, 1]`.
+    /// Which slots are writes is a pure seeded function of the request
+    /// index ([`is_write_slot`]), so the same seed interleaves reads and
+    /// writes identically across runs.
+    pub ingest_fraction: f64,
+    /// Clicks per ingest submission (writes batch several clicks the way a
+    /// collector tier would).
+    pub clicks_per_write: usize,
+    /// Session-id namespace for writer traffic, kept disjoint from read
+    /// sessions so churn never mutates a session a read is evolving.
+    pub writer_session_base: u64,
+}
+
+impl Default for MixedLoadConfig {
+    fn default() -> Self {
+        Self { ingest_fraction: 0.1, clicks_per_write: 4, writer_session_base: 9_000_000 }
+    }
+}
+
+/// Whether slot `i` of the shared schedule is an ingest write under `seed`.
+/// Decorrelated from both the send-time jitter and the Zipf item stream by
+/// double-mixing a salted seed.
+pub fn is_write_slot(seed: u64, i: u64, fraction: f64) -> bool {
+    if fraction <= 0.0 {
+        return false;
+    }
+    let unit =
+        (splitmix64(splitmix64(seed ^ 0x00C0_FFEE) ^ i) >> 11) as f64 / (1u64 << 53) as f64;
+    unit < fraction
+}
+
+/// Outcome of a mixed read/write run.
+#[derive(Debug, Clone)]
+pub struct MixedLoadReport {
+    /// The read-side report (windows, percentiles, achieved read rps) —
+    /// directly comparable to a read-only [`run_load_test`] run with the
+    /// same config, which is how the SLA-under-churn delta is measured.
+    pub reads: LoadReport,
+    /// Ingest submissions accepted by the pipeline.
+    pub writes_accepted: usize,
+    /// Ingest submissions rejected (queue at capacity).
+    pub writes_rejected: usize,
+    /// Latency percentiles of the (accepted) submit calls.
+    pub write_latency: Option<LatencySummary>,
+    /// Index generations published while the run was in flight.
+    pub publishes: u64,
+}
+
+/// Runs an open-loop **mixed** load test: one shared schedule at
+/// `config.target_rps` where a seeded `mixed.ingest_fraction` of slots
+/// submit click batches to the cluster's ingest pipeline and the rest are
+/// recommendation reads. The index mini-publishes continuously underneath
+/// the reads, so the read-side percentiles measure the SLA *under churn*.
+///
+/// Requires [`crate::ServingCluster::enable_ingest`] to have been called.
+pub fn run_mixed_load_test(
+    cluster: &Arc<ServingCluster>,
+    traffic: &[RecommendRequest],
+    config: LoadGenConfig,
+    mixed: MixedLoadConfig,
+) -> MixedLoadReport {
+    assert!(!traffic.is_empty(), "traffic must not be empty");
+    assert!(config.target_rps > 0.0);
+    assert!(
+        (0.0..=1.0).contains(&mixed.ingest_fraction),
+        "ingest_fraction must be in [0, 1]"
+    );
+    let pipeline =
+        Arc::clone(cluster.ingest().expect("mixed load requires ingest to be enabled"));
+    let clicks_per_write = mixed.clicks_per_write.max(1);
+    let publishes_before = pipeline.metrics().publishes();
+
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    let interval = Duration::from_secs_f64(1.0 / config.target_rps);
+    let num_windows =
+        (config.duration.as_secs_f64() / config.window.as_secs_f64()).ceil() as usize;
+
+    struct WorkerOut {
+        windows: Vec<LatencyRecorder>,
+        window_counts: Vec<usize>,
+        write_latency: LatencyRecorder,
+        busy: Duration,
+        reads: usize,
+        writes_accepted: usize,
+        writes_rejected: usize,
+    }
+
+    let outs: Vec<WorkerOut> = crossbeam::thread::scope(|scope| {
+        let next = &next;
+        let pipeline = &pipeline;
+        let handles: Vec<_> = (0..config.workers.max(1))
+            .map(|_| {
+                let cluster = Arc::clone(cluster);
+                scope.spawn(move |_| {
+                    let mut out = WorkerOut {
+                        windows: vec![LatencyRecorder::new(); num_windows],
+                        window_counts: vec![0usize; num_windows],
+                        write_latency: LatencyRecorder::new(),
+                        busy: Duration::ZERO,
+                        reads: 0,
+                        writes_accepted: 0,
+                        writes_rejected: 0,
+                    };
+                    let mut ctx = RequestContext::new();
+                    let mut batch = Vec::with_capacity(clicks_per_write);
+                    loop {
+                        // ORDERING: shared request ticket, partner: none.
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if interval.mul_f64(i as f64) >= config.duration {
+                            break;
+                        }
+                        let scheduled =
+                            scheduled_offset(i, interval, config.seed, config.jitter);
+                        loop {
+                            let now = start.elapsed();
+                            if now >= scheduled {
+                                break;
+                            }
+                            let wait = scheduled - now;
+                            if wait > Duration::from_micros(200) {
+                                std::thread::sleep(wait - Duration::from_micros(100));
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        let t0 = Instant::now();
+                        if is_write_slot(config.seed, i as u64, mixed.ingest_fraction) {
+                            // A collector-tier write: a short session of
+                            // items drawn from the same traffic stream.
+                            batch.clear();
+                            let session = mixed.writer_session_base + i as u64;
+                            for k in 0..clicks_per_write {
+                                let item = traffic[(i + k) % traffic.len()].item;
+                                batch.push(serenade_core::Click::new(
+                                    session,
+                                    item,
+                                    1_000_000 + i as u64,
+                                ));
+                            }
+                            if pipeline.submit(&batch) {
+                                out.writes_accepted += 1;
+                                out.write_latency.record(t0.elapsed());
+                            } else {
+                                out.writes_rejected += 1;
+                            }
+                            out.busy += t0.elapsed();
+                        } else {
+                            let req = traffic[i % traffic.len()];
+                            let _recs = cluster.handle_with(req, &mut ctx);
+                            let elapsed = t0.elapsed();
+                            out.busy += elapsed;
+                            out.reads += 1;
+                            let w = ((start.elapsed().as_secs_f64()
+                                / config.window.as_secs_f64())
+                                as usize)
+                                .min(num_windows - 1);
+                            out.windows[w].record(elapsed);
+                            out.window_counts[w] += 1;
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("mixed load worker")).collect()
+    })
+    .expect("mixed load scope");
+
+    let elapsed = start.elapsed();
+    let mut total = LatencyRecorder::new();
+    let mut windows = Vec::with_capacity(num_windows);
+    for w in 0..num_windows {
+        let mut rec = LatencyRecorder::new();
+        let mut count = 0;
+        for o in &outs {
+            rec.merge(&o.windows[w]);
+            count += o.window_counts[w];
+        }
+        total.merge(&rec);
+        windows.push(LoadWindow {
+            offset: config.window.mul_f64(w as f64),
+            requests: count,
+            latency: rec.summary(),
+        });
+    }
+    let reads: usize = outs.iter().map(|o| o.reads).sum();
+    let busy: Duration = outs.iter().map(|o| o.busy).sum();
+    let mut write_latency = LatencyRecorder::new();
+    for o in &outs {
+        write_latency.merge(&o.write_latency);
+    }
+    MixedLoadReport {
+        reads: LoadReport {
+            total: total.summary(),
+            windows,
+            completed: reads,
+            achieved_rps: reads as f64 / elapsed.as_secs_f64(),
+            cores_busy: busy.as_secs_f64() / elapsed.as_secs_f64(),
+        },
+        writes_accepted: outs.iter().map(|o| o.writes_accepted).sum(),
+        writes_rejected: outs.iter().map(|o| o.writes_rejected).sum(),
+        write_latency: write_latency.summary(),
+        publishes: pipeline.metrics().publishes().saturating_sub(publishes_before),
     }
 }
 
@@ -891,6 +1109,74 @@ mod tests {
         // Six distinct items: everything past the first sighting is a hit.
         assert_eq!(cache.miss_count(), 6);
         assert!(cache.stale_count() == 0);
+    }
+
+    #[test]
+    fn write_slots_are_seeded_and_match_the_fraction() {
+        let a: Vec<bool> = (0..4_096).map(|i| is_write_slot(7, i, 0.2)).collect();
+        let b: Vec<bool> = (0..4_096).map(|i| is_write_slot(7, i, 0.2)).collect();
+        assert_eq!(a, b, "same seed must pick the identical write slots");
+        let c: Vec<bool> = (0..4_096).map(|i| is_write_slot(8, i, 0.2)).collect();
+        assert_ne!(a, c, "a different seed must move at least one slot");
+
+        let share = a.iter().filter(|&&w| w).count() as f64 / a.len() as f64;
+        assert!((share - 0.2).abs() < 0.03, "write share ≈ fraction: {share}");
+        assert!((0..1_000).all(|i| !is_write_slot(7, i, 0.0)), "fraction 0 = read-only");
+        assert!((0..1_000).all(|i| is_write_slot(7, i, 1.0)), "fraction 1 = write-only");
+    }
+
+    #[test]
+    fn mixed_load_reads_under_live_publishes() {
+        use crate::ingest::IngestConfig;
+        let cluster = cluster();
+        let seed_log: Vec<Click> = {
+            let mut clicks = Vec::new();
+            for s in 0..40u64 {
+                let ts = 100 + s * 10;
+                clicks.push(Click::new(s + 1, s % 6, ts));
+                clicks.push(Click::new(s + 1, (s + 1) % 6, ts + 1));
+            }
+            clicks
+        };
+        cluster
+            .enable_ingest(
+                IngestConfig {
+                    publish_interval: Duration::from_millis(20),
+                    ..IngestConfig::default()
+                },
+                &seed_log,
+            )
+            .unwrap();
+        let generation_before = cluster.pods()[0].index_handle().generation();
+        let traffic = requests_from_sessions(&sessions());
+        let config = LoadGenConfig {
+            target_rps: 400.0,
+            duration: Duration::from_millis(600),
+            workers: 4,
+            window: Duration::from_millis(200),
+            seed: 11,
+            ..LoadGenConfig::default()
+        };
+        let report = run_mixed_load_test(
+            &cluster,
+            &traffic,
+            config,
+            MixedLoadConfig { ingest_fraction: 0.25, ..MixedLoadConfig::default() },
+        );
+        assert!(report.reads.completed > 100, "reads = {}", report.reads.completed);
+        assert!(report.writes_accepted > 20, "writes = {}", report.writes_accepted);
+        assert_eq!(report.writes_rejected, 0, "queue must keep up at this rate");
+        assert!(report.write_latency.is_some());
+        assert!(report.publishes >= 1, "churn must publish at least once");
+        assert!(
+            cluster.pods()[0].index_handle().generation() > generation_before,
+            "publishes must bump the served generation"
+        );
+        let window_sum: usize = report.reads.windows.iter().map(|w| w.requests).sum();
+        assert_eq!(window_sum, report.reads.completed);
+        // Reads and writes share one schedule: together they cover it.
+        let total = report.reads.completed + report.writes_accepted + report.writes_rejected;
+        assert!(total > 150, "schedule coverage: {total}");
     }
 
     #[test]

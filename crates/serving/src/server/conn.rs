@@ -15,7 +15,7 @@
 //! * [`parse_recommend_request`] — the predict body schema, shared with the
 //!   reactor's batch classifier.
 
-use serenade_core::ItemScore;
+use serenade_core::{Click, ItemScore};
 
 use crate::cluster::ServingCluster;
 use crate::context::RequestContext;
@@ -43,6 +43,7 @@ pub(super) fn render_response(
     use std::fmt::Write as _;
     let reason = match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         408 => "Request Timeout",
@@ -173,6 +174,87 @@ pub(super) fn respond(
                 CONTENT_TYPE_JSON,
             )
         }
+        ("POST", "/ingest") => {
+            let Some(pipeline) = cluster.ingest() else {
+                return (
+                    404,
+                    JsonValue::object([(
+                        "error",
+                        JsonValue::String("ingest is not enabled on this cluster".into()),
+                    )])
+                    .to_json(),
+                    CONTENT_TYPE_JSON,
+                );
+            };
+            match parse_ingest_batch(&request.body) {
+                Ok(clicks) => {
+                    if pipeline.submit(&clicks) {
+                        (
+                            202,
+                            JsonValue::object([(
+                                "accepted",
+                                JsonValue::Number(clicks.len() as f64),
+                            )])
+                            .to_json(),
+                            CONTENT_TYPE_JSON,
+                        )
+                    } else {
+                        (
+                            503,
+                            JsonValue::object([(
+                                "error",
+                                JsonValue::String("ingest queue is at capacity".into()),
+                            )])
+                            .to_json(),
+                            CONTENT_TYPE_JSON,
+                        )
+                    }
+                }
+                Err(message) => (
+                    400,
+                    JsonValue::object([("error", JsonValue::String(message))]).to_json(),
+                    CONTENT_TYPE_JSON,
+                ),
+            }
+        }
+        ("DELETE", path) if path.starts_with(INGEST_SESSION_PREFIX) => {
+            if cluster.ingest().is_none() {
+                return (
+                    404,
+                    JsonValue::object([(
+                        "error",
+                        JsonValue::String("ingest is not enabled on this cluster".into()),
+                    )])
+                    .to_json(),
+                    CONTENT_TYPE_JSON,
+                );
+            }
+            let Ok(session_id) = path[INGEST_SESSION_PREFIX.len()..].parse::<u64>() else {
+                return (
+                    400,
+                    JsonValue::object([(
+                        "error",
+                        JsonValue::String("session id must be an unsigned integer".into()),
+                    )])
+                    .to_json(),
+                    CONTENT_TYPE_JSON,
+                );
+            };
+            // Cluster-level unlearning: remove the session from the click
+            // log, republish, and erase its evolving state from the pods'
+            // session stores — one synchronous call.
+            match unwind_barrier(|| cluster.delete_session(session_id)) {
+                Ok(existed) => (
+                    200,
+                    JsonValue::object([("deleted", JsonValue::Bool(existed))]).to_json(),
+                    CONTENT_TYPE_JSON,
+                ),
+                Err(e) => {
+                    let (status, body) = render_error(&e);
+                    (status, body, CONTENT_TYPE_JSON)
+                }
+            }
+        }
         ("POST", "/recommend") => match parse_recommend_request(&request.body) {
             Ok(req) => {
                 // Ingress id assignment: the trace recorded at the cluster
@@ -225,6 +307,42 @@ fn recommend_guarded(
     unwind_barrier(|| cluster.handle_with(req, ctx))
 }
 
+/// Path prefix of the unlearning endpoint: `DELETE /ingest/session/{id}`.
+const INGEST_SESSION_PREFIX: &str = "/ingest/session/";
+
+/// Upper bound on clicks per `POST /ingest` body; larger batches should be
+/// split client-side (the pending queue is bounded anyway).
+const MAX_INGEST_BATCH: usize = 10_000;
+
+/// Parses the `POST /ingest` body:
+/// `{"clicks": [{"session_id": u64, "item_id": u64, "timestamp": u64}, ...]}`.
+pub(super) fn parse_ingest_batch(body: &str) -> Result<Vec<Click>, String> {
+    let v = json::parse(body).map_err(|e| format!("invalid json: {e}"))?;
+    let clicks = v
+        .get("clicks")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing clicks array")?;
+    if clicks.is_empty() {
+        return Err(String::from("clicks array is empty"));
+    }
+    if clicks.len() > MAX_INGEST_BATCH {
+        return Err(format!("clicks array exceeds the {MAX_INGEST_BATCH}-event batch limit"));
+    }
+    clicks
+        .iter()
+        .map(|c| {
+            let session_id =
+                c.get("session_id").and_then(JsonValue::as_u64).ok_or("missing session_id")?;
+            let item_id =
+                c.get("item_id").and_then(JsonValue::as_u64).ok_or("missing item_id")?;
+            let timestamp =
+                c.get("timestamp").and_then(JsonValue::as_u64).ok_or("missing timestamp")?;
+            Ok(Click::new(session_id, item_id, timestamp))
+        })
+        .collect::<Result<Vec<Click>, &'static str>>()
+        .map_err(String::from)
+}
+
 /// Parses the `POST /recommend` body. Shared by the worker's responder and
 /// the reactor's batch classifier, so both agree on the schema.
 pub(super) fn parse_recommend_request(body: &str) -> Result<RecommendRequest, String> {
@@ -271,6 +389,26 @@ mod tests {
         assert!(!ok.filter_adult);
         assert!(parse_recommend_request("not json").is_err());
         assert!(parse_recommend_request(r#"{"item_id": 1}"#).is_err());
+    }
+
+    #[test]
+    fn ingest_batch_parsing_validates_the_schema() {
+        let clicks = parse_ingest_batch(
+            r#"{"clicks": [
+                {"session_id": 7, "item_id": 3, "timestamp": 100},
+                {"session_id": 7, "item_id": 4, "timestamp": 101}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(clicks.len(), 2);
+        assert_eq!((clicks[0].session_id, clicks[0].item_id, clicks[0].timestamp), (7, 3, 100));
+        assert!(parse_ingest_batch("not json").is_err());
+        assert!(parse_ingest_batch(r#"{"clicks": []}"#).is_err(), "empty batch");
+        assert!(parse_ingest_batch(r#"{"clicks": 3}"#).is_err(), "not an array");
+        assert!(
+            parse_ingest_batch(r#"{"clicks": [{"session_id": 7, "item_id": 3}]}"#).is_err(),
+            "missing timestamp"
+        );
     }
 
     #[test]

@@ -1,0 +1,29 @@
+// The live ingest write-hook pattern: `submit` appends to a bounded
+// mutex-guarded queue and notifies the publisher without waiting for the
+// publish; the only lock on the path is vetted by an allowlist entry —
+// mirroring the workspace's `SharedState::lock_pending` entry.
+// path: crates/app/src/ingest.rs
+// root: crates/app/src/ingest.rs :: IngestHook::submit
+// allow: reactor-blocking :: crates/app/src/ingest.rs :: IngestHook::submit :: `.lock(` :: bounded O(batch) append under a short critical section; the publisher never blocks while holding it
+// expect: none
+use std::sync::{Condvar, Mutex};
+
+pub struct IngestHook {
+    pending: Mutex<Vec<u64>>,
+    wake: Condvar,
+    cap: usize,
+}
+
+impl IngestHook {
+    pub fn submit(&self, item: u64) -> bool {
+        {
+            let mut g = self.pending.lock().unwrap();
+            if g.len() >= self.cap {
+                return false;
+            }
+            g.push(item);
+        }
+        self.wake.notify_all();
+        true
+    }
+}

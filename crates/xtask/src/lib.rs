@@ -77,6 +77,10 @@ const REQUEST_PATH_MODULES: &[&str] = &[
     "crates/serving/src/cache.rs",
     "crates/serving/src/json.rs",
     "crates/serving/src/rules.rs",
+    "crates/serving/src/ingest/mod.rs",
+    "crates/serving/src/ingest/pipeline.rs",
+    "crates/serving/src/ingest/epoch.rs",
+    "crates/serving/src/ingest/metrics.rs",
     "crates/kvstore/src/store.rs",
     "crates/kvstore/src/session.rs",
     "crates/kvstore/src/clock.rs",
@@ -100,6 +104,8 @@ const RECORD_PATH_MODULES: &[&str] = &[
     "crates/serving/src/stats.rs",
     "crates/serving/src/telemetry.rs",
     "crates/serving/src/server/metrics.rs",
+    "crates/serving/src/ingest/metrics.rs",
+    "crates/serving/src/ingest/epoch.rs",
 ];
 
 /// Needles R6 treats as allocation or locking inside a `record*` function.
@@ -126,6 +132,7 @@ const FACADE_MODULES: &[&str] = &[
     "crates/serving/src/stats.rs",
     "crates/serving/src/server/lifecycle.rs",
     "crates/kvstore/src/store.rs",
+    "crates/serving/src/ingest/epoch.rs",
 ];
 
 /// Files allowed to call `thread::sleep` (R4): open-loop load generation

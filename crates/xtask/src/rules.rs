@@ -62,10 +62,18 @@ pub struct AnalyzeConfig {
 impl Default for AnalyzeConfig {
     fn default() -> Self {
         Self {
-            reactor_roots: vec![(
-                String::from("crates/serving/src/server/reactor.rs"),
-                String::from("Reactor::run"),
-            )],
+            reactor_roots: vec![
+                (
+                    String::from("crates/serving/src/server/reactor.rs"),
+                    String::from("Reactor::run"),
+                ),
+                // The ingest write hook runs on request workers: anything
+                // blocking reachable from `submit` stalls the read path.
+                (
+                    String::from("crates/serving/src/ingest/pipeline.rs"),
+                    String::from("IngestPipeline::submit"),
+                ),
+            ],
             require_roots: true,
         }
     }

@@ -35,11 +35,20 @@ cargo test -q -p serenade-serving --test cache_rollover
 echo "==> index conformance: randomized differential properties (core vs compressed vs incremental)"
 cargo test -q -p serenade-index --test differential_props
 
+echo "==> index conformance: session unlearning differential properties (deleted == never ingested)"
+cargo test -q -p serenade-index --test deletion_props
+
+echo "==> serving conformance: live ingest over sockets (publish visibility, unlearning, shedding)"
+cargo test -q -p serenade-serving --test ingest_live
+
 echo "==> core conformance: batch scoring bit-identical to sequential (randomized differential)"
 cargo test -q -p serenade-core --test batch_differential_props
 
 echo "==> server SLA gate: coalesced-batch speedup + p99 vs committed BENCH_server.json (>10% fails)"
 cargo bench -q -p serenade-bench --bench server_batch -- --check
+
+echo "==> ingest SLA gate: publish-to-visible p99 vs committed BENCH_ingest.json + read p99 under churn (>10% fails)"
+cargo bench -q -p serenade-bench --bench ingest_publish -- --check
 
 echo "==> loom models: serving (IndexHandle publication, drain handshake, stats stripes)"
 cargo test -q -p serenade-serving --features loom
@@ -64,5 +73,8 @@ cargo test -q -p serenade-serving --features "loom mutation-skip-generation-chec
 
 echo "==> mutation kill: drain-side reap of parked connections skipped"
 cargo test -q -p serenade-serving --features "loom mutation-skip-parked-reap" --test loom_models
+
+echo "==> mutation kill: epoch-log touched-items check dropped"
+cargo test -q -p serenade-serving --features "loom mutation-skip-epoch-check" --test loom_models
 
 echo "All checks passed."
