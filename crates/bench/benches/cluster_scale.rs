@@ -1,0 +1,219 @@
+//! Multi-node throughput/latency scaling — the cluster promotion, measured.
+//!
+//! Spawns 1, 2 and 4 serving-node **child processes**, fronts each fleet
+//! with an in-process router daemon, and drives the same seeded open-loop
+//! Zipf traffic (two million user ids, a heavy-browser head and a
+//! one-click tail) through the router at a fixed offered rate. The curve
+//! reports achieved rps and client-observed p50/p99 per node count — the
+//! router must hold the offered rate at every size, and the tail must not
+//! degrade as the fleet grows (each added node shrinks the per-node
+//! session population; the proxy hop is the constant cost being bought).
+//!
+//! Children are real processes (this binary re-executed with
+//! `--node-child`): routing, artifact-free startup, keep-alive proxy pools
+//! and failure isolation all behave as in production, not as threads
+//! sharing an allocator.
+//!
+//! Results land in the repo-root `BENCH_cluster.json`. With `--check`, the
+//! harness instead runs a short 4-node pass and fails if the fleet drops
+//! below the offered rate, surfaces any 5xx, or the fresh p99 exceeds 3x
+//! the committed artefact — a coarse tail gate by design: two process
+//! boundaries and a kernel scheduler sit inside the measurement, so only
+//! gross regressions (a lost keep-alive pool, an accidental per-request
+//! reconnect) are CI-stable signals; the rate floor is the stable gate.
+//!
+//! Not a criterion bench: the harness needs child processes, a JSON
+//! artefact and hard assertions, none of which the in-tree shim provides.
+
+use std::io::{BufRead, BufReader, Read};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serenade_core::{Click, SessionIndex};
+use serenade_serving::loadgen::{cluster_requests, run_socket_load_test, LoadGenConfig};
+use serenade_serving::node::{NodeConfig, ServingNode};
+use serenade_serving::routerd::{RouterConfig, RouterDaemon};
+
+/// User population the Zipf session stream draws from.
+const POPULATION: u64 = 2_000_000;
+/// Session-popularity skew (1.0 ≈ classic Zipf browsing head).
+const EXPONENT: f64 = 1.0;
+/// Offered rate per run; the router must hold it at every fleet size.
+const OFFERED_RPS: f64 = 2_000.0;
+
+/// Child mode: become one serving node and block until stdin closes. The
+/// node serves a deterministic synthetic index; the bench measures routing
+/// and proxy cost, not index quality.
+fn run_node_child() -> ! {
+    let mut clicks = Vec::new();
+    for s in 0..200u64 {
+        let ts = 1_000 + s * 10;
+        clicks.push(Click::new(s + 1, s % 32, ts));
+        clicks.push(Click::new(s + 1, (s + 5) % 32, ts + 1));
+        clicks.push(Click::new(s + 1, (s + 11) % 32, ts + 2));
+    }
+    let index = Arc::new(SessionIndex::build(&clicks, 500).expect("synthetic index"));
+    let node = ServingNode::start(index, NodeConfig::default()).expect("node starts");
+    println!("NODE data={} ctrl={}", node.data_addr(), node.ctrl_addr());
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    node.shutdown();
+    std::process::exit(0);
+}
+
+struct NodeProc {
+    child: Child,
+    data: SocketAddr,
+    ctrl: SocketAddr,
+}
+
+impl NodeProc {
+    fn spawn() -> Self {
+        let exe = std::env::current_exe().expect("current exe");
+        let mut child = Command::new(exe)
+            .arg("--node-child")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("node child spawns");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let (data, ctrl) = loop {
+            let line = lines
+                .next()
+                .expect("child exited before publishing addresses")
+                .expect("child stdout readable");
+            if let Some(rest) = line.strip_prefix("NODE data=") {
+                let (data, ctrl) = rest.split_once(" ctrl=").expect("NODE line shape");
+                break (data.parse().expect("data addr"), ctrl.parse().expect("ctrl addr"));
+            }
+        };
+        Self { child, data, ctrl }
+    }
+}
+
+impl Drop for NodeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct ScalePoint {
+    nodes: usize,
+    achieved_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    errors: usize,
+}
+
+/// One fleet size: spawn, route, drive, tear down.
+fn measure(nodes: usize, duration: Duration) -> ScalePoint {
+    let fleet: Vec<NodeProc> = (0..nodes).map(|_| NodeProc::spawn()).collect();
+    let members: Vec<(u64, SocketAddr, SocketAddr)> =
+        fleet.iter().enumerate().map(|(i, n)| (i as u64, n.data, n.ctrl)).collect();
+    let router = RouterDaemon::start(&members, RouterConfig::default()).expect("router starts");
+
+    let items: Vec<u64> = (0..32).collect();
+    let traffic = cluster_requests(POPULATION, &items, 50_000, EXPONENT, 0xC1u64);
+    let report = run_socket_load_test(
+        router.addr(),
+        &traffic,
+        LoadGenConfig {
+            target_rps: OFFERED_RPS,
+            duration,
+            workers: 8,
+            window: Duration::from_secs(1),
+            seed: 0xC1u64,
+            jitter: 0.5,
+        },
+    );
+    router.shutdown();
+
+    assert!(
+        report.worst_status < 500,
+        "{nodes}-node fleet surfaced a {} under healthy load",
+        report.worst_status
+    );
+    let summary = report.total.expect("run produced samples");
+    ScalePoint {
+        nodes,
+        achieved_rps: report.achieved_rps,
+        p50_us: summary.p50_us,
+        p99_us: summary.p99_us,
+        errors: report.errors,
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--node-child") {
+        run_node_child();
+    }
+    let check_mode = std::env::args().any(|a| a == "--check");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration = Duration::from_secs(if quick || check_mode { 2 } else { 5 });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+
+    if check_mode {
+        // SLA gate: a short 4-node pass against the committed baseline.
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--check needs a committed {path}: {e}"));
+        let needle = "\"gate_p99_us\": ";
+        let at = committed.find(needle).expect("baseline field missing");
+        let rest = &committed[at + needle.len()..];
+        let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+        let baseline: f64 = rest[..end].trim().parse().expect("baseline p99 unparsable");
+        let fresh = measure(4, duration);
+        println!(
+            "cluster_scale gate: fresh 4-node p99 {}us vs committed {baseline:.0}us (3x allowed)",
+            fresh.p99_us
+        );
+        assert!(
+            fresh.achieved_rps >= OFFERED_RPS * 0.8,
+            "4-node fleet fell below the offered rate: {:.0} rps",
+            fresh.achieved_rps
+        );
+        assert!(
+            (fresh.p99_us as f64) <= baseline * 3.0,
+            "cluster p99 regressed >3x: {}us vs committed {baseline:.0}us",
+            fresh.p99_us
+        );
+        return;
+    }
+
+    println!("cluster_scale: {OFFERED_RPS:.0} rps offered, Zipf({EXPONENT}) over {POPULATION} users");
+    let mut points = Vec::new();
+    for nodes in [1usize, 2, 4] {
+        let p = measure(nodes, duration);
+        println!(
+            "  {} node(s): {:>6.0} rps achieved, p50 {:>5}us, p99 {:>6}us, {} errors",
+            p.nodes, p.achieved_rps, p.p50_us, p.p99_us, p.errors
+        );
+        assert!(
+            p.achieved_rps >= OFFERED_RPS * 0.8,
+            "{}-node fleet fell below the offered rate: {:.0} rps",
+            p.nodes,
+            p.achieved_rps
+        );
+        points.push(p);
+    }
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"nodes\": {}, \"achieved_rps\": {:.0}, \"p50_us\": {}, \"p99_us\": {}, \"errors\": {}}}",
+                p.nodes, p.achieved_rps, p.p50_us, p.p99_us, p.errors
+            )
+        })
+        .collect();
+    let gate = points.last().expect("at least one point").p99_us;
+    let json = format!(
+        "{{\n  \"bench\": \"cluster_scale\",\n  \"offered_rps\": {OFFERED_RPS:.0},\n  \"population\": {POPULATION},\n  \"zipf_exponent\": {EXPONENT},\n  \"curve\": [\n{}\n  ],\n  \"gate_p99_us\": {gate}\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(path, &json).unwrap();
+    println!("  wrote {path}");
+}

@@ -2,10 +2,30 @@
 //!
 //! The paper ships the Spark-built index as compressed Avro files that the
 //! serving pods ingest at startup. Here the artefact is a purpose-built
-//! little-endian format with a magic header, a version byte and an FNV-1a
-//! checksum over the payload, so a corrupted or truncated artefact is
-//! rejected before it can serve garbage. Structural invariants are
-//! re-validated on load via [`SessionIndex::from_parts`].
+//! little-endian format with a magic header, a version byte, an FNV-1a
+//! checksum over the payload, and a length/checksum **trailer** repeated at
+//! the end of the stream, so a corrupted or truncated artefact is rejected
+//! before it can serve garbage. Structural invariants are re-validated on
+//! load via [`SessionIndex::from_parts`].
+//!
+//! # Hostile-input posture
+//!
+//! This is the artifact-*distribution* format: the router tier pushes these
+//! bytes over sockets to serving nodes, so [`read_index`] must treat its
+//! input as attacker-controlled (the fuzz-style suite in
+//! `tests/binfmt_hostile.rs` drives this):
+//!
+//! * the declared payload length is capped ([`MAX_PAYLOAD_BYTES`]) and the
+//!   payload is read incrementally, so a hostile length cannot force a
+//!   huge up-front allocation;
+//! * every count-derived size is computed with checked arithmetic and
+//!   validated against the bytes actually present *before* any allocation
+//!   sized from it;
+//! * the trailer must agree with the header on both payload length and
+//!   checksum, which catches a stream truncated exactly at a frame
+//!   boundary as well as header/trailer mismatches;
+//! * every failure is a clean [`BinError`] — never a panic or abort — and
+//!   a node that rejects an artefact keeps serving its old generation.
 
 use std::fmt;
 use std::io::{Read, Write};
@@ -14,7 +34,15 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serenade_core::index::Posting;
 use serenade_core::{CoreError, FxHashMap, ItemId, SessionIndex};
 
-const MAGIC: &[u8; 8] = b"SRNIDX\x01\x00";
+const MAGIC: &[u8; 8] = b"SRNIDX\x02\x00";
+
+/// End-of-stream trailer magic (version-locked to [`MAGIC`]).
+const TRAILER_MAGIC: &[u8; 8] = b"SRNEND\x02\x00";
+
+/// Upper bound on a declared payload. A hostile header cannot make the
+/// reader allocate more than this; real artefacts (even the 180M-click
+/// synthetic e-commerce profile) stay far below it.
+pub const MAX_PAYLOAD_BYTES: u64 = 1 << 30;
 
 /// Errors raised when reading or writing an index artefact.
 #[derive(Debug)]
@@ -100,27 +128,70 @@ pub fn write_index(index: &SessionIndex, mut writer: impl Write) -> std::io::Res
         }
     }
 
+    let checksum = fnv1a(&payload);
     writer.write_all(MAGIC)?;
     writer.write_all(&(payload.len() as u64).to_le_bytes())?;
-    writer.write_all(&fnv1a(&payload).to_le_bytes())?;
+    writer.write_all(&checksum.to_le_bytes())?;
     writer.write_all(&payload)?;
+    // Length/checksum trailer: a reader that got this far knows the stream
+    // was not cut at a frame boundary, and a header corrupted in transit
+    // cannot agree with an honest trailer by accident.
+    writer.write_all(TRAILER_MAGIC)?;
+    writer.write_all(&(payload.len() as u64).to_le_bytes())?;
+    writer.write_all(&checksum.to_le_bytes())?;
     writer.flush()
 }
 
-/// Deserialises an index from a reader, verifying magic, checksum and all
-/// structural invariants.
+/// `count * size`, rejected as corrupt on overflow. Every allocation in
+/// [`read_index`] is sized through this plus a `need` check against the
+/// bytes actually present, so declared counts can never out-allocate the
+/// real payload.
+fn counted(count: usize, size: usize) -> Result<usize, BinError> {
+    count
+        .checked_mul(size)
+        .ok_or_else(|| BinError::Corrupt("declared count overflows the address space".into()))
+}
+
+/// Deserialises an index from a reader, verifying magic, checksum, the
+/// length/checksum trailer and all structural invariants. Safe on hostile
+/// bytes: allocation is bounded by the bytes actually present (capped at
+/// [`MAX_PAYLOAD_BYTES`]) and every malformation is a clean [`BinError`].
 pub fn read_index(mut reader: impl Read) -> Result<SessionIndex, BinError> {
     let mut header = [0u8; 8 + 8 + 8];
     reader.read_exact(&mut header).map_err(|_| BinError::Corrupt("short header".into()))?;
     if &header[..8] != MAGIC {
         return Err(BinError::Corrupt("bad magic / unsupported version".into()));
     }
-    let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
+    let declared_len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
     let checksum = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
-    let mut payload = vec![0u8; len];
-    reader.read_exact(&mut payload).map_err(|_| BinError::Corrupt("truncated payload".into()))?;
+    if declared_len > MAX_PAYLOAD_BYTES {
+        return Err(BinError::Corrupt(format!(
+            "declared payload of {declared_len} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte cap"
+        )));
+    }
+    let len = declared_len as usize;
+    // Incremental read (not `vec![0; len]` + read_exact): a hostile length
+    // only costs as much memory as bytes actually arrive.
+    let mut payload = Vec::new();
+    (&mut reader)
+        .take(declared_len)
+        .read_to_end(&mut payload)
+        .map_err(|_| BinError::Corrupt("truncated payload".into()))?;
+    if payload.len() != len {
+        return Err(BinError::Corrupt("truncated payload".into()));
+    }
     if fnv1a(&payload) != checksum {
         return Err(BinError::Corrupt("checksum mismatch".into()));
+    }
+    let mut trailer = [0u8; 8 + 8 + 8];
+    reader.read_exact(&mut trailer).map_err(|_| BinError::Corrupt("missing trailer".into()))?;
+    if &trailer[..8] != TRAILER_MAGIC {
+        return Err(BinError::Corrupt("bad trailer magic".into()));
+    }
+    if u64::from_le_bytes(trailer[8..16].try_into().expect("8 bytes")) != declared_len
+        || u64::from_le_bytes(trailer[16..24].try_into().expect("8 bytes")) != checksum
+    {
+        return Err(BinError::Corrupt("trailer disagrees with header".into()));
     }
 
     let mut buf = Bytes::from(payload);
@@ -138,16 +209,19 @@ pub fn read_index(mut reader: impl Read) -> Result<SessionIndex, BinError> {
     if num_sessions > u32::MAX as usize {
         return Err(BinError::Corrupt("session count exceeds u32 space".into()));
     }
-    need(&buf, num_sessions * 8)?;
+    need(&buf, counted(num_sessions, 8)?)?;
     let timestamps: Vec<u64> = (0..num_sessions).map(|_| buf.get_u64_le()).collect();
-    need(&buf, (num_sessions + 1) * 4)?;
+    need(&buf, counted(num_sessions + 1, 4)?)?;
     let offsets: Vec<u32> = (0..=num_sessions).map(|_| buf.get_u32_le()).collect();
     need(&buf, 8)?;
     let flat_len = buf.get_u64_le() as usize;
-    need(&buf, flat_len * 8)?;
+    need(&buf, counted(flat_len, 8)?)?;
     let items_flat: Vec<ItemId> = (0..flat_len).map(|_| buf.get_u64_le()).collect();
     need(&buf, 8)?;
     let num_postings = buf.get_u64_le() as usize;
+    // Each posting occupies ≥ 16 bytes, so a count the remaining payload
+    // cannot hold is rejected *before* the map reserve sized from it.
+    need(&buf, counted(num_postings, 16)?)?;
     let mut postings: FxHashMap<ItemId, Posting> = FxHashMap::default();
     postings.reserve(num_postings);
     for _ in 0..num_postings {
@@ -155,7 +229,7 @@ pub fn read_index(mut reader: impl Read) -> Result<SessionIndex, BinError> {
         let item = buf.get_u64_le();
         let support = buf.get_u32_le();
         let plen = buf.get_u32_le() as usize;
-        need(&buf, plen * 4)?;
+        need(&buf, counted(plen, 4)?)?;
         let sessions: Vec<u32> = (0..plen).map(|_| buf.get_u32_le()).collect();
         postings.insert(item, Posting { sessions: sessions.into_boxed_slice(), support });
     }
@@ -225,10 +299,27 @@ mod tests {
     #[test]
     fn flipped_payload_byte_fails_checksum() {
         let mut bytes = serialise(&sample_index());
-        let last = bytes.len() - 1;
-        bytes[last] ^= 0x01;
+        // Last payload byte sits just before the 24-byte trailer.
+        let last_payload = bytes.len() - 25;
+        bytes[last_payload] ^= 0x01;
         let err = read_index(&bytes[..]).unwrap_err();
         assert!(matches!(err, BinError::Corrupt(m) if m.contains("checksum")));
+    }
+
+    #[test]
+    fn flipped_trailer_byte_is_rejected() {
+        // A flip confined to the trailer (header and payload intact) must
+        // still fail: header and trailer have to agree byte for byte.
+        let pristine = serialise(&sample_index());
+        for offset in 1..=24 {
+            let mut bytes = pristine.clone();
+            let pos = bytes.len() - offset;
+            bytes[pos] ^= 0x01;
+            assert!(
+                matches!(read_index(&bytes[..]), Err(BinError::Corrupt(_))),
+                "trailer flip at len-{offset} was accepted"
+            );
+        }
     }
 
     #[test]

@@ -64,6 +64,22 @@ pub trait SessionStore<K, V>: Send + Sync {
         self.remove(key).is_some()
     }
 
+    /// Snapshots up to `cap` live entries for ownership handoff: when the
+    /// cluster remaps a member's sessions to new owners, the old owner
+    /// exports them here, the new owners import them, and the old owner
+    /// then [`SessionStore::forget`]s them. Expired entries must never be
+    /// exported. The default exports nothing — an implementation without
+    /// the override degrades handoff to "sessions restart from empty",
+    /// which is the same contract a TTL expiry already imposes on clients.
+    fn export_live(&self, cap: usize) -> Vec<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        let _ = cap;
+        Vec::new()
+    }
+
     /// `true` if a live entry exists. Must not refresh the TTL.
     fn contains(&self, key: &K) -> bool;
 
@@ -109,6 +125,14 @@ where
 
     fn forget(&self, key: &K) -> bool {
         TtlStore::forget(self, key)
+    }
+
+    fn export_live(&self, cap: usize) -> Vec<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        TtlStore::export_live(self, cap)
     }
 
     fn contains(&self, key: &K) -> bool {

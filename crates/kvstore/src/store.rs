@@ -283,6 +283,38 @@ impl<K: Hash + Eq, V, C: Clock> TtlStore<K, V, C> {
     }
 }
 
+impl<K: Hash + Eq + Clone, V: Clone, C: Clock> TtlStore<K, V, C> {
+    /// Snapshots up to `cap` live entries — the ownership-handoff export:
+    /// when a cluster member leaves, its sessions are exported here and
+    /// imported by their new owners. Entries are cloned out (the store
+    /// keeps serving until the handoff completes and `forget` erases them);
+    /// expired entries are never exported. One shard lock is held at a
+    /// time, so the export does not stall concurrent requests to other
+    /// shards. The cap bounds the handoff: with more live sessions than
+    /// `cap`, an arbitrary subset is exported and the rest simply restart
+    /// from empty on their next request — the same degradation a TTL
+    /// expiry produces.
+    pub fn export_live(&self, cap: usize) -> Vec<(K, V)> {
+        let now = self.clock.now_ms();
+        let mut out = Vec::with_capacity(cap.min(1_024));
+        for shard in self.shards.iter() {
+            if out.len() >= cap {
+                break;
+            }
+            let shard = shard.lock();
+            for (k, e) in shard.iter() {
+                if out.len() >= cap {
+                    break;
+                }
+                if e.expires_at_ms > now {
+                    out.push((k.clone(), e.value.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
 impl<K: Hash + Eq, V: Clone, C: Clock> TtlStore<K, V, C> {
     /// Returns a clone of the live value; refreshes the TTL when
     /// `touch_on_read` is set.
@@ -476,6 +508,34 @@ mod tests {
         }
         s.clear();
         assert_eq!(s.stats().live_entries, 0);
+    }
+
+    #[test]
+    fn export_live_snapshots_live_entries_only_up_to_cap() {
+        let (s, clock) = store(1_000, false);
+        for k in 0..10u64 {
+            s.put(k, vec![k]);
+        }
+        clock.advance_ms(1_001); // all 10 expired
+        for k in 10..16u64 {
+            s.put(k, vec![k]);
+        }
+
+        let full = s.export_live(usize::MAX);
+        assert_eq!(full.len(), 6, "expired entries must never be exported");
+        for (k, v) in &full {
+            assert!((10..16).contains(k));
+            assert_eq!(v, &vec![*k]);
+        }
+
+        let capped = s.export_live(4);
+        assert_eq!(capped.len(), 4, "cap bounds the handoff");
+        assert!(capped.iter().all(|(k, _)| (10..16).contains(k)));
+
+        assert!(s.export_live(0).is_empty());
+
+        // Export is a snapshot: the store still serves everything.
+        assert_eq!(s.stats().live_entries, 6);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! If the build or validation fails, nothing is published and every pod
 //! keeps serving the old index.
 
+use std::net::SocketAddr;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -28,14 +29,17 @@ use crate::ingest::{IngestConfig, IngestPipeline};
 use crate::router::StickyRouter;
 use crate::rules::BusinessRules;
 use crate::telemetry::ClusterTelemetry;
+use crate::transport::{InProcessPod, PodTransport, RemotePod};
 
-/// A set of serving pods plus the sticky router in front of them.
-pub struct ServingCluster {
+/// The in-process half of a cluster: the engines themselves plus everything
+/// that only exists when the pods live in this process (the shared index
+/// publication, the prediction cache, the ingest pipeline). A cluster built
+/// over remote transports has none of this — those concerns live on the
+/// node processes.
+struct LocalState {
     pods: Vec<Arc<Engine>>,
-    router: StickyRouter,
     index: Arc<IndexHandle<VmisKnn>>,
     config: EngineConfig,
-    telemetry: Arc<ClusterTelemetry>,
     /// One prediction cache shared by every pod: the index (and therefore
     /// the generation stamp) is cluster-wide, so a list computed on one pod
     /// is valid on all of them. `None` when disabled in the config.
@@ -43,6 +47,18 @@ pub struct ServingCluster {
     /// The streaming write path, set once by
     /// [`ServingCluster::enable_ingest`]; `None` for read-only clusters.
     ingest: OnceLock<Arc<IngestPipeline>>,
+}
+
+/// A set of serving pods plus the sticky router in front of them. The pods
+/// are reached through [`PodTransport`]s, so the same façade serves both
+/// the in-process deployment ([`ServingCluster::new`]) and a set of node
+/// processes on sockets ([`ServingCluster::remote`]) with identical request
+/// semantics.
+pub struct ServingCluster {
+    transports: Vec<Arc<dyn PodTransport>>,
+    router: StickyRouter,
+    telemetry: Arc<ClusterTelemetry>,
+    local: Option<LocalState>,
 }
 
 impl ServingCluster {
@@ -110,20 +126,48 @@ impl ServingCluster {
                 move || evictions.session_expiry_counts().1,
             );
         }
+        let transports = engines
+            .iter()
+            .map(|e| Arc::new(InProcessPod::new(Arc::clone(e))) as Arc<dyn PodTransport>)
+            .collect();
         Ok(Self {
-            pods: engines,
+            transports,
             router: StickyRouter::new(pods),
-            index: handle,
-            config,
             telemetry,
-            cache,
-            ingest: OnceLock::new(),
+            local: Some(LocalState {
+                pods: engines,
+                index: handle,
+                config,
+                cache,
+                ingest: OnceLock::new(),
+            }),
         })
     }
 
-    /// The cluster-wide prediction cache, if enabled.
+    /// Builds a cluster whose pods are node processes reached over sockets:
+    /// one [`RemotePod`] per address, with member ids `0..addrs.len()` so a
+    /// session routes to the same ordinal here as it would in an in-process
+    /// cluster of the same size. Index publication, caching and ingest live
+    /// on the nodes; the corresponding local-only methods report that
+    /// ([`ServingCluster::reload_index`] and friends return errors, and
+    /// [`ServingCluster::pods`] is empty).
+    pub fn remote(addrs: &[SocketAddr], trace: TraceConfig) -> Self {
+        let transports = addrs
+            .iter()
+            .map(|a| Arc::new(RemotePod::new(*a)) as Arc<dyn PodTransport>)
+            .collect();
+        Self {
+            transports,
+            router: StickyRouter::new(addrs.len()),
+            telemetry: Arc::new(ClusterTelemetry::new(trace)),
+            local: None,
+        }
+    }
+
+    /// The cluster-wide prediction cache, if enabled (in-process clusters
+    /// only).
     pub fn prediction_cache(&self) -> Option<&Arc<PredictionCache>> {
-        self.cache.as_ref()
+        self.local.as_ref().and_then(|l| l.cache.as_ref())
     }
 
     /// Enables the streaming write path: seeds an incremental indexer with
@@ -137,15 +181,23 @@ impl ServingCluster {
         config: IngestConfig,
         seed: &[Click],
     ) -> Result<Arc<IngestPipeline>, CoreError> {
+        let Some(local) = self.local.as_ref() else {
+            return Err(CoreError::InvalidConfig {
+                parameter: "ingest",
+                reason: String::from(
+                    "remote clusters ingest on their nodes, not through the façade",
+                ),
+            });
+        };
         let pipeline = IngestPipeline::start(
             config,
             seed,
-            Arc::clone(&self.index),
-            self.config.clone(),
-            self.cache.clone(),
+            Arc::clone(&local.index),
+            local.config.clone(),
+            local.cache.clone(),
             Arc::clone(&self.telemetry),
         )?;
-        if self.ingest.set(Arc::clone(&pipeline)).is_err() {
+        if local.ingest.set(Arc::clone(&pipeline)).is_err() {
             return Err(CoreError::InvalidConfig {
                 parameter: "ingest",
                 reason: String::from("ingest is already enabled on this cluster"),
@@ -166,7 +218,7 @@ impl ServingCluster {
 
     /// The streaming ingest pipeline, if enabled.
     pub fn ingest(&self) -> Option<&Arc<IngestPipeline>> {
-        self.ingest.get()
+        self.local.as_ref().and_then(|l| l.ingest.get())
     }
 
     /// Unlearns a session cluster-wide: removes it from the retained click
@@ -176,7 +228,7 @@ impl ServingCluster {
     /// requests. Returns whether the session existed anywhere. Requires
     /// ingest to be enabled.
     pub fn delete_session(&self, session_id: u64) -> Result<bool, ServingError> {
-        let Some(pipeline) = self.ingest.get() else {
+        let Some(pipeline) = self.ingest() else {
             return Err(ServingError::Internal("ingest is not enabled on this cluster"));
         };
         let in_log = pipeline.delete_session(session_id)?;
@@ -184,7 +236,7 @@ impl ServingCluster {
         // compliance action: sweep every pod in case the pod count changed
         // since the session was live.
         let mut in_store = false;
-        for pod in &self.pods {
+        for pod in &self.transports {
             in_store |= pod.forget_session(session_id);
         }
         Ok(in_log || in_store)
@@ -203,7 +255,7 @@ impl ServingCluster {
         if !req.consent {
             return;
         }
-        if let Some(pipeline) = self.ingest.get() {
+        if let Some(pipeline) = self.ingest() {
             pipeline.observe_request(req.session_id, req.item);
         }
     }
@@ -211,7 +263,8 @@ impl ServingCluster {
     /// Handles a request on the responsible pod with a per-thread context.
     /// Prefer [`ServingCluster::handle_with`] on worker threads.
     pub fn handle(&self, req: RecommendRequest) -> Result<Vec<ItemScore>, ServingError> {
-        let result = self.pod_for(req.session_id).handle(req);
+        let mut ctx = RequestContext::new();
+        let result = self.transport_for(req.session_id).handle_with(req, &mut ctx);
         if result.is_ok() {
             self.feed_ingest(&req);
         }
@@ -227,7 +280,7 @@ impl ServingCluster {
         req: RecommendRequest,
         ctx: &mut RequestContext,
     ) -> Result<Vec<ItemScore>, ServingError> {
-        let result = self.pod_for(req.session_id).handle_with(req, ctx);
+        let result = self.transport_for(req.session_id).handle_with(req, ctx);
         let request_id = ctx.take_request_id();
         if result.is_ok() {
             self.feed_ingest(&req);
@@ -272,7 +325,8 @@ impl ServingCluster {
             reqs.iter().all(|r| self.router.route(r.session_id) == pod_index),
             "batched requests must all route to pod {pod_index}"
         );
-        let results = self.pods[pod_index % self.pods.len()].handle_batch(reqs, bctx);
+        let results =
+            self.transports[pod_index % self.transports.len()].handle_batch(reqs, bctx);
         for (i, (req, result)) in reqs.iter().zip(&results).enumerate() {
             let ctx = bctx.member_mut(i);
             // Always consumed, so a stale id never leaks into the next
@@ -300,9 +354,21 @@ impl ServingCluster {
         results
     }
 
-    /// The pod a session is routed to.
+    /// The transport of the pod a session is routed to.
+    fn transport_for(&self, session_id: u64) -> &dyn PodTransport {
+        self.transports[self.router.route(session_id)].as_ref()
+    }
+
+    /// The engine a session is routed to. In-process clusters only — a
+    /// remote pod has no engine in this process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`ServingCluster::remote`] cluster.
     pub fn pod_for(&self, session_id: u64) -> &Arc<Engine> {
-        &self.pods[self.router.route(session_id)]
+        self.transport_for(session_id)
+            .engine()
+            .expect("pod_for requires an in-process cluster")
     }
 
     /// The index of the pod a session is routed to — the dispatch queue's
@@ -312,19 +378,26 @@ impl ServingCluster {
         self.router.route(session_id)
     }
 
-    /// All pods (for maintenance sweeps and statistics).
+    /// All in-process pods (for maintenance sweeps and statistics). Empty
+    /// on a [`ServingCluster::remote`] cluster — per-node statistics live
+    /// on the nodes there.
     pub fn pods(&self) -> &[Arc<Engine>] {
-        &self.pods
+        self.local.as_ref().map(|l| l.pods.as_slice()).unwrap_or(&[])
+    }
+
+    /// The pod transports, in member-id order.
+    pub fn transports(&self) -> &[Arc<dyn PodTransport>] {
+        &self.transports
     }
 
     /// Total live sessions across pods.
     pub fn live_sessions(&self) -> usize {
-        self.pods.iter().map(|p| p.live_sessions()).sum()
+        self.transports.iter().map(|p| p.live_sessions()).sum()
     }
 
     /// Runs the TTL sweep on every pod; returns total evictions.
     pub fn evict_expired_sessions(&self) -> usize {
-        self.pods.iter().map(|p| p.evict_expired_sessions()).sum()
+        self.transports.iter().map(|p| p.evict_expired_sessions()).sum()
     }
 
     /// The daily rollover (Figure 1's "index replication" arrow): builds
@@ -333,15 +406,23 @@ impl ServingCluster {
     /// the version they loaded, and session state survives. On error, no
     /// pod is moved off the old index.
     pub fn reload_index(&self, index: Arc<SessionIndex>) -> Result<(), CoreError> {
+        let Some(local) = self.local.as_ref() else {
+            return Err(CoreError::InvalidConfig {
+                parameter: "reload_index",
+                reason: String::from(
+                    "remote clusters publish artifacts through the router tier",
+                ),
+            });
+        };
         let started = Instant::now();
-        let fresh = crate::sync::Arc::new(build_recommender(index, &self.config)?);
+        let fresh = crate::sync::Arc::new(build_recommender(index, &local.config)?);
         // A rollover replaces the whole neighbourhood structure: record an
         // all-items epoch (before the store — see the epoch-log contract)
         // so no cached entry survives via epoch revalidation.
-        if let Some(cache) = &self.cache {
-            cache.epoch_log().record(self.index.generation() + 1, EpochChange::All);
+        if let Some(cache) = &local.cache {
+            cache.epoch_log().record(local.index.generation() + 1, EpochChange::All);
         }
-        self.index.store(fresh);
+        local.index.store(fresh);
         self.telemetry.record_rollover(started.elapsed());
         Ok(())
     }

@@ -513,6 +513,35 @@ impl<S: SessionStore<u64, Vec<ItemId>>> Engine<S> {
         self.sessions.live_entries()
     }
 
+    /// Snapshots up to `cap` live sessions for ownership handoff — see
+    /// [`SessionStore::export_live`]. The exporting pod keeps serving; the
+    /// handoff coordinator imports the snapshot into the new owners and
+    /// then calls [`Engine::forget_session`] here.
+    pub fn export_sessions(&self, cap: usize) -> Vec<(u64, Vec<ItemId>)> {
+        self.sessions.export_live(cap)
+    }
+
+    /// Installs a handed-off session. Imported history is *prepended* to
+    /// whatever this pod already holds for the id: during the handoff gap
+    /// the new owner may have served the session fresh, and those clicks
+    /// are newer than the snapshot, so they stay at the tail. The stored
+    /// length cap applies as on the request path. Returns the stored
+    /// session length after the merge.
+    pub fn import_session(&self, session_id: u64, mut items: Vec<ItemId>) -> usize {
+        let max_len = self.config.max_stored_session_len;
+        self.sessions.update_or_insert(session_id, Vec::new, |existing| {
+            if !existing.is_empty() {
+                items.extend_from_slice(existing);
+            }
+            std::mem::swap(existing, &mut items);
+            if existing.len() > max_len {
+                let excess = existing.len() - max_len;
+                existing.drain(..excess);
+            }
+            existing.len()
+        })
+    }
+
     /// Sweeps expired sessions (the paper's 30-minute-inactivity cleanup).
     pub fn evict_expired_sessions(&self) -> usize {
         self.sessions.evict_expired()
@@ -886,6 +915,60 @@ mod tests {
         // And the new answer is itself cached again.
         assert_eq!(e.handle(dep(13, 2, false)).unwrap(), after);
         assert_eq!(cache.hit_count(), 2);
+    }
+
+    #[test]
+    fn export_import_hands_sessions_between_engines() {
+        let old_owner = engine(ServingVariant::Full, BusinessRules::none());
+        let new_owner = engine(ServingVariant::Full, BusinessRules::none());
+        old_owner.handle(req(7, 0)).unwrap();
+        old_owner.handle(req(7, 1)).unwrap();
+        old_owner.handle(req(8, 2)).unwrap();
+
+        let exported = old_owner.export_sessions(usize::MAX);
+        assert_eq!(exported.len(), 2);
+        for (sid, items) in exported {
+            new_owner.import_session(sid, items);
+            old_owner.forget_session(sid);
+        }
+        assert_eq!(old_owner.live_sessions(), 0);
+        assert_eq!(new_owner.stored_session_len(7), 2);
+        assert_eq!(new_owner.stored_session_len(8), 1);
+
+        // The handed-off session continues where it left off: the next
+        // request on the new owner sees the full history.
+        let continued = new_owner.handle(req(7, 2)).unwrap();
+        let reference = engine(ServingVariant::Full, BusinessRules::none());
+        reference.handle(req(7, 0)).unwrap();
+        reference.handle(req(7, 1)).unwrap();
+        assert_eq!(continued, reference.handle(req(7, 2)).unwrap());
+    }
+
+    #[test]
+    fn import_keeps_fresh_clicks_after_imported_history() {
+        // During the handoff gap the new owner already served the session
+        // fresh; the imported snapshot must slot in *before* those clicks.
+        let e = engine(ServingVariant::Full, BusinessRules::none());
+        e.handle(req(7, 3)).unwrap(); // gap click on the new owner
+        assert_eq!(e.import_session(7, vec![0, 1]), 3);
+        let mut ctx = RequestContext::new();
+        e.handle_with(req(7, 2), &mut ctx).unwrap();
+        assert_eq!(ctx.view, vec![0, 1, 3, 2], "history, gap click, new click");
+    }
+
+    #[test]
+    fn import_respects_the_stored_session_cap() {
+        let config = EngineConfig {
+            variant: ServingVariant::Full,
+            how_many: 3,
+            max_stored_session_len: 4,
+            ..Default::default()
+        };
+        let e = Engine::new(index(), config, BusinessRules::none()).unwrap();
+        e.handle(req(7, 0)).unwrap();
+        let len = e.import_session(7, vec![1, 2, 3, 4, 0, 1]);
+        assert_eq!(len, 4, "oldest imported items are dropped first");
+        assert_eq!(e.stored_session_len(7), 4);
     }
 
     #[test]

@@ -24,8 +24,18 @@
 //!   behind the cache's epoch-bucketed invalidation;
 //! * [`context`] — per-worker request state (scratch buffers, session view,
 //!   per-stage timings) threaded through `http → cluster → engine`;
-//! * [`router`] — sticky-session partitioning across pods;
+//! * [`router`] — sticky-session partitioning across pods (rendezvous
+//!   hashing, so membership changes remap a minimal session fraction);
+//! * [`transport`] — the pod-transport abstraction: in-process engines and
+//!   remote node processes behind one trait, so the cluster façade works
+//!   identically over threads and sockets;
 //! * [`cluster`] — a multi-pod cluster façade used by the benchmarks;
+//! * [`node`] — the single-pod serving node role for multi-process
+//!   deployments: a data-plane HTTP server plus a framed control socket for
+//!   artifact distribution and session handoff;
+//! * [`routerd`] — the router tier: routes by rendezvous hashing over live
+//!   nodes, probes health, fails over to depersonalised serving, and
+//!   republishes index artifacts to every node;
 //! * [`server`] — the request-lifecycle HTTP server: an incremental bounded
 //!   parser, a per-connection state machine, admission control with
 //!   `503 + Retry-After` shedding, deadline budgets and a graceful drain
@@ -56,12 +66,15 @@ pub mod http;
 pub mod ingest;
 pub mod json;
 pub mod loadgen;
+pub mod node;
 pub mod router;
+pub mod routerd;
 pub mod rules;
 pub mod server;
 pub mod stats;
 pub mod sync;
 pub mod telemetry;
+pub mod transport;
 
 pub use cache::{CacheConfig, PredictionCache};
 pub use cluster::ServingCluster;
@@ -73,5 +86,6 @@ pub use ingest::{IngestConfig, IngestPipeline};
 pub use json::JsonValue;
 pub use router::StickyRouter;
 pub use rules::BusinessRules;
+pub use transport::{InProcessPod, PodTransport, RemotePod};
 pub use stats::{ServingStats, StatsSnapshot};
 pub use telemetry::ClusterTelemetry;

@@ -172,6 +172,49 @@ pub fn zipf_requests(
         .collect()
 }
 
+/// The multi-node traffic shape: session ids drawn from a seeded Zipf over
+/// a user population of millions, items walked deterministically per
+/// request. Unlike [`zipf_requests`] (fresh session per request, skew on
+/// *items*), the skew here is on *sessions* — a small set of heavy
+/// browsers plus a long tail of one-click visitors, the distribution a
+/// router tier must spread evenly across nodes. Requests carry consent, so
+/// every click also grows per-session state on its owning node.
+///
+/// Sampling is a pure function of `(seed, i)`: the identical id sequence
+/// regardless of worker interleaving or cluster size, so scaling curves
+/// compare the same traffic at every node count.
+pub fn cluster_requests(
+    population: u64,
+    items: &[u64],
+    count: usize,
+    exponent: f64,
+    seed: u64,
+) -> Vec<RecommendRequest> {
+    assert!(population > 0, "population must not be empty");
+    assert!(!items.is_empty(), "items must not be empty");
+    // Rank → session id mixes the rank through splitmix so neighbouring
+    // ranks (the hot head of the Zipf) don't land on consecutive ids —
+    // consecutive ids would be a best case for any accidental
+    // modulo-sharding correlation the rendezvous router must not rely on.
+    // The CDF table costs 8 bytes per rank; 2^21 ranks (~16 MiB) is enough
+    // resolution for any realistic skew — ranks past two million carry
+    // negligible probability mass, and the id mix below still spreads the
+    // sampled ranks over the full population.
+    let sampler = ZipfSampler::new(population.min(1 << 21) as usize, exponent);
+    (0..count)
+        .map(|i| {
+            let rank = sampler.sample(seed, i as u64) as u64;
+            let session_id = splitmix64(rank.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % population;
+            RecommendRequest {
+                session_id,
+                item: items[(splitmix64(seed ^ (i as u64) << 1) as usize) % items.len()],
+                consent: true,
+                filter_adult: false,
+            }
+        })
+        .collect()
+}
+
 /// Latency and throughput of one reporting window.
 #[derive(Debug, Clone)]
 pub struct LoadWindow {
@@ -746,6 +789,135 @@ pub fn run_overload_test(
         achieved_rps: breakdown.responses() as f64 / elapsed.as_secs_f64(),
         accepted_latency: latency.summary(),
         breakdown,
+    }
+}
+
+/// Outcome of a socket-level open-loop run ([`run_socket_load_test`]).
+#[derive(Debug, Clone)]
+pub struct SocketLoadReport {
+    /// Client-observed latency distribution of successful (2xx) requests.
+    pub total: Option<LatencySummary>,
+    /// Requests answered 2xx.
+    pub completed: usize,
+    /// Requests answered outside 2xx or lost to a connection error.
+    pub errors: usize,
+    /// Worst status code observed (`0` if every exchange failed at the
+    /// socket layer before a status arrived).
+    pub worst_status: u16,
+    /// Achieved 2xx rate over the run.
+    pub achieved_rps: f64,
+}
+
+/// Open-loop load against an HTTP front end — the multi-node counterpart
+/// of [`run_load_test`]. The schedule is identical (global send clock,
+/// seeded jitter, shared ticket counter) but requests travel over real
+/// sockets through whatever answers `addr` — a single node or a router
+/// fronting many — so the report measures the *cluster's* latency,
+/// including proxy and failover cost. Workers hold one keep-alive
+/// connection each and reconnect on any socket error; a request lost to a
+/// reset counts as an error, never as a retry (open loop: the schedule
+/// does not slow down for failures).
+pub fn run_socket_load_test(
+    addr: SocketAddr,
+    traffic: &[RecommendRequest],
+    config: LoadGenConfig,
+) -> SocketLoadReport {
+    assert!(!traffic.is_empty(), "traffic must not be empty");
+    assert!(config.target_rps > 0.0);
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    let interval = Duration::from_secs_f64(1.0 / config.target_rps);
+
+    struct WorkerOut {
+        latency: LatencyRecorder,
+        completed: usize,
+        errors: usize,
+        worst_status: u16,
+    }
+
+    let outs: Vec<WorkerOut> = crossbeam::thread::scope(|scope| {
+        let next = &next;
+        let handles: Vec<_> = (0..config.workers.max(1))
+            .map(|_| {
+                scope.spawn(move |_| {
+                    let mut out = WorkerOut {
+                        latency: LatencyRecorder::new(),
+                        completed: 0,
+                        errors: 0,
+                        worst_status: 0,
+                    };
+                    let mut client: Option<HttpClient> = None;
+                    loop {
+                        // ORDERING: shared request ticket, partner: none.
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        // Terminate on the un-jittered base offset so the
+                        // offered schedule ends exactly at `duration`.
+                        if interval.mul_f64(i as f64) >= config.duration {
+                            break;
+                        }
+                        let due = scheduled_offset(i, interval, config.seed, config.jitter);
+                        let now = start.elapsed();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let req = traffic[i % traffic.len()];
+                        let body = format!(
+                            r#"{{"session_id": {}, "item_id": {}, "consent": {}, "filter_adult": {}}}"#,
+                            req.session_id, req.item, req.consent, req.filter_adult
+                        );
+                        let c = match client.as_mut() {
+                            Some(c) => c,
+                            None => match HttpClient::connect(addr) {
+                                Ok(c) => client.insert(c),
+                                Err(_) => {
+                                    out.errors += 1;
+                                    continue;
+                                }
+                            },
+                        };
+                        let t0 = Instant::now();
+                        match c.post("/recommend", &body) {
+                            Ok((status, _)) => {
+                                out.worst_status = out.worst_status.max(status);
+                                if (200..=299).contains(&status) {
+                                    out.latency.record(t0.elapsed());
+                                    out.completed += 1;
+                                } else {
+                                    out.errors += 1;
+                                    client = None;
+                                }
+                            }
+                            Err(_) => {
+                                out.errors += 1;
+                                client = None;
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("socket load worker")).collect()
+    })
+    .expect("socket load scope");
+
+    let elapsed = start.elapsed();
+    let mut latency = LatencyRecorder::new();
+    let mut completed = 0;
+    let mut errors = 0;
+    let mut worst_status = 0;
+    for o in &outs {
+        latency.merge(&o.latency);
+        completed += o.completed;
+        errors += o.errors;
+        worst_status = worst_status.max(o.worst_status);
+    }
+    SocketLoadReport {
+        total: latency.summary(),
+        completed,
+        errors,
+        worst_status,
+        achieved_rps: completed as f64 / elapsed.as_secs_f64(),
     }
 }
 

@@ -1,0 +1,833 @@
+//! The router tier: a reactor-based HTTP front end over live serving nodes.
+//!
+//! In the paper's deployment the session-affine routing in front of the
+//! serving machines is Kubernetes ingress; here it is a first-class role.
+//! A [`RouterDaemon`] is the same event-loop [`HttpServer`](crate::http::HttpServer)
+//! as the serving tier, executing against a [`RouterCore`] backend instead
+//! of a [`ServingCluster`](crate::ServingCluster):
+//!
+//! * **routing** — sessions map to nodes by rendezvous hashing over the
+//!   full membership (see [`crate::router`]), so joins and leaves remap
+//!   only the minimal session fraction;
+//! * **failover** — a node that fails a health probe or errors mid-request
+//!   is marked dead; its in-flight and subsequent requests are served
+//!   *depersonalised* on a surviving node (HTTP 200, counted in
+//!   `serenade_router_failover_total`) — the client never sees a 5xx for a
+//!   node loss, mirroring the engine's own deadline-degrade contract;
+//! * **artifact distribution** — `POST /cluster/publish` validates a
+//!   `binfmt` index artifact locally, then pushes it to every live node
+//!   over the control protocol; nodes that join later receive the last
+//!   published artifact automatically;
+//! * **ownership handoff** — joins and leaves trigger a bounded session
+//!   export → import → forget sweep so moved sessions keep their evolving
+//!   state instead of restarting cold.
+//!
+//! # Membership snapshots
+//!
+//! The reactor thread classifies every request by owner, so membership
+//! reads must never block. Membership lives in an
+//! [`IndexHandle<Membership>`]: admin operations build a new snapshot and
+//! publish it atomically; request paths [`IndexHandle::load`] it lock-free.
+//! Per-node liveness is an `AtomicBool` inside the (shared) node entry, so
+//! marking a node dead needs no new snapshot.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serenade_core::{Click, ItemScore};
+use serenade_index::binfmt;
+use serenade_telemetry::registry::Counter;
+use serenade_telemetry::TraceConfig;
+
+use crate::context::{BatchContext, RequestContext};
+use crate::engine::RecommendRequest;
+use crate::error::ServingError;
+use crate::handle::IndexHandle;
+use crate::http::{HttpServer, HttpServerConfig};
+use crate::json::{self, JsonValue};
+use crate::node::ControlClient;
+use crate::router::StickyRouter;
+use crate::server::conn;
+use crate::server::parser::ParsedRequest;
+use crate::server::RequestBackend;
+use crate::telemetry::ClusterTelemetry;
+use crate::transport::{PodTransport, RemotePod};
+
+/// Router-tier configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Data-plane server configuration (bind address, workers, limits).
+    pub server: HttpServerConfig,
+    /// Interval between health probes of each member.
+    pub probe_interval: Duration,
+    /// Dial + I/O timeout for one control-plane call; a probe exceeding it
+    /// marks the node dead.
+    pub probe_timeout: Duration,
+    /// Most sessions exported from any one node during a handoff sweep.
+    /// Bounds the membership-change stall; sessions beyond the cap restart
+    /// cold on their new owner (the same contract a TTL expiry imposes).
+    pub handoff_cap: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            server: HttpServerConfig::default(),
+            probe_interval: Duration::from_millis(200),
+            probe_timeout: Duration::from_millis(500),
+            handoff_cap: 100_000,
+        }
+    }
+}
+
+/// One member of the routing table.
+pub struct NodeEntry {
+    /// Member id in the rendezvous key space.
+    pub id: u64,
+    /// Data-plane (HTTP) address.
+    pub data_addr: SocketAddr,
+    /// Control-plane address.
+    pub ctrl_addr: SocketAddr,
+    transport: RemotePod,
+    alive: AtomicBool,
+}
+
+impl NodeEntry {
+    fn new(id: u64, data_addr: SocketAddr, ctrl_addr: SocketAddr) -> Self {
+        Self {
+            id,
+            data_addr,
+            ctrl_addr,
+            transport: RemotePod::new(data_addr),
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    /// Whether the last contact with the node succeeded.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+}
+
+/// One immutable membership snapshot: the node list plus the rendezvous
+/// router over their ids (slot `i` routes to `nodes[i]`).
+pub struct Membership {
+    nodes: Vec<Arc<NodeEntry>>,
+    /// `None` only while the routing table is empty.
+    router: Option<StickyRouter>,
+}
+
+impl Membership {
+    fn new(nodes: Vec<Arc<NodeEntry>>) -> Self {
+        let ids: Vec<u64> = nodes.iter().map(|n| n.id).collect();
+        let router = (!ids.is_empty()).then(|| StickyRouter::with_members(&ids));
+        Self { nodes, router }
+    }
+
+    /// The member entries, in slot order.
+    pub fn nodes(&self) -> &[Arc<NodeEntry>] {
+        &self.nodes
+    }
+
+    fn route(&self, session_id: u64) -> Option<usize> {
+        self.router.as_ref().map(|r| r.route(session_id))
+    }
+
+    fn route_member(&self, session_id: u64) -> Option<u64> {
+        self.route(session_id).map(|slot| self.nodes[slot].id)
+    }
+
+    fn route_filtered(&self, session_id: u64, eligible: impl Fn(usize) -> bool) -> Option<usize> {
+        self.router.as_ref()?.route_filtered(session_id, eligible)
+    }
+}
+
+/// The router backend: membership, failover policy and the admin plane.
+/// Implements [`RequestBackend`], so the event-loop server fronts it
+/// exactly as it fronts a serving cluster.
+pub struct RouterCore {
+    membership: IndexHandle<Membership>,
+    telemetry: Arc<ClusterTelemetry>,
+    /// Serialises admin operations (join/leave/publish); request paths
+    /// never take it.
+    admin: Mutex<()>,
+    /// The last successfully published index artifact, replayed to nodes
+    /// that join after the publish.
+    last_artifact: Mutex<Option<Arc<Vec<u8>>>>,
+    failover_total: Arc<Counter>,
+    probe_timeout: Duration,
+    handoff_cap: u32,
+}
+
+impl RouterCore {
+    /// Creates a router over an initial (possibly empty) member list.
+    pub fn new(
+        members: &[(u64, SocketAddr, SocketAddr)],
+        trace: TraceConfig,
+        probe_timeout: Duration,
+        handoff_cap: u32,
+    ) -> Arc<Self> {
+        let telemetry = Arc::new(ClusterTelemetry::new(trace));
+        let failover_total = telemetry.registry().counter(
+            "serenade_router_failover_total",
+            "Requests served depersonalised on a surviving node because \
+             their owner was unreachable.",
+            &[],
+        );
+        let nodes = members
+            .iter()
+            .map(|&(id, data, ctrl)| Arc::new(NodeEntry::new(id, data, ctrl)))
+            .collect();
+        let core = Arc::new(Self {
+            membership: IndexHandle::new(crate::sync::Arc::new(Membership::new(nodes))),
+            telemetry,
+            admin: Mutex::new(()),
+            last_artifact: Mutex::new(None),
+            failover_total,
+            probe_timeout,
+            handoff_cap,
+        });
+        let gauge = Arc::clone(&core);
+        core.telemetry.registry().polled_gauge(
+            "serenade_router_live_nodes",
+            "Members currently passing health probes.",
+            &[],
+            move || gauge.membership.load().nodes.iter().filter(|n| n.is_alive()).count() as u64,
+        );
+        let gauge = Arc::clone(&core);
+        core.telemetry.registry().polled_gauge(
+            "serenade_router_members",
+            "Members currently in the routing table, dead or alive.",
+            &[],
+            move || gauge.membership.load().nodes.len() as u64,
+        );
+        core
+    }
+
+    /// The current membership snapshot.
+    pub fn membership(&self) -> crate::sync::Arc<Membership> {
+        self.membership.load()
+    }
+
+    /// Requests failed over to a surviving node so far.
+    pub fn failover_total(&self) -> u64 {
+        self.failover_total.get()
+    }
+
+    /// Health-probes every member once: a control-plane ping within the
+    /// probe timeout marks the node alive (recovering it after a crash or
+    /// restart), anything else marks it dead.
+    pub fn probe_members(&self) {
+        let membership = self.membership.load();
+        for node in &membership.nodes {
+            let alive = ControlClient::connect(node.ctrl_addr, self.probe_timeout)
+                .and_then(|mut c| c.ping())
+                .is_ok();
+            node.alive.store(alive, Ordering::SeqCst);
+        }
+    }
+
+    /// Adds a member and hands over the sessions it now owns. Sessions are
+    /// exported (bounded by the handoff cap) from existing live nodes,
+    /// imported here when the new router maps them to the joiner, then
+    /// forgotten at the source. If an artifact was published earlier, the
+    /// joiner receives it before taking traffic.
+    pub fn join(
+        &self,
+        id: u64,
+        data_addr: SocketAddr,
+        ctrl_addr: SocketAddr,
+    ) -> Result<(), String> {
+        let _admin = self.admin.lock();
+        let old = self.membership.load();
+        if old.nodes.iter().any(|n| n.id == id) {
+            return Err(format!("member {id} is already in the routing table"));
+        }
+        // Seed the joiner with the current artifact so it serves the same
+        // generation as everyone else from its first request.
+        let artifact = self.last_artifact.lock().clone();
+        if let Some(artifact) = artifact {
+            let mut ctrl = ControlClient::connect(ctrl_addr, self.probe_timeout)
+                .map_err(|e| format!("joiner control plane unreachable: {e}"))?;
+            ctrl.load_index(&artifact)
+                .map_err(|e| format!("artifact push failed: {e}"))?
+                .map_err(|reason| format!("joiner rejected the artifact: {reason}"))?;
+        }
+        let mut nodes = old.nodes.clone();
+        nodes.push(Arc::new(NodeEntry::new(id, data_addr, ctrl_addr)));
+        let new = Membership::new(nodes);
+        self.remap_sessions(&old, &new);
+        self.membership.store(crate::sync::Arc::new(new));
+        Ok(())
+    }
+
+    /// Removes a member, handing its sessions to their new owners first
+    /// (bounded by the handoff cap; best-effort if the leaver is already
+    /// unreachable).
+    pub fn leave(&self, id: u64) -> Result<(), String> {
+        let _admin = self.admin.lock();
+        let old = self.membership.load();
+        if !old.nodes.iter().any(|n| n.id == id) {
+            return Err(format!("member {id} is not in the routing table"));
+        }
+        let nodes = old.nodes.iter().filter(|n| n.id != id).cloned().collect();
+        let new = Membership::new(nodes);
+        self.remap_sessions(&old, &new);
+        self.membership.store(crate::sync::Arc::new(new));
+        Ok(())
+    }
+
+    /// Validates an index artifact and publishes it to every live member.
+    /// Returns `(published ids, failures)`; the artifact is retained for
+    /// future joiners only if at least one node accepted it.
+    pub fn publish_artifact(&self, artifact: Vec<u8>) -> Result<(Vec<u64>, Vec<(u64, String)>), String> {
+        // Validate locally first: a corrupt artifact is rejected at the
+        // router without bothering any node.
+        binfmt::read_index(artifact.as_slice())
+            .map_err(|e| format!("artifact rejected: {e}"))?;
+        let _admin = self.admin.lock();
+        let artifact = Arc::new(artifact);
+        let membership = self.membership.load();
+        let mut published = Vec::new();
+        let mut failed = Vec::new();
+        for node in &membership.nodes {
+            if !node.is_alive() {
+                failed.push((node.id, String::from("node is dead")));
+                continue;
+            }
+            let outcome = ControlClient::connect(node.ctrl_addr, self.probe_timeout)
+                .and_then(|mut c| c.load_index(&artifact));
+            match outcome {
+                Ok(Ok(_generation)) => published.push(node.id),
+                Ok(Err(reason)) => failed.push((node.id, reason)),
+                Err(e) => {
+                    node.alive.store(false, Ordering::SeqCst);
+                    failed.push((node.id, format!("control plane failed: {e}")));
+                }
+            }
+        }
+        if !published.is_empty() {
+            *self.last_artifact.lock() = Some(artifact);
+        }
+        Ok((published, failed))
+    }
+
+    /// Moves every exported session whose owner changes between `old` and
+    /// `new` onto its new owner. Best-effort per node: an unreachable
+    /// source just contributes no exports (its sessions restart cold, the
+    /// same outcome as its crash).
+    fn remap_sessions(&self, old: &Membership, new: &Membership) {
+        for (slot, source) in old.nodes.iter().enumerate() {
+            if !source.is_alive() {
+                continue;
+            }
+            let Ok(mut ctrl) = ControlClient::connect(source.ctrl_addr, self.probe_timeout)
+            else {
+                continue;
+            };
+            let Ok(exported) = ctrl.export_sessions(self.handoff_cap) else { continue };
+            // A session moves only if rendezvous now names a different
+            // member id than the slot currently holding it.
+            let mut moves: Vec<(u64, Vec<(u64, Vec<u64>)>)> = Vec::new();
+            let mut moved_ids = Vec::new();
+            for (sid, items) in exported {
+                let Some(new_owner) = new.route_member(sid) else { continue };
+                if new_owner == old.nodes[slot].id {
+                    continue;
+                }
+                moved_ids.push(sid);
+                match moves.iter_mut().find(|(id, _)| *id == new_owner) {
+                    Some((_, batch)) => batch.push((sid, items)),
+                    None => moves.push((new_owner, vec![(sid, items)])),
+                }
+            }
+            for (owner_id, batch) in &moves {
+                let Some(target) = new.nodes.iter().find(|n| n.id == *owner_id) else {
+                    continue;
+                };
+                let imported = ControlClient::connect(target.ctrl_addr, self.probe_timeout)
+                    .and_then(|mut c| c.import_sessions(batch));
+                if imported.is_err() {
+                    // The target is unreachable: leave the sessions on the
+                    // source (they will be re-exported by a later change)
+                    // rather than forgetting state nobody holds.
+                    moved_ids.retain(|sid| !batch.iter().any(|(s, _)| s == sid));
+                }
+            }
+            if !moved_ids.is_empty() {
+                let _ = ctrl.forget_sessions(&moved_ids);
+            }
+        }
+    }
+
+    /// Serves one recommend request with the failover policy: the owner if
+    /// alive, otherwise depersonalised on the best surviving node, never an
+    /// error. An empty list is the final fallback when no node is
+    /// reachable.
+    fn recommend(&self, req: RecommendRequest, ctx: &mut RequestContext) -> Vec<ItemScore> {
+        let membership = self.membership.load();
+        let Some(owner) = membership.route(req.session_id) else {
+            self.failover_total.inc();
+            return Vec::new();
+        };
+        let entry = &membership.nodes[owner];
+        if entry.is_alive() {
+            match entry.transport.handle_with(req, ctx) {
+                Ok(recs) => return recs,
+                Err(_) => entry.alive.store(false, Ordering::SeqCst),
+            }
+        }
+        // The owner (and the session state it held) is gone: depersonalise,
+        // exactly like the engine's own deadline degrade, and count it.
+        self.failover_total.inc();
+        let degraded = RecommendRequest { consent: false, ..req };
+        for _ in 0..membership.nodes.len() {
+            let Some(slot) = membership
+                .route_filtered(req.session_id, |s| membership.nodes[s].is_alive())
+            else {
+                break;
+            };
+            let fallback = &membership.nodes[slot];
+            match fallback.transport.handle_with(degraded, ctx) {
+                Ok(recs) => return recs,
+                Err(_) => fallback.alive.store(false, Ordering::SeqCst),
+            }
+        }
+        Vec::new()
+    }
+
+    /// Proxies an ingest batch: clicks are grouped by owning node and
+    /// forwarded to each owner's data plane. `(accepted, failed)` counts.
+    fn proxy_ingest(&self, clicks: &[Click]) -> (usize, usize) {
+        let membership = self.membership.load();
+        if membership.nodes.is_empty() {
+            return (0, clicks.len());
+        }
+        let mut groups: Vec<(usize, Vec<&Click>)> = Vec::new();
+        let mut accepted = 0;
+        let mut failed = 0;
+        for click in clicks {
+            let Some(slot) = membership
+                .route_filtered(click.session_id, |s| membership.nodes[s].is_alive())
+                .or_else(|| membership.route(click.session_id))
+            else {
+                failed += 1;
+                continue;
+            };
+            match groups.iter_mut().find(|(s, _)| *s == slot) {
+                Some((_, batch)) => batch.push(click),
+                None => groups.push((slot, vec![click])),
+            }
+        }
+        for (slot, batch) in groups {
+            let body = render_ingest_batch(&batch);
+            let node = &membership.nodes[slot];
+            match node.transport.post("/ingest", &body) {
+                Ok((202, _)) => accepted += batch.len(),
+                Ok((_status, _)) => failed += batch.len(),
+                Err(_) => {
+                    node.alive.store(false, Ordering::SeqCst);
+                    failed += batch.len();
+                }
+            }
+        }
+        (accepted, failed)
+    }
+
+    /// Broadcasts a session deletion to every live node (compliance sweep:
+    /// membership may have changed since the session was live). Returns
+    /// whether any node had it.
+    fn proxy_delete(&self, session_id: u64) -> bool {
+        let membership = self.membership.load();
+        let mut deleted = false;
+        for node in &membership.nodes {
+            if !node.is_alive() {
+                continue;
+            }
+            let path = format!("/ingest/session/{session_id}");
+            if let Ok((200, body)) = node.transport.delete(&path) {
+                deleted |= body.contains("true");
+            }
+        }
+        deleted
+    }
+
+    fn members_body(&self) -> String {
+        let membership = self.membership.load();
+        let members: Vec<JsonValue> = membership
+            .nodes
+            .iter()
+            .map(|n| {
+                JsonValue::object([
+                    ("id", JsonValue::Number(n.id as f64)),
+                    ("data_addr", JsonValue::String(n.data_addr.to_string())),
+                    ("ctrl_addr", JsonValue::String(n.ctrl_addr.to_string())),
+                    ("alive", JsonValue::Bool(n.is_alive())),
+                ])
+            })
+            .collect();
+        JsonValue::object([("members", JsonValue::Array(members))]).to_json()
+    }
+}
+
+/// Renders an ingest sub-batch back into the `POST /ingest` body format.
+fn render_ingest_batch(clicks: &[&Click]) -> String {
+    let items: Vec<JsonValue> = clicks
+        .iter()
+        .map(|c| {
+            JsonValue::object([
+                ("session_id", JsonValue::Number(c.session_id as f64)),
+                ("item_id", JsonValue::Number(c.item_id as f64)),
+                ("timestamp", JsonValue::Number(c.timestamp as f64)),
+            ])
+        })
+        .collect();
+    JsonValue::object([("clicks", JsonValue::Array(items))]).to_json()
+}
+
+fn bad_request(message: &str) -> (u16, String, &'static str) {
+    (
+        400,
+        JsonValue::object([("error", JsonValue::String(message.into()))]).to_json(),
+        conn::CONTENT_TYPE_JSON,
+    )
+}
+
+impl RequestBackend for RouterCore {
+    fn telemetry(&self) -> &Arc<ClusterTelemetry> {
+        &self.telemetry
+    }
+
+    fn shard_for(&self, session_id: u64) -> usize {
+        self.membership.load().route(session_id).unwrap_or(0)
+    }
+
+    fn respond(
+        &self,
+        request: &ParsedRequest,
+        ctx: &mut RequestContext,
+    ) -> (u16, String, &'static str) {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/health") => {
+                let membership = self.membership.load();
+                let live = membership.nodes.iter().filter(|n| n.is_alive()).count();
+                (
+                    200,
+                    JsonValue::object([
+                        ("status", JsonValue::String("ok".into())),
+                        ("role", JsonValue::String("router".into())),
+                        ("members", JsonValue::Number(membership.nodes.len() as f64)),
+                        ("live", JsonValue::Number(live as f64)),
+                    ])
+                    .to_json(),
+                    conn::CONTENT_TYPE_JSON,
+                )
+            }
+            ("GET", "/metrics") => (
+                200,
+                self.telemetry.registry().render(),
+                "text/plain; version=0.0.4",
+            ),
+            ("GET", "/cluster/members") => {
+                (200, self.members_body(), conn::CONTENT_TYPE_JSON)
+            }
+            ("POST", "/cluster/join") => {
+                let parsed = json::parse(&request.body)
+                    .map_err(|e| format!("invalid json: {e}"))
+                    .and_then(|v| {
+                        let id = v
+                            .get("id")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or("missing id")?;
+                        let data = v
+                            .get("data_addr")
+                            .and_then(JsonValue::as_str)
+                            .and_then(|s| s.parse::<SocketAddr>().ok())
+                            .ok_or("missing or invalid data_addr")?;
+                        let ctrl = v
+                            .get("ctrl_addr")
+                            .and_then(JsonValue::as_str)
+                            .and_then(|s| s.parse::<SocketAddr>().ok())
+                            .ok_or("missing or invalid ctrl_addr")?;
+                        Ok((id, data, ctrl))
+                    });
+                match parsed {
+                    Ok((id, data, ctrl)) => match self.join(id, data, ctrl) {
+                        Ok(()) => (200, self.members_body(), conn::CONTENT_TYPE_JSON),
+                        Err(e) => bad_request(&e),
+                    },
+                    Err(e) => bad_request(&e),
+                }
+            }
+            ("POST", "/cluster/leave") => {
+                let id = json::parse(&request.body)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(JsonValue::as_u64));
+                match id {
+                    Some(id) => match self.leave(id) {
+                        Ok(()) => (200, self.members_body(), conn::CONTENT_TYPE_JSON),
+                        Err(e) => bad_request(&e),
+                    },
+                    None => bad_request("missing id"),
+                }
+            }
+            ("POST", "/cluster/publish") => {
+                let path = json::parse(&request.body)
+                    .ok()
+                    .and_then(|v| v.get("path").and_then(|p| p.as_str().map(String::from)));
+                let Some(path) = path else { return bad_request("missing path") };
+                let artifact = match std::fs::read(&path) {
+                    Ok(bytes) => bytes,
+                    Err(e) => return bad_request(&format!("unreadable artifact: {e}")),
+                };
+                match self.publish_artifact(artifact) {
+                    Ok((published, failed)) => {
+                        let body = JsonValue::object([
+                            (
+                                "published",
+                                JsonValue::Array(
+                                    published
+                                        .iter()
+                                        .map(|&id| JsonValue::Number(id as f64))
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "failed",
+                                JsonValue::Array(
+                                    failed
+                                        .iter()
+                                        .map(|(id, reason)| {
+                                            JsonValue::object([
+                                                ("id", JsonValue::Number(*id as f64)),
+                                                (
+                                                    "error",
+                                                    JsonValue::String(reason.clone()),
+                                                ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                        .to_json();
+                        (200, body, conn::CONTENT_TYPE_JSON)
+                    }
+                    Err(e) => bad_request(&e),
+                }
+            }
+            ("POST", "/recommend") => match conn::parse_recommend_request(&request.body) {
+                Ok(req) => {
+                    let recs = self.recommend(req, ctx);
+                    (200, conn::render_recommendations(&recs), conn::CONTENT_TYPE_JSON)
+                }
+                Err(e) => bad_request(&e),
+            },
+            ("POST", "/ingest") => match conn::parse_ingest_batch(&request.body) {
+                Ok(clicks) => {
+                    let (accepted, failed) = self.proxy_ingest(&clicks);
+                    let status = if failed == 0 { 202 } else { 503 };
+                    (
+                        status,
+                        JsonValue::object([
+                            ("accepted", JsonValue::Number(accepted as f64)),
+                            ("failed", JsonValue::Number(failed as f64)),
+                        ])
+                        .to_json(),
+                        conn::CONTENT_TYPE_JSON,
+                    )
+                }
+                Err(e) => bad_request(&e),
+            },
+            ("DELETE", path) if path.starts_with("/ingest/session/") => {
+                let id = path["/ingest/session/".len()..].parse::<u64>();
+                match id {
+                    Ok(id) => {
+                        let deleted = self.proxy_delete(id);
+                        (
+                            200,
+                            JsonValue::object([("deleted", JsonValue::Bool(deleted))])
+                                .to_json(),
+                            conn::CONTENT_TYPE_JSON,
+                        )
+                    }
+                    Err(_) => bad_request("invalid session id"),
+                }
+            }
+            _ => (
+                404,
+                JsonValue::object([("error", JsonValue::String("not found".into()))])
+                    .to_json(),
+                conn::CONTENT_TYPE_JSON,
+            ),
+        }
+    }
+
+    fn handle_recommend_batch(
+        &self,
+        _shard: usize,
+        reqs: &[RecommendRequest],
+        bctx: &mut BatchContext,
+    ) -> Vec<Result<Vec<ItemScore>, ServingError>> {
+        // Failover can split a coalesced batch across nodes, so members are
+        // proxied individually; the shard key only grouped likely-same-owner
+        // requests. Never an Err: the failover policy absorbs node loss.
+        bctx.ensure(reqs.len());
+        reqs.iter()
+            .enumerate()
+            .map(|(i, &req)| {
+                let mut scratch = RequestContext::new();
+                let recs = self.recommend(req, &mut scratch);
+                let member = bctx.member_mut(i);
+                member.set_timings(scratch.last_timings());
+                member.set_session_len(scratch.session_len());
+                Ok(recs)
+            })
+            .collect()
+    }
+}
+
+/// A running router daemon: the event-loop server plus the health prober.
+pub struct RouterDaemon {
+    core: Arc<RouterCore>,
+    server: Option<HttpServer>,
+    addr: SocketAddr,
+    probe_stop: Arc<AtomicBool>,
+    probe_thread: Option<JoinHandle<()>>,
+}
+
+impl RouterDaemon {
+    /// Starts the router over an initial member list.
+    pub fn start(
+        members: &[(u64, SocketAddr, SocketAddr)],
+        config: RouterConfig,
+    ) -> std::io::Result<Self> {
+        let core = RouterCore::new(
+            members,
+            TraceConfig::default(),
+            config.probe_timeout,
+            config.handoff_cap,
+        );
+        let server = HttpServer::serve(Arc::clone(&core), config.server)?;
+        let addr = server.addr();
+        let probe_stop = Arc::new(AtomicBool::new(false));
+        let probe_thread = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&probe_stop);
+            let interval = config.probe_interval.max(Duration::from_millis(10));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    core.probe_members();
+                    std::thread::sleep(interval);
+                }
+            })
+        };
+        Ok(Self {
+            core,
+            server: Some(server),
+            addr,
+            probe_stop,
+            probe_thread: Some(probe_thread),
+        })
+    }
+
+    /// The router's data-plane address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router backend (membership, failover counter).
+    pub fn core(&self) -> &Arc<RouterCore> {
+        &self.core
+    }
+
+    /// Drains the server and stops the prober.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+        self.probe_stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.probe_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RouterDaemon {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_batch_rendering_roundtrips() {
+        let clicks = [Click::new(1, 2, 3), Click::new(4, 5, 6)];
+        let refs: Vec<&Click> = clicks.iter().collect();
+        let body = render_ingest_batch(&refs);
+        let parsed = conn::parse_ingest_batch(&body).unwrap();
+        assert_eq!(parsed, clicks);
+    }
+
+    #[test]
+    fn empty_membership_serves_empty_lists_not_errors() {
+        let core = RouterCore::new(
+            &[],
+            TraceConfig::default(),
+            Duration::from_millis(50),
+            1_000,
+        );
+        let mut ctx = RequestContext::new();
+        let req = RecommendRequest { session_id: 9, item: 1, consent: true, filter_adult: false };
+        assert!(core.recommend(req, &mut ctx).is_empty());
+        assert_eq!(core.failover_total(), 1, "the miss is counted");
+    }
+
+    #[test]
+    fn dead_member_requests_degrade_and_are_counted() {
+        // Two members on ports nothing listens on: every request fails
+        // over, exhausts the candidates and lands on the empty fallback.
+        let dead = |p: u16| {
+            let a: SocketAddr = format!("127.0.0.1:{p}").parse().unwrap();
+            a
+        };
+        let core = RouterCore::new(
+            &[(0, dead(1), dead(1)), (1, dead(2), dead(2))],
+            TraceConfig::default(),
+            Duration::from_millis(50),
+            1_000,
+        );
+        let mut ctx = RequestContext::new();
+        let req = RecommendRequest { session_id: 9, item: 1, consent: true, filter_adult: false };
+        assert!(core.recommend(req, &mut ctx).is_empty(), "no 5xx, an empty 200");
+        assert_eq!(core.failover_total(), 1);
+        let membership = core.membership();
+        assert!(membership.nodes().iter().all(|n| !n.is_alive()), "failures mark nodes dead");
+    }
+
+    #[test]
+    fn join_rejects_duplicates_and_leave_rejects_strangers() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let core = RouterCore::new(
+            &[(3, addr, addr)],
+            TraceConfig::default(),
+            Duration::from_millis(50),
+            1_000,
+        );
+        assert!(core.join(3, addr, addr).is_err());
+        assert!(core.leave(9).is_err());
+        assert!(core.leave(3).is_ok());
+        assert!(core.membership().nodes().is_empty());
+    }
+}

@@ -27,13 +27,13 @@ use super::parser::ParsedRequest;
 
 /// Response content types. `/metrics` uses the Prometheus text exposition
 /// content type; everything else is JSON.
-pub(super) const CONTENT_TYPE_JSON: &str = "application/json";
+pub(crate) const CONTENT_TYPE_JSON: &str = "application/json";
 const CONTENT_TYPE_METRICS: &str = "text/plain; version=0.0.4";
 
 /// Renders one framed HTTP/1.1 response into bytes for the reactor's
 /// nonblocking write path. `retry_after` adds the `retry-after` header
 /// overload sheds advertise.
-pub(super) fn render_response(
+pub(crate) fn render_response(
     status: u16,
     body: &str,
     content_type: &str,
@@ -67,7 +67,7 @@ pub(super) fn render_response(
 }
 
 /// Renders one recommendation list as the `POST /recommend` success body.
-pub(super) fn render_recommendations(recs: &[ItemScore]) -> String {
+pub(crate) fn render_recommendations(recs: &[ItemScore]) -> String {
     let items: Vec<JsonValue> = recs
         .iter()
         .map(|r| {
@@ -81,7 +81,7 @@ pub(super) fn render_recommendations(recs: &[ItemScore]) -> String {
 }
 
 /// Renders one serving error as `(status, body)`.
-pub(super) fn render_error(e: &ServingError) -> (u16, String) {
+pub(crate) fn render_error(e: &ServingError) -> (u16, String) {
     (e.status(), JsonValue::object([("error", JsonValue::String(e.to_string()))]).to_json())
 }
 
@@ -316,7 +316,7 @@ const MAX_INGEST_BATCH: usize = 10_000;
 
 /// Parses the `POST /ingest` body:
 /// `{"clicks": [{"session_id": u64, "item_id": u64, "timestamp": u64}, ...]}`.
-pub(super) fn parse_ingest_batch(body: &str) -> Result<Vec<Click>, String> {
+pub(crate) fn parse_ingest_batch(body: &str) -> Result<Vec<Click>, String> {
     let v = json::parse(body).map_err(|e| format!("invalid json: {e}"))?;
     let clicks = v
         .get("clicks")
@@ -345,7 +345,7 @@ pub(super) fn parse_ingest_batch(body: &str) -> Result<Vec<Click>, String> {
 
 /// Parses the `POST /recommend` body. Shared by the worker's responder and
 /// the reactor's batch classifier, so both agree on the schema.
-pub(super) fn parse_recommend_request(body: &str) -> Result<RecommendRequest, String> {
+pub(crate) fn parse_recommend_request(body: &str) -> Result<RecommendRequest, String> {
     let v = json::parse(body).map_err(|e| format!("invalid json: {e}"))?;
     let session_id =
         v.get("session_id").and_then(JsonValue::as_u64).ok_or("missing session_id")?;

@@ -45,6 +45,7 @@ pub mod lifecycle;
 pub mod metrics;
 pub mod parser;
 
+pub(crate) mod backend;
 pub(crate) mod conn;
 mod dispatch;
 pub(crate) mod reactor;
@@ -55,12 +56,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::cluster::ServingCluster;
 use crate::sync::atomic::{AtomicUsize, Ordering};
 
 use dispatch::{CompletionQueue, DispatchQueue};
 use reactor::{Reactor, Waker};
 
+pub use backend::RequestBackend;
 pub use lifecycle::{Admission, LifecycleGate, ParkDecision, ParkedSet};
 pub use metrics::{ConnState, ServerMetrics};
 
@@ -202,7 +203,10 @@ impl HttpServer {
     /// Registers the server's lifecycle metrics into the cluster's metric
     /// registry — run one `HttpServer` per cluster, or the families would
     /// be registered twice.
-    pub fn serve(cluster: Arc<ServingCluster>, config: HttpServerConfig) -> std::io::Result<Self> {
+    pub fn serve<B: backend::RequestBackend>(
+        cluster: Arc<B>,
+        config: HttpServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;

@@ -30,7 +30,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::cluster::ServingCluster;
+use super::backend::RequestBackend;
 use crate::json::JsonValue;
 
 use super::conn::{self, CONTENT_TYPE_JSON};
@@ -592,11 +592,11 @@ impl Slab {
 const SWEEP_INTERVAL: Duration = Duration::from_millis(25);
 
 /// The reactor: poller, listener, connection slab and the dispatch plumbing.
-pub(super) struct Reactor {
+pub(super) struct Reactor<B: RequestBackend> {
     poller: Poller,
     listener: TcpListener,
     shared: Arc<Shared>,
-    cluster: Arc<ServingCluster>,
+    cluster: Arc<B>,
     queue: Arc<DispatchQueue>,
     completions: Arc<CompletionQueue>,
     slab: Slab,
@@ -607,11 +607,11 @@ pub(super) struct Reactor {
     read_buf: Box<[u8; 8192]>,
 }
 
-impl Reactor {
+impl<B: RequestBackend> Reactor<B> {
     pub(super) fn new(
         listener: TcpListener,
         shared: Arc<Shared>,
-        cluster: Arc<ServingCluster>,
+        cluster: Arc<B>,
         queue: Arc<DispatchQueue>,
         completions: Arc<CompletionQueue>,
     ) -> std::io::Result<Self> {
@@ -935,7 +935,7 @@ impl Reactor {
                 };
                 let client_close = request.close;
                 let close_hint = client_close || (keepalive_cap != 0 && served >= keepalive_cap);
-                let kind = classify(&request, &self.cluster);
+                let kind = classify(&request, self.cluster.as_ref());
                 let dispatch = Dispatch { token, request, kind, deadline, close_hint };
                 // Count the admission BEFORE handing the dispatch to the
                 // worker pool: a worker can pop it and render `/metrics`
@@ -1156,10 +1156,10 @@ impl Reactor {
 /// parsed on the reactor so same-pod predicts can coalesce; anything else
 /// (including malformed predict bodies, which re-parse to a `400` on the
 /// worker) dispatches as-is.
-fn classify(request: &ParsedRequest, cluster: &ServingCluster) -> DispatchKind {
+fn classify<B: RequestBackend>(request: &ParsedRequest, backend: &B) -> DispatchKind {
     if request.method == "POST" && request.path == "/recommend" {
         if let Ok(req) = conn::parse_recommend_request(&request.body) {
-            let pod = cluster.pod_index_for(req.session_id);
+            let pod = backend.shard_for(req.session_id);
             return DispatchKind::Predict { req, pod };
         }
     }

@@ -13,19 +13,19 @@
 
 use std::sync::Arc;
 
-use crate::cluster::ServingCluster;
 use crate::context::{BatchContext, RequestContext};
 use crate::engine::RecommendRequest;
 
+use super::backend::RequestBackend;
 use super::conn::{self, CONTENT_TYPE_JSON};
 use super::dispatch::{Completion, CompletionQueue, Dispatch, DispatchKind, DispatchQueue, Work};
 use super::reactor::Waker;
 use super::Shared;
 
-pub(super) fn run(
+pub(super) fn run<B: RequestBackend>(
     queue: Arc<DispatchQueue>,
     completions: Arc<CompletionQueue>,
-    cluster: Arc<ServingCluster>,
+    cluster: Arc<B>,
     shared: Arc<Shared>,
     waker: Waker,
 ) {
@@ -35,10 +35,10 @@ pub(super) fn run(
     while let Some(work) = queue.next_work() {
         match work {
             Work::Single(dispatch) => {
-                run_single(dispatch, &completions, &cluster, &shared, &mut ctx);
+                run_single(dispatch, &completions, cluster.as_ref(), &shared, &mut ctx);
             }
             Work::Batch(batch) => {
-                run_batch(batch, &completions, &cluster, &shared, &mut ctx, &mut bctx, &mut reqs);
+                run_batch(batch, &completions, cluster.as_ref(), &shared, &mut ctx, &mut bctx, &mut reqs);
             }
         }
         // One readiness kick flushes every completion this unit produced.
@@ -51,15 +51,15 @@ pub(super) fn run(
 }
 
 /// Executes one non-batched dispatch through the endpoint responder.
-fn run_single(
+fn run_single<B: RequestBackend>(
     dispatch: Dispatch,
     completions: &CompletionQueue,
-    cluster: &ServingCluster,
+    cluster: &B,
     shared: &Shared,
     ctx: &mut RequestContext,
 ) {
     ctx.set_deadline(dispatch.deadline);
-    let (status, body, content_type) = conn::respond(&dispatch.request, cluster, ctx);
+    let (status, body, content_type) = cluster.respond(&dispatch.request, ctx);
     shared.gate.finish_request();
     let close = dispatch.close_hint || !shared.gate.is_running();
     completions.push(Completion {
@@ -73,10 +73,10 @@ fn run_single(
 /// path, then completes every member individually. A panic anywhere in the
 /// batch maps to a `500` for every member (the unwind barrier the single
 /// path has, batch-wide).
-fn run_batch(
+fn run_batch<B: RequestBackend>(
     batch: Vec<Dispatch>,
     completions: &CompletionQueue,
-    cluster: &ServingCluster,
+    cluster: &B,
     shared: &Shared,
     ctx: &mut RequestContext,
     bctx: &mut BatchContext,
@@ -111,7 +111,7 @@ fn run_batch(
         member.set_request_id(cluster.telemetry().next_request_id());
         member.set_deadline(dispatch.deadline);
     }
-    let outcome = conn::unwind_barrier(|| Ok(cluster.handle_batch(pod, reqs, bctx)));
+    let outcome = conn::unwind_barrier(|| Ok(cluster.handle_recommend_batch(pod, reqs, bctx)));
     match outcome {
         Ok(results) => {
             for (dispatch, result) in batch.iter().zip(results) {

@@ -1,0 +1,23 @@
+// A router proxy that holds the connection-pool mutex across the upstream
+// socket write: one slow (or dead) upstream now stalls every request thread
+// that needs *any* pooled connection — exactly the failover hazard the
+// cluster's per-entry pools exist to avoid.
+// path: crates/app/src/proxy.rs
+// expect: lock-held-across-blocking
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub struct Proxy {
+    pool: Mutex<Vec<TcpStream>>,
+}
+
+impl Proxy {
+    pub fn forward(&self, body: &[u8]) -> std::io::Result<()> {
+        let mut g = self.pool.lock().unwrap();
+        let stream = g.last_mut().unwrap();
+        stream.write_all(body)?;
+        drop(g);
+        Ok(())
+    }
+}

@@ -1,0 +1,33 @@
+// The bounded checkout/check-in handoff the router's upstream pools use:
+// the pool mutex guards only the O(1) pop and push — the connection is
+// moved out, the guard dropped, and the blocking upstream write happens
+// with no lock held. A stalled upstream costs one connection, not the pool.
+// path: crates/app/src/proxy.rs
+// expect: none
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub struct Proxy {
+    pool: Mutex<Vec<TcpStream>>,
+    cap: usize,
+}
+
+impl Proxy {
+    pub fn forward(&self, body: &[u8]) -> std::io::Result<()> {
+        let mut g = self.pool.lock().unwrap();
+        let conn = g.pop();
+        drop(g);
+        let mut conn = match conn {
+            Some(c) => c,
+            None => TcpStream::connect("127.0.0.1:9")?,
+        };
+        conn.write_all(body)?;
+        let mut g = self.pool.lock().unwrap();
+        if g.len() < self.cap {
+            g.push(conn);
+        }
+        drop(g);
+        Ok(())
+    }
+}

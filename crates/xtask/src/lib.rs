@@ -81,6 +81,10 @@ const REQUEST_PATH_MODULES: &[&str] = &[
     "crates/serving/src/ingest/pipeline.rs",
     "crates/serving/src/ingest/epoch.rs",
     "crates/serving/src/ingest/metrics.rs",
+    "crates/serving/src/server/backend.rs",
+    "crates/serving/src/transport.rs",
+    "crates/serving/src/routerd.rs",
+    "crates/serving/src/node.rs",
     "crates/kvstore/src/store.rs",
     "crates/kvstore/src/session.rs",
     "crates/kvstore/src/clock.rs",

@@ -73,6 +73,14 @@ impl Default for AnalyzeConfig {
                     String::from("crates/serving/src/ingest/pipeline.rs"),
                     String::from("IngestPipeline::submit"),
                 ),
+                // The router's shard classifier runs inside the reactor's
+                // dispatch loop for every proxied request: it must stay a
+                // lock-free snapshot read (membership load + rendezvous
+                // hash), never touching the admin mutex or upstream pools.
+                (
+                    String::from("crates/serving/src/routerd.rs"),
+                    String::from("RouterCore::shard_for"),
+                ),
             ],
             require_roots: true,
         }
