@@ -86,9 +86,13 @@ impl Recommender for PandasStyleVsKnn {
             }
             if let Some(posting) = self.index.postings(item) {
                 let decay = self.config.decay.weight(i + 1, wlen);
-                for &sid in posting {
+                for &e in posting {
+                    let sid = e.session;
                     rows.push(MatchRow {
                         session: sid,
+                        // Deliberate `t` lookup per row: this analogue models
+                        // the dataframe join against a separate timestamp
+                        // column, not the kernel's inlined layout.
                         timestamp: self.index.session_timestamp(sid),
                         decay,
                     });
@@ -192,11 +196,14 @@ impl Recommender for AllocHeavyVmis {
                 continue;
             };
             let pi = self.config.decay.weight(i + 1, wlen);
-            for &j in posting {
+            for &e in posting {
+                let j = e.session;
                 if let Some(cell) = r.get_mut(&j) {
                     **cell += pi;
                     continue;
                 }
+                // Deliberate `t` chase per entry: this analogue models the
+                // pointer-heavy layout, not the kernel's inlined keys.
                 let key = (self.index.session_timestamp(j), j);
                 if r.len() < self.config.m {
                     r.insert(j, Box::new(pi));
@@ -310,7 +317,10 @@ impl Recommender for SqlStyleVmis {
             }
             if let Some(posting) = self.index.postings(item) {
                 let decay = self.config.decay.weight(i + 1, wlen);
-                for &sid in posting {
+                for &e in posting {
+                    let sid = e.session;
+                    // Deliberate `t` lookup per row (SQL join with the
+                    // timestamp table), as in the dataframe analogue.
                     join.push((sid, self.index.session_timestamp(sid), decay, wlen - i));
                 }
             }
@@ -442,8 +452,8 @@ impl IncrementalVmis {
             let p = state.items.len();
             state.contributed.insert(item, p);
             if let Some(posting) = self.index.postings(item) {
-                for &sid in posting {
-                    *state.arrangement.entry(sid).or_insert(0.0) += p as f64;
+                for &e in posting {
+                    *state.arrangement.entry(e.session).or_insert(0.0) += p as f64;
                 }
             }
         }
@@ -464,8 +474,8 @@ impl IncrementalVmis {
                 continue;
             }
             if let Some(posting) = self.index.postings(it) {
-                for &sid in posting {
-                    *state.arrangement.entry(sid).or_insert(0.0) += p as f64;
+                for &e in posting {
+                    *state.arrangement.entry(e.session).or_insert(0.0) += p as f64;
                 }
             }
         }

@@ -66,7 +66,7 @@ impl VsKnnBaseline {
             // already deduplicated.
             let _ = p;
             if let Some(list) = self.index.postings(item) {
-                candidates.extend(list.iter().copied());
+                candidates.extend(list.iter().map(|e| e.session));
             }
         }
 

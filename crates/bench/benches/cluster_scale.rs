@@ -16,11 +16,15 @@
 //!
 //! Results land in the repo-root `BENCH_cluster.json`. With `--check`, the
 //! harness instead runs a short 4-node pass and fails if the fleet drops
-//! below the offered rate, surfaces any 5xx, or the fresh p99 exceeds 3x
+//! below the offered rate, surfaces any 5xx, or the fresh p99 exceeds 2x
 //! the committed artefact — a coarse tail gate by design: two process
 //! boundaries and a kernel scheduler sit inside the measurement, so only
 //! gross regressions (a lost keep-alive pool, an accidental per-request
 //! reconnect) are CI-stable signals; the rate floor is the stable gate.
+//! The allowance tightened from 3x once the router forwarded owner-runs
+//! as single upstream batches: one pool checkout per batch (not two mutex
+//! ops per member) flattened the p99-vs-fleet-size curve enough that 2x
+//! covers scheduler noise with margin.
 //!
 //! Not a criterion bench: the harness needs child processes, a JSON
 //! artefact and hard assertions, none of which the in-tree shim provides.
@@ -167,7 +171,7 @@ fn main() {
         let baseline: f64 = rest[..end].trim().parse().expect("baseline p99 unparsable");
         let fresh = measure(4, duration);
         println!(
-            "cluster_scale gate: fresh 4-node p99 {}us vs committed {baseline:.0}us (3x allowed)",
+            "cluster_scale gate: fresh 4-node p99 {}us vs committed {baseline:.0}us (2x allowed)",
             fresh.p99_us
         );
         assert!(
@@ -176,8 +180,8 @@ fn main() {
             fresh.achieved_rps
         );
         assert!(
-            (fresh.p99_us as f64) <= baseline * 3.0,
-            "cluster p99 regressed >3x: {}us vs committed {baseline:.0}us",
+            (fresh.p99_us as f64) <= baseline * 2.0,
+            "cluster p99 regressed >2x: {}us vs committed {baseline:.0}us",
             fresh.p99_us
         );
         return;

@@ -2,12 +2,34 @@
 //!
 //! VMIS-kNN's workload is insertion-heavy with frequent replace-root
 //! operations on a bounded heap. This bench isolates that pattern across
-//! arities d ∈ {2, 4, 8, 16} on both the const-generic and the runtime-arity
-//! heap, so the A1 ablation's end-to-end numbers can be traced to the data
-//! structure.
+//! arities d ∈ {2, 4, 8, 16} on both the const-generic and the
+//! runtime-arity heap, so the A1 ablation's end-to-end numbers can be
+//! traced to the data structure.
+//!
+//! The workload result (xor of evicted roots) is arity-invariant — a
+//! bounded min-heap under replace-root-if-greater always evicts the
+//! current minimum, whatever its internal shape — so every (arity,
+//! implementation) pair is asserted to agree before anything is timed.
+//!
+//! Results land in the repo-root `BENCH_heap.json`. With `--check`, the
+//! harness instead reads the committed artefact and fails if the fresh
+//! octonary const-generic p50 regressed more than 10% against it. Timings
+//! use best-of-round minima and percentiles over rounds, stable under
+//! scheduler noise.
+//!
+//! Not a criterion bench: the in-tree shim emits no JSON and this harness
+//! needs a machine-readable artefact plus hard assertions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
 use serenade_core::heap::{DaryHeap, RuntimeDaryHeap};
+
+/// Pseudo-random key-stream length; ~10% of probes beat the root at
+/// capacity 500, matching the kernel's admission rate on Zipf traffic.
+const KEYS: usize = 50_000;
+/// Bounded-heap capacity (the kernel's `m` neighbourhood).
+const CAPACITY: usize = 500;
+const ROUNDS: usize = 200;
 
 /// The VMIS-kNN access pattern: fill to capacity, then a long stream of
 /// replace-root-if-greater probes.
@@ -59,30 +81,114 @@ fn keys(n: usize) -> Vec<u64> {
         .collect()
 }
 
-fn bench_heaps(c: &mut Criterion) {
-    let keys = keys(50_000);
-    let capacity = 500;
-    let mut group = c.benchmark_group("heap_replace_root");
-    group.sample_size(30);
-    group.bench_function(BenchmarkId::new("const", 2), |b| {
-        b.iter(|| workload_const::<2>(std::hint::black_box(&keys), capacity))
-    });
-    group.bench_function(BenchmarkId::new("const", 4), |b| {
-        b.iter(|| workload_const::<4>(std::hint::black_box(&keys), capacity))
-    });
-    group.bench_function(BenchmarkId::new("const", 8), |b| {
-        b.iter(|| workload_const::<8>(std::hint::black_box(&keys), capacity))
-    });
-    group.bench_function(BenchmarkId::new("const", 16), |b| {
-        b.iter(|| workload_const::<16>(std::hint::black_box(&keys), capacity))
-    });
-    for d in [2usize, 4, 8, 16] {
-        group.bench_with_input(BenchmarkId::new("runtime", d), &d, |b, &d| {
-            b.iter(|| workload_runtime(d, std::hint::black_box(&keys), capacity))
-        });
-    }
-    group.finish();
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
 }
 
-criterion_group!(benches, bench_heaps);
-criterion_main!(benches);
+/// (min, p50) over `ROUNDS` timed executions.
+fn measure(mut round: impl FnMut() -> u64) -> (f64, f64) {
+    let mut samples = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        let acc = round();
+        let elapsed = t0.elapsed();
+        std::hint::black_box(acc);
+        samples.push(elapsed);
+    }
+    samples.sort();
+    (micros(samples[0]), micros(samples[samples.len() / 2]))
+}
+
+fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_heap.json");
+
+    let keys = keys(KEYS);
+    let arities = [2usize, 4, 8, 16];
+
+    // Differential sanity before timing: every arity and both
+    // implementations must evict the same root sequence.
+    let reference = workload_const::<2>(&keys, CAPACITY);
+    assert_eq!(reference, workload_const::<4>(&keys, CAPACITY));
+    assert_eq!(reference, workload_const::<8>(&keys, CAPACITY));
+    assert_eq!(reference, workload_const::<16>(&keys, CAPACITY));
+    for d in arities {
+        assert_eq!(
+            reference,
+            workload_runtime(d, &keys, CAPACITY),
+            "runtime-arity heap (d={d}) diverged from the const-generic one"
+        );
+    }
+
+    let const_runs: Vec<(usize, f64, f64)> = vec![
+        (2, measure(|| workload_const::<2>(&keys, CAPACITY))),
+        (4, measure(|| workload_const::<4>(&keys, CAPACITY))),
+        (8, measure(|| workload_const::<8>(&keys, CAPACITY))),
+        (16, measure(|| workload_const::<16>(&keys, CAPACITY))),
+    ]
+    .into_iter()
+    .map(|(d, (min, p50))| (d, min, p50))
+    .collect();
+    let runtime_runs: Vec<(usize, f64, f64)> = arities
+        .iter()
+        .map(|&d| {
+            let (min, p50) = measure(|| workload_runtime(d, &keys, CAPACITY));
+            (d, min, p50)
+        })
+        .collect();
+
+    for (d, min, p50) in &const_runs {
+        println!("  const   d={d:>2}: min {min:>7.1}us, p50 {p50:>7.1}us");
+    }
+    for (d, min, p50) in &runtime_runs {
+        println!("  runtime d={d:>2}: min {min:>7.1}us, p50 {p50:>7.1}us");
+    }
+
+    let p50_of = |runs: &[(usize, f64, f64)], d: usize| {
+        runs.iter().find(|r| r.0 == d).expect("measured arity").2
+    };
+    let octonary = p50_of(&const_runs, 8);
+    let binary = p50_of(&const_runs, 2);
+    println!("  octonary/binary p50: {:.2}", octonary / binary);
+    // The design-choice sanity bound: the paper picks d=8 because wider
+    // nodes trade deeper sift-downs for cache-friendly child scans; if
+    // octonary ever loses to binary by more than scheduler noise, the
+    // ablation's premise broke.
+    assert!(
+        octonary <= binary * 1.25,
+        "octonary heap lost its advantage: d=8 p50 {octonary:.1}us vs d=2 {binary:.1}us"
+    );
+
+    if check_mode {
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--check needs a committed {path}: {e}"));
+        let needle = "\"const_d8_p50_us\": ";
+        let at = committed.find(needle).expect("baseline field missing");
+        let rest = &committed[at + needle.len()..];
+        let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+        let baseline: f64 = rest[..end].trim().parse().expect("baseline p50 unparsable");
+        println!(
+            "heap_arity gate: fresh const d=8 p50 {octonary:.1}us vs committed {baseline:.1}us (+10% allowed)"
+        );
+        assert!(
+            octonary <= baseline * 1.10,
+            "octonary heap p50 regressed >10%: {octonary:.1}us vs committed {baseline:.1}us"
+        );
+        return;
+    }
+
+    let mut rows = Vec::new();
+    for (prefix, runs) in [("const", &const_runs), ("runtime", &runtime_runs)] {
+        for (d, min, p50) in runs {
+            rows.push(format!("  \"{prefix}_d{d}_min_us\": {min:.2},"));
+            rows.push(format!("  \"{prefix}_d{d}_p50_us\": {p50:.2},"));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"heap_arity\",\n  \"rounds\": {ROUNDS},\n  \"keys\": {KEYS},\n  \"capacity\": {CAPACITY},\n{}\n  \"octonary_over_binary_p50\": {:.3}\n}}\n",
+        rows.join("\n"),
+        octonary / binary
+    );
+    std::fs::write(path, &json).unwrap();
+    println!("  wrote {path}");
+}

@@ -1,0 +1,330 @@
+//! The VMIS-kNN scoring kernel itself — posting traversal, neighbour
+//! selection, item scoring — measured at the request grain, plus a
+//! faithful replica of the pre-inlining kernel as the speedup yardstick.
+//!
+//! Three paths are timed on the same synthetic e-commerce index:
+//!
+//! * **depersonalised single item** — the cache-miss path behind
+//!   `serving::cache` and the router's failover path, so its latency is
+//!   user-visible twice over;
+//! * **generic session windows** — the personalised path with a full
+//!   position map and decay loop;
+//! * **pre-PR replica** — the old kernel layout reimplemented in this
+//!   harness: session-id-only posting arrays with a `session_timestamp`
+//!   chase per entry, and a hash-probe (`scores.entry()`) accumulator.
+//!   The replica's output is asserted bit-identical to the live kernel
+//!   before anything is timed, and the live depersonalised path must be
+//!   ≥ 1.3× faster than it — the tentpole's quantitative claim, checked
+//!   in CI rather than in a commit message.
+//!
+//! Results land in the repo-root `BENCH_kernel.json`. With `--check`, the
+//! harness instead reads the committed artefact and fails if the fresh
+//! depersonalised p50 regressed more than 10% against it. Timings use
+//! best-of-round minima and percentiles over rounds, stable under
+//! scheduler noise.
+//!
+//! Not a criterion bench: the in-tree shim emits no JSON and this harness
+//! needs a machine-readable artefact plus hard assertions.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serenade_core::hash::fx_map_with_capacity;
+use serenade_core::{FxHashMap, ItemId, ItemScore, SessionId, SessionIndex, VmisConfig, VmisKnn};
+use serenade_dataset::{generate, SyntheticConfig};
+
+/// Single-item queries per round, spread across the popularity curve.
+const QUERIES: usize = 64;
+/// Multi-item evolving sessions per round for the generic path.
+const SESSIONS: usize = 32;
+/// Items per generic evolving session (within the default window cap).
+const SESSION_LEN: usize = 5;
+const ROUNDS: usize = 400;
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// Total-order f32 wrapper for the replica's top-k heap keys.
+#[derive(PartialEq)]
+struct F32Ord(f32);
+impl Eq for F32Ord {}
+impl PartialOrd for F32Ord {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F32Ord {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The pre-PR kernel, reproduced: session-id-only posting arrays with a
+/// `session_timestamp(j)` chase per traversal entry, a one-item position
+/// map, and a `scores.entry()` hash probe per scored item. Output is
+/// bit-identical to the live kernel (asserted in `main`); only the memory
+/// layout and probe structure differ — exactly the deltas this bench exists
+/// to price.
+struct PreprKernel {
+    index: Arc<SessionIndex>,
+    cfg: VmisConfig,
+    /// Old posting layout: ids only, timestamps fetched per entry.
+    postings: FxHashMap<ItemId, Vec<SessionId>>,
+    /// Same per-CSR-entry idf weights as the live kernel.
+    idf_flat: Vec<f32>,
+    // Reusable scratch, as the pre-PR `Scratch` kept it — the replica must
+    // not pay per-call allocations the old kernel amortised away.
+    r: FxHashMap<SessionId, f32>,
+    bt: BinaryHeap<Reverse<(u64, SessionId)>>,
+    topk: BinaryHeap<Reverse<(F32Ord, u64, SessionId)>>,
+    pos: FxHashMap<ItemId, usize>,
+    scores: FxHashMap<ItemId, f32>,
+    neighbors: Vec<(SessionId, f32)>,
+}
+
+impl PreprKernel {
+    fn new(index: Arc<SessionIndex>, cfg: VmisConfig) -> Self {
+        let num_sessions = index.num_sessions();
+        let mut idf_by_item: FxHashMap<ItemId, f32> = fx_map_with_capacity(index.num_items());
+        for (item, posting) in index.postings_iter() {
+            idf_by_item.insert(item, cfg.idf.weight(posting.support as usize, num_sessions));
+        }
+        let mut idf_flat = Vec::with_capacity(index.total_item_entries());
+        let mut postings: FxHashMap<ItemId, Vec<SessionId>> =
+            fx_map_with_capacity(index.num_items());
+        for sid in 0..num_sessions as SessionId {
+            for item in index.session_items(sid) {
+                idf_flat.push(idf_by_item.get(item).copied().unwrap_or(1.0));
+            }
+        }
+        for item in index.items() {
+            postings.insert(item, index.posting_sessions(item).expect("indexed item"));
+        }
+        let (m, k) = (cfg.m, cfg.k);
+        Self {
+            index,
+            cfg,
+            postings,
+            idf_flat,
+            r: fx_map_with_capacity(m * 2),
+            bt: BinaryHeap::with_capacity(m),
+            topk: BinaryHeap::with_capacity(k),
+            pos: fx_map_with_capacity(2),
+            scores: fx_map_with_capacity(1024),
+            neighbors: Vec::with_capacity(k),
+        }
+    }
+
+    fn recommend_depersonalised(&mut self, current_item: ItemId) -> Vec<ItemScore> {
+        let cfg = &self.cfg;
+        self.r.clear();
+        self.bt.clear();
+        self.topk.clear();
+        self.pos.clear();
+        self.scores.clear();
+        self.neighbors.clear();
+
+        let pi = cfg.decay.weight(1, 1);
+        if let Some(posting) = self.postings.get(&current_item) {
+            for &j in posting {
+                if let Some(rj) = self.r.get_mut(&j) {
+                    *rj += pi;
+                    continue;
+                }
+                // The chase the inlined layout removed: one random read of
+                // the timestamp array per posting entry.
+                let key = (self.index.session_timestamp(j), j);
+                if self.r.len() < cfg.m {
+                    self.r.insert(j, pi);
+                    self.bt.push(Reverse(key));
+                } else {
+                    let Reverse(root) = *self.bt.peek().expect("bt non-empty");
+                    if key > root {
+                        self.bt.pop();
+                        self.bt.push(Reverse(key));
+                        self.r.remove(&root.1);
+                        self.r.insert(j, pi);
+                    } else if cfg.early_stopping {
+                        break;
+                    }
+                }
+            }
+        }
+
+        for (&j, &rj) in &self.r {
+            let key = (F32Ord(rj), self.index.session_timestamp(j), j);
+            if self.topk.len() < cfg.k {
+                self.topk.push(Reverse(key));
+            } else if key > self.topk.peek().expect("topk non-empty").0 {
+                self.topk.pop();
+                self.topk.push(Reverse(key));
+            }
+        }
+
+        // Old scoring: a position map probed per candidate item and a hash
+        // accumulator probed per scored item.
+        self.pos.insert(current_item, 1);
+        self.neighbors
+            .extend(self.topk.iter().map(|Reverse((sim, _, sid))| (*sid, sim.0)));
+        self.neighbors.sort_unstable_by_key(|&(sid, _)| sid);
+        for &(sid, similarity) in &self.neighbors {
+            let span = self.index.session_span(sid);
+            let items = self.index.session_items(sid);
+            let max_pos = items.iter().filter_map(|it| self.pos.get(it)).copied().max();
+            let Some(max_pos) = max_pos else {
+                continue;
+            };
+            let lambda = cfg.match_weight.weight(max_pos, 1);
+            if lambda <= 0.0 {
+                continue;
+            }
+            let session_weight = lambda * similarity;
+            for (&item, &idf) in items.iter().zip(&self.idf_flat[span]) {
+                if cfg.exclude_session_items && self.pos.contains_key(&item) {
+                    continue;
+                }
+                *self.scores.entry(item).or_insert(0.0) += session_weight * idf;
+            }
+        }
+
+        let mut out: Vec<ItemScore> = self
+            .scores
+            .iter()
+            .filter(|&(_, &s)| s > 0.0)
+            .map(|(&item, &score)| ItemScore { item, score })
+            .collect();
+        out.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.item.cmp(&b.item)));
+        out.truncate(cfg.how_many);
+        out
+    }
+}
+
+/// Best-of-round, median-of-rounds and p99-over-rounds for one closure.
+fn measure(mut round: impl FnMut()) -> (Duration, Duration, Duration) {
+    let mut samples = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        round();
+        samples.push(t0.elapsed());
+    }
+    samples.sort();
+    let p50 = samples[samples.len() / 2];
+    let p99 = samples[((samples.len() - 1) as f64 * 0.99).round() as usize];
+    (samples[0], p50, p99)
+}
+
+fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+
+    let dataset = generate(&SyntheticConfig::ecom_1m().scaled(0.05));
+    let index = Arc::new(SessionIndex::build(&dataset.clicks, 500).unwrap());
+    let vmis = VmisKnn::new(Arc::clone(&index), VmisConfig::default()).unwrap();
+
+    // Query items across the popularity curve: the head is where flash
+    // crowds land, the torso is what steady-state cache misses look like.
+    let mut counts: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for click in &dataset.clicks {
+        *counts.entry(click.item_id).or_default() += 1;
+    }
+    let mut by_popularity: Vec<u64> = counts.keys().copied().collect();
+    by_popularity.sort_by_key(|item| std::cmp::Reverse(counts[item]));
+    assert!(by_popularity.len() >= QUERIES, "catalogue too small");
+    let stride = by_popularity.len() / QUERIES;
+    let queries: Vec<u64> = (0..QUERIES).map(|i| by_popularity[i * stride]).collect();
+
+    // Generic evolving sessions: windows sliding over the popularity list.
+    let session_windows: Vec<Vec<u64>> = (0..SESSIONS)
+        .map(|i| (0..SESSION_LEN).map(|j| by_popularity[(i * 3 + j * 7) % by_popularity.len()]).collect())
+        .collect();
+
+    let mut scratch = vmis.scratch();
+    let mut prepr = PreprKernel::new(Arc::clone(&index), VmisConfig::default());
+
+    // Bit-identity: the depersonalised fast path must agree with the
+    // generic kernel run on the equivalent one-item session, and the
+    // pre-PR replica must agree with both — otherwise the speedup below
+    // would compare kernels that compute different things.
+    for &item in &queries {
+        let fast = vmis.recommend_depersonalised(item, &mut scratch);
+        let generic = vmis.recommend_with_scratch(&[item], &mut scratch);
+        assert_eq!(fast, generic, "depersonalised path diverged for item {item}");
+        let old = prepr.recommend_depersonalised(item);
+        assert_eq!(fast, old, "pre-PR replica diverged for item {item}");
+    }
+
+    let (dep_min, dep_p50, dep_p99) = measure(|| {
+        for &item in &queries {
+            std::hint::black_box(vmis.recommend_depersonalised(item, &mut scratch));
+        }
+    });
+    let (_, old_p50, _) = measure(|| {
+        for &item in &queries {
+            std::hint::black_box(prepr.recommend_depersonalised(item));
+        }
+    });
+    let (ses_min, ses_p50, _) = measure(|| {
+        for window in &session_windows {
+            std::hint::black_box(vmis.recommend_with_scratch(window, &mut scratch));
+        }
+    });
+
+    let per_query = |d: Duration| micros(d) / QUERIES as f64;
+    let per_session = |d: Duration| micros(d) / SESSIONS as f64;
+
+    let speedup = per_query(old_p50) / per_query(dep_p50);
+
+    println!("kernel_hot_path: {QUERIES} single-item queries, {SESSIONS} sessions, {ROUNDS} rounds");
+    println!(
+        "  depersonalised: min {:>7.2}us/q, p50 {:>7.2}us/q, p99 {:>7.2}us/q",
+        per_query(dep_min),
+        per_query(dep_p50),
+        per_query(dep_p99)
+    );
+    println!(
+        "  pre-PR replica: p50 {:>7.2}us/q  ({speedup:.2}x)",
+        per_query(old_p50)
+    );
+    println!(
+        "  session windows: min {:>6.2}us/s, p50 {:>6.2}us/s",
+        per_session(ses_min),
+        per_session(ses_p50)
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+    if check_mode {
+        // SLA gate: the fresh depersonalised p50 must be within 10% of the
+        // committed baseline.
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--check needs a committed {path}: {e}"));
+        let needle = "\"depersonalised_p50_us\": ";
+        let at = committed.find(needle).expect("baseline field missing");
+        let rest = &committed[at + needle.len()..];
+        let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+        let baseline: f64 = rest[..end].trim().parse().expect("baseline p50 unparsable");
+        let fresh = per_query(dep_p50);
+        println!("  p50 gate: fresh {fresh:.2}us vs committed {baseline:.2}us (+10% allowed)");
+        assert!(
+            fresh <= baseline * 1.10,
+            "depersonalised p50 regressed >10%: {fresh:.2}us vs committed {baseline:.2}us"
+        );
+    } else {
+        let json = format!(
+            "{{\n  \"bench\": \"kernel_hot_path\",\n  \"rounds\": {ROUNDS},\n  \"queries\": {QUERIES},\n  \"depersonalised_p50_us\": {:.2},\n  \"depersonalised_p99_us\": {:.2},\n  \"prepr_replica_p50_us\": {:.2},\n  \"speedup_vs_prepr\": {speedup:.2},\n  \"session_p50_us\": {:.2}\n}}\n",
+            per_query(dep_p50),
+            per_query(dep_p99),
+            per_query(old_p50),
+            per_session(ses_p50),
+        );
+        std::fs::write(path, &json).unwrap();
+        println!("  wrote {path}");
+    }
+
+    assert!(
+        speedup >= 1.3,
+        "inlined kernel must be at least 1.3x the pre-PR layout on the \
+         depersonalised path, got {speedup:.2}x"
+    );
+}

@@ -23,6 +23,11 @@ use crate::types::{Click, ExternalSessionId, ItemId, SessionId, SessionRef, Time
 
 /// Posting list of an item: the `m` most recent sessions containing it, plus
 /// the total support count `h_i` over *all* historical sessions.
+///
+/// This is the **transport** form of a posting — session ids only, as the
+/// parallel builder produces them and the binary format stores them. The
+/// in-memory index inlines the session timestamps next to the ids (see
+/// [`PostingEntry`]) so the traversal kernel never leaves the posting array.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Posting {
     /// Session ids in strictly descending timestamp order (ties broken by
@@ -31,6 +36,57 @@ pub struct Posting {
     /// `h_i`: number of historical sessions containing the item (before
     /// truncation to `m_max`).
     pub support: u32,
+}
+
+/// One stored posting entry: the composite recency key of a historical
+/// session, inlined into the posting array.
+///
+/// Field order matters twice over: the derived `Ord` is lexicographic, so it
+/// equals the tuple order of the kernel's `(timestamp, session)` recency key,
+/// and `timestamp` first keeps the 16-byte layout free of padding. Storing
+/// the key inline turns the traversal's per-entry `session_timestamp(j)`
+/// random access into a contiguous scan of one array.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PostingEntry {
+    /// Timestamp `t_j` of the session (major key).
+    pub timestamp: Timestamp,
+    /// Dense session id `j` (minor key; unique, so the order is strict).
+    pub session: SessionId,
+}
+
+/// The in-memory storage form of a posting list: recency-descending
+/// [`PostingEntry`] records plus the item's full historical support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredPosting {
+    /// `(timestamp, session)` entries in strictly descending key order,
+    /// truncated to the index's `m_max`.
+    pub entries: Box<[PostingEntry]>,
+    /// `h_i`: number of historical sessions containing the item (before
+    /// truncation to `m_max`).
+    pub support: u32,
+}
+
+impl StoredPosting {
+    /// Projects the session ids, descending by recency (the transport view).
+    pub fn sessions(&self) -> impl Iterator<Item = SessionId> + '_ {
+        self.entries.iter().map(|e| e.session)
+    }
+
+    /// Inlines session timestamps into a transport [`Posting`].
+    fn inline(posting: Posting, timestamps: &[Timestamp]) -> Self {
+        let entries = posting
+            .sessions
+            .iter()
+            .map(|&sid| PostingEntry { timestamp: timestamps[sid as usize], session: sid })
+            .collect();
+        Self { entries, support: posting.support }
+    }
+
+    /// Projects back to the transport form (for serialisation).
+    fn to_transport(&self) -> Posting {
+        Posting { sessions: self.sessions().collect(), support: self.support }
+    }
 }
 
 /// Aggregate statistics of a built index.
@@ -58,7 +114,7 @@ pub type IndexParts =
 /// The prebuilt `(M, t)` index over historical sessions.
 #[derive(Debug, Clone)]
 pub struct SessionIndex {
-    postings: FxHashMap<ItemId, Posting>,
+    postings: FxHashMap<ItemId, StoredPosting>,
     /// `t`: timestamp per session, indexed by dense `SessionId`.
     timestamps: Box<[Timestamp]>,
     /// CSR storage of deduplicated per-session items (first-occurrence order).
@@ -149,14 +205,19 @@ impl SessionIndex {
                 ascending.entry(item).or_default().push(sid as SessionId);
             }
         }
-        let mut postings: FxHashMap<ItemId, Posting> = fx_map_with_capacity(ascending.len());
+        let mut postings: FxHashMap<ItemId, StoredPosting> =
+            fx_map_with_capacity(ascending.len());
         for (item, mut sessions) in ascending {
             let support = sessions.len() as u32;
             if sessions.len() > m_max {
                 sessions.drain(..sessions.len() - m_max);
             }
             sessions.reverse();
-            postings.insert(item, Posting { sessions: sessions.into_boxed_slice(), support });
+            let entries = sessions
+                .into_iter()
+                .map(|sid| PostingEntry { timestamp: timestamps[sid as usize], session: sid })
+                .collect();
+            postings.insert(item, StoredPosting { entries, support });
         }
 
         Ok(Self {
@@ -238,14 +299,28 @@ impl SessionIndex {
                 }
             }
         }
+        // All invariants hold; inline the recency keys into the storage form.
+        let postings = postings
+            .into_iter()
+            .map(|(item, posting)| (item, StoredPosting::inline(posting, &timestamps)))
+            .collect();
         Ok(Self { postings, timestamps, items_flat, items_offsets, m_max })
     }
 
     /// Posting list `m_i` of `item`: the most recent sessions containing it,
-    /// descending by recency. `None` if the item never occurred.
+    /// descending by recency, with each session's timestamp inlined so the
+    /// traversal reads the whole composite recency key from one contiguous
+    /// array. `None` if the item never occurred.
     #[inline]
-    pub fn postings(&self, item: ItemId) -> Option<&[SessionId]> {
-        self.postings.get(&item).map(|p| &*p.sessions)
+    pub fn postings(&self, item: ItemId) -> Option<&[PostingEntry]> {
+        self.postings.get(&item).map(|p| &*p.entries)
+    }
+
+    /// Session ids of `item`'s posting list, descending by recency — the
+    /// transport projection of [`SessionIndex::postings`] for consumers that
+    /// only need the ids.
+    pub fn posting_sessions(&self, item: ItemId) -> Option<Vec<SessionId>> {
+        self.postings.get(&item).map(|p| p.sessions().collect())
     }
 
     /// Support `h_i` of `item` (sessions containing it), if it occurred.
@@ -319,17 +394,17 @@ impl SessionIndex {
     }
 
     /// Iterates over `(item, posting)` pairs in unspecified order.
-    pub fn postings_iter(&self) -> impl Iterator<Item = (ItemId, &Posting)> {
+    pub fn postings_iter(&self) -> impl Iterator<Item = (ItemId, &StoredPosting)> {
         self.postings.iter().map(|(&i, p)| (i, p))
     }
 
     /// Computes aggregate statistics (sizes, approximate memory).
     pub fn stats(&self) -> IndexStats {
-        let posting_entries: usize = self.postings.values().map(|p| p.sessions.len()).sum();
-        let max_posting_len = self.postings.values().map(|p| p.sessions.len()).max().unwrap_or(0);
-        let approx_bytes = posting_entries * std::mem::size_of::<SessionId>()
+        let posting_entries: usize = self.postings.values().map(|p| p.entries.len()).sum();
+        let max_posting_len = self.postings.values().map(|p| p.entries.len()).max().unwrap_or(0);
+        let approx_bytes = posting_entries * std::mem::size_of::<PostingEntry>()
             + self.postings.len()
-                * (std::mem::size_of::<ItemId>() + std::mem::size_of::<Posting>())
+                * (std::mem::size_of::<ItemId>() + std::mem::size_of::<StoredPosting>())
             + self.timestamps.len() * std::mem::size_of::<Timestamp>()
             + self.items_flat.len() * std::mem::size_of::<ItemId>()
             + self.items_offsets.len() * std::mem::size_of::<u32>();
@@ -343,9 +418,13 @@ impl SessionIndex {
         }
     }
 
-    /// Decomposes the index into its raw parts (for serialisation).
+    /// Decomposes the index into its raw parts (for serialisation). Postings
+    /// are projected back to their transport form — the inlined timestamps
+    /// are derived data and are re-inlined by [`SessionIndex::from_parts`].
     pub fn into_parts(self) -> IndexParts {
-        (self.postings, self.timestamps, self.items_flat, self.items_offsets, self.m_max)
+        let postings =
+            self.postings.into_iter().map(|(item, p)| (item, p.to_transport())).collect();
+        (postings, self.timestamps, self.items_flat, self.items_offsets, self.m_max)
     }
 }
 
@@ -388,17 +467,27 @@ mod tests {
     #[test]
     fn postings_are_descending_by_recency() {
         let idx = SessionIndex::build(&sample_clicks(), 10).unwrap();
-        assert_eq!(idx.postings(1).unwrap(), &[2, 0]);
-        assert_eq!(idx.postings(2).unwrap(), &[1, 0]);
-        assert_eq!(idx.postings(3).unwrap(), &[2, 1]);
+        assert_eq!(idx.posting_sessions(1).unwrap(), &[2, 0]);
+        assert_eq!(idx.posting_sessions(2).unwrap(), &[1, 0]);
+        assert_eq!(idx.posting_sessions(3).unwrap(), &[2, 1]);
         assert_eq!(idx.postings(999), None);
+        // The inlined recency keys agree with the timestamp array and are
+        // strictly descending.
+        for (_, posting) in idx.postings_iter() {
+            for e in posting.entries.iter() {
+                assert_eq!(e.timestamp, idx.session_timestamp(e.session));
+            }
+            for w in posting.entries.windows(2) {
+                assert!(w[0] > w[1], "entries not strictly descending");
+            }
+        }
     }
 
     #[test]
     fn postings_truncate_to_m_max_keeping_most_recent() {
         let idx = SessionIndex::build(&sample_clicks(), 1).unwrap();
         // Only the most recent session per item is kept...
-        assert_eq!(idx.postings(1).unwrap(), &[2]);
+        assert_eq!(idx.posting_sessions(1).unwrap(), &[2]);
         // ...but supports still count all containing sessions.
         assert_eq!(idx.item_support(1), Some(2));
         assert_eq!(idx.item_support(3), Some(2));
@@ -454,7 +543,7 @@ mod tests {
         let (p, t, f, o, m) = idx.into_parts();
         let idx2 = SessionIndex::from_parts(p, t, f, o, m).unwrap();
         assert_eq!(idx2.stats(), stats_before);
-        assert_eq!(idx2.postings(1).unwrap(), &[2, 0]);
+        assert_eq!(idx2.posting_sessions(1).unwrap(), &[2, 0]);
     }
 
     #[test]
@@ -489,7 +578,7 @@ mod tests {
         let clicks = vec![Click::new(1, 5, 1), Click::new(1, 6, 2)];
         let idx = SessionIndex::build(&clicks, 500).unwrap();
         assert_eq!(idx.num_sessions(), 1);
-        assert_eq!(idx.postings(5).unwrap(), &[0]);
+        assert_eq!(idx.posting_sessions(5).unwrap(), &[0]);
         assert_eq!(idx.session(0).items, &[5, 6]);
     }
 }

@@ -27,7 +27,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
-use crate::hash::{fx_map_with_capacity, FxHashMap};
+use crate::hash::{fx_map_with_capacity, FxHashMap, FxHasher};
 use crate::heap::RuntimeDaryHeap;
 use crate::index::SessionIndex;
 use crate::types::{ItemId, ItemScore, SessionId, Timestamp};
@@ -158,6 +158,17 @@ impl VmisConfig {
 /// Composite recency key: strictly totally ordered even under timestamp ties.
 type RecencyKey = (Timestamp, SessionId);
 
+/// Fx hash of a capped window, used as the batch dedupe fast path.
+#[inline]
+fn window_hash(window: &[ItemId]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = FxHasher::default();
+    for &item in window {
+        h.write_u64(item);
+    }
+    h.finish()
+}
+
 /// Reusable per-thread buffers for the online computation.
 ///
 /// A production recommendation server keeps one `Scratch` per worker thread
@@ -173,8 +184,19 @@ pub struct Scratch {
     topk: RuntimeDaryHeap<(f32, Timestamp, SessionId), ()>,
     /// Latest 1-based position of each item in the capped evolving session.
     pos: FxHashMap<ItemId, usize>,
-    /// Candidate item scores `d`.
-    scores: FxHashMap<ItemId, f32>,
+    /// Candidate item scores `d`, as a dense epoch-stamped accumulator
+    /// indexed by the recommender's per-item slot (first appearance order in
+    /// the flat CSR storage). `acc[s]` is only meaningful when
+    /// `acc_epoch[s] == epoch`; stale slots cost nothing to "clear".
+    acc: Vec<f32>,
+    /// Epoch stamp per accumulator slot.
+    acc_epoch: Vec<u32>,
+    /// Current request epoch. Starts at 1 and is bumped by `clear()`; 0 is
+    /// reserved for "never touched" so freshly grown slots are always stale.
+    epoch: u32,
+    /// Slots touched this epoch, in first-touch order — the worklist
+    /// `take_top` extracts from.
+    touched: Vec<u32>,
     /// Neighbours in canonical (ascending session id) order for scoring.
     neighbors: Vec<(SessionId, f32)>,
     /// Scored output buffer.
@@ -198,7 +220,13 @@ impl Scratch {
             bt: RuntimeDaryHeap::with_arity_and_capacity(d, config.m),
             topk: RuntimeDaryHeap::with_arity_and_capacity(d, config.k),
             pos: fx_map_with_capacity(config.max_session_len * 2),
-            scores: fx_map_with_capacity(1024),
+            // The accumulator is sized by the *index* (one slot per distinct
+            // item), which a config-only constructor cannot know — it grows
+            // to the recommender's slot count on first use and stays there.
+            acc: Vec::new(),
+            acc_epoch: Vec::new(),
+            epoch: 1,
+            touched: Vec::new(),
             neighbors: Vec::with_capacity(config.k),
             out: Vec::with_capacity(config.how_many),
         }
@@ -209,9 +237,25 @@ impl Scratch {
         self.bt.clear();
         self.topk.clear();
         self.pos.clear();
-        self.scores.clear();
+        self.touched.clear();
+        // Advancing the epoch invalidates every accumulator slot in O(1).
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.acc_epoch.fill(0);
+            self.epoch = 1;
+        }
         self.neighbors.clear();
         self.out.clear();
+    }
+
+    /// Grows the accumulator to cover `slots` distinct items. New slots carry
+    /// epoch 0, which never matches a live epoch.
+    #[inline]
+    fn ensure_slots(&mut self, slots: usize) {
+        if self.acc.len() < slots {
+            self.acc.resize(slots, 0.0);
+            self.acc_epoch.resize(slots, 0);
+        }
     }
 }
 
@@ -233,6 +277,13 @@ pub struct BatchScratch {
     /// Owned copies of the unique capped windows (the dedupe keys). Entries
     /// beyond the current batch's unique count are stale capacity.
     windows: Vec<Vec<ItemId>>,
+    /// Fx hash of each unique window, parallel to `windows` — the dedupe
+    /// scan compares hashes first and touches the item slices only on a
+    /// hash match.
+    hashes: Vec<u64>,
+    /// Last request index using each unique slot; that requester takes the
+    /// result by move instead of cloning.
+    last_use: Vec<usize>,
     /// Traversal plan per unique window: `(item, π)` steps in the exact
     /// order the sequential kernel would process them.
     plans: Vec<Vec<(ItemId, f32)>>,
@@ -263,6 +314,14 @@ pub struct VmisKnn {
     /// per-item map (same `config.idf.weight`, same 1.0 fallback for items
     /// without a posting), keeping the output bit-identical.
     idf_flat: Box<[f32]>,
+    /// Dense accumulator slot of every entry of the flat CSR item storage:
+    /// `slot_flat[i]` is the per-item slot of the item at flat position `i`
+    /// (slots assigned in first-appearance order). Walked in lockstep with
+    /// `idf_flat`, it turns the scoring loop's per-item hash probe into an
+    /// array index into [`Scratch::acc`].
+    slot_flat: Box<[u32]>,
+    /// Item id of each accumulator slot (the inverse of `slot_flat`).
+    slot_items: Box<[ItemId]>,
 }
 
 impl VmisKnn {
@@ -281,12 +340,26 @@ impl VmisKnn {
             idf_by_item.insert(item, config.idf.weight(posting.support as usize, num_sessions));
         }
         let mut idf_flat = Vec::with_capacity(index.total_item_entries());
+        let mut slot_flat = Vec::with_capacity(index.total_item_entries());
+        let mut slot_of: FxHashMap<ItemId, u32> = fx_map_with_capacity(index.num_items());
+        let mut slot_items: Vec<ItemId> = Vec::with_capacity(index.num_items());
         for sid in 0..num_sessions as SessionId {
             for item in index.session_items(sid) {
                 idf_flat.push(idf_by_item.get(item).copied().unwrap_or(1.0));
+                let slot = *slot_of.entry(*item).or_insert_with(|| {
+                    slot_items.push(*item);
+                    (slot_items.len() - 1) as u32
+                });
+                slot_flat.push(slot);
             }
         }
-        Ok(Self { index, config, idf_flat: idf_flat.into_boxed_slice() })
+        Ok(Self {
+            index,
+            config,
+            idf_flat: idf_flat.into_boxed_slice(),
+            slot_flat: slot_flat.into_boxed_slice(),
+            slot_items: slot_items.into_boxed_slice(),
+        })
     }
 
     /// The underlying index.
@@ -336,12 +409,61 @@ impl VmisKnn {
 
     /// Non-personalised variant (Section 4.2 "Depersonalisation"): only the
     /// currently displayed item is used for the prediction.
+    ///
+    /// This is the cache-miss path behind the serving layer's prediction
+    /// cache and the router's failover path, so it is specialised end to
+    /// end: one posting walk, no position map, no decay loop — a one-item
+    /// window pins `ω = {item ↦ 1}`, `|s| = 1` and thus `norm = 1`, so
+    /// every per-position lookup of the generic kernel becomes a constant.
+    /// Output is bit-identical to `recommend(&[current_item])`; the
+    /// differential suite checks this on random logs and configs.
     pub fn recommend_depersonalised(
         &self,
         current_item: ItemId,
         scratch: &mut Scratch,
     ) -> Vec<ItemScore> {
-        self.recommend_with_scratch(&[current_item], scratch)
+        let cfg = &self.config;
+        scratch.clear();
+        // Generic kernel on a one-item window: π(1, 1) is the only decay
+        // weight and the position map would hold exactly {current_item ↦ 1}.
+        self.intersect_item(current_item, cfg.decay.weight(1, 1), scratch);
+        self.select_topk(scratch);
+
+        // Scoring with wlen = 1: max_pos is 1 for every true neighbour, so
+        // λ(1, 1) hoists out of the loop, and norm = 1 whether or not
+        // session-length normalisation is on.
+        let lambda = cfg.match_weight.weight(1, 1);
+        if lambda > 0.0 {
+            self.ensure_scratch_slots(scratch);
+            let Scratch { topk, acc, acc_epoch, epoch, touched, neighbors, .. } = scratch;
+            let e = *epoch;
+            neighbors.extend(topk.iter().map(|&((sim, _, sid), ())| (sid, sim)));
+            neighbors.sort_unstable_by_key(|&(sid, _)| sid);
+            for &(sid, similarity) in neighbors.iter() {
+                let span = self.index.session_span(sid);
+                let items = self.index.session_items(sid);
+                if !items.contains(&current_item) {
+                    continue; // cannot happen for true neighbours; defensive
+                }
+                let session_weight = lambda * similarity;
+                for ((&item, &idf), &slot) in
+                    items.iter().zip(&self.idf_flat[span.clone()]).zip(&self.slot_flat[span])
+                {
+                    if cfg.exclude_session_items && item == current_item {
+                        continue;
+                    }
+                    let s = slot as usize;
+                    if acc_epoch[s] == e {
+                        acc[s] += session_weight * idf;
+                    } else {
+                        acc_epoch[s] = e;
+                        acc[s] = session_weight * idf;
+                        touched.push(slot);
+                    }
+                }
+            }
+        }
+        self.take_top(scratch)
     }
 
     /// Computes only the `k` nearest neighbour sessions (the
@@ -371,23 +493,34 @@ impl VmisKnn {
         }
     }
 
+    /// Grows `scratch`'s dense accumulator to this recommender's slot count.
+    #[inline]
+    fn ensure_scratch_slots(&self, scratch: &mut Scratch) {
+        scratch.ensure_slots(self.slot_items.len());
+    }
+
     /// One step of the item-intersection loop: merges `item`'s posting list
     /// into the candidate set `r`/`b_t` with decay weight `pi`. State
     /// transitions depend only on `scratch`'s own prior contents, so steps
     /// for *different* scratches can be interleaved freely (the batch path
     /// relies on this).
+    ///
+    /// The posting stores the composite recency key inline
+    /// ([`crate::index::PostingEntry`]), so the walk is a straight-line scan
+    /// of one contiguous array — no per-entry timestamp lookup.
     #[inline]
     fn intersect_item(&self, item: ItemId, pi: f32, scratch: &mut Scratch) {
         let cfg = &self.config;
         let Some(posting) = self.index.postings(item) else {
             return; // item unseen in the historical data
         };
-        for &j in posting {
+        for &entry in posting {
+            let j = entry.session;
             if let Some(rj) = scratch.r.get_mut(&j) {
                 *rj += pi;
                 continue;
             }
-            let key: RecencyKey = (self.index.session_timestamp(j), j);
+            let key: RecencyKey = (entry.timestamp, j);
             if scratch.r.len() < cfg.m {
                 scratch.r.insert(j, pi);
                 scratch.bt.push(key, ());
@@ -483,21 +616,30 @@ impl VmisKnn {
         scratch: &mut BatchScratch,
     ) -> Vec<Vec<ItemScore>> {
         let cfg = &self.config;
-        let BatchScratch { slots, windows, plans, assign, results } = scratch;
+        let BatchScratch { slots, windows, hashes, last_use, plans, assign, results } = scratch;
 
-        // Dedupe capped windows; `assign[i]` maps request i to its slot.
+        // Dedupe capped windows; `assign[i]` maps request i to its slot. The
+        // scan compares window hashes first and falls back to the item
+        // slices only on a hash match, so a batch of distinct windows costs
+        // one u64 comparison per (request, unique) pair instead of a slice
+        // walk — and hash collisions stay correct, merely slower.
         assign.clear();
         let mut n_unique = 0usize;
         for &session in sessions {
             let window = self.cap_window(session);
-            let u = match windows[..n_unique].iter().position(|w| w.as_slice() == window) {
+            let hash = window_hash(window);
+            let u = match (0..n_unique)
+                .find(|&u| hashes[u] == hash && windows[u].as_slice() == window)
+            {
                 Some(u) => u,
                 None => {
                     if n_unique == windows.len() {
                         windows.push(Vec::with_capacity(window.len()));
+                        hashes.push(0);
                     }
                     windows[n_unique].clear();
                     windows[n_unique].extend_from_slice(window);
+                    hashes[n_unique] = hash;
                     n_unique += 1;
                     n_unique - 1
                 }
@@ -549,11 +691,36 @@ impl VmisKnn {
             *result = self.take_top(slot);
         }
 
-        assign.iter().map(|&u| results[u].clone()).collect()
+        // The last requester of each unique slot takes the result by move;
+        // earlier duplicates clone. A batch with no duplicate windows
+        // therefore allocates nothing here.
+        last_use.clear();
+        last_use.resize(n_unique, usize::MAX);
+        for (i, &u) in assign.iter().enumerate() {
+            last_use[u] = i;
+        }
+        assign
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| {
+                if last_use[u] == i {
+                    std::mem::take(&mut results[u])
+                } else {
+                    results[u].clone()
+                }
+            })
+            .collect()
     }
 
     /// Scores all items occurring in the neighbour sessions (Algorithm 2,
     /// lines 6–7): `d_i = Σ_n 1_n(i) · λ(max(ω(s)⊙n)) · r_n · idf_i`.
+    ///
+    /// Accumulation goes into the dense epoch-stamped array: the `slot_flat`
+    /// side-array resolves every CSR entry to its item's accumulator slot in
+    /// lockstep with the `idf_flat` walk, replacing the former per-item
+    /// `scores.entry()` hash probe. First touch of a slot *assigns* (as
+    /// `or_insert(0.0)` followed by `+=` did), so the f32 operations — and
+    /// hence the output bits — are unchanged.
     fn score_items(&self, scratch: &mut Scratch) {
         let cfg = &self.config;
         let wlen = scratch.pos.values().copied().max().unwrap_or(0);
@@ -563,10 +730,12 @@ impl VmisKnn {
         let norm =
             if cfg.normalize_by_session_length { 1.0 / wlen as f32 } else { 1.0 };
 
+        self.ensure_scratch_slots(scratch);
         // Canonical (ascending session id) iteration order: keeps the f32
         // summation order identical across all implementation variants, so
         // their outputs can be compared bit-for-bit.
-        let Scratch { topk, pos, scores, neighbors, .. } = scratch;
+        let Scratch { topk, pos, acc, acc_epoch, epoch, touched, neighbors, .. } = scratch;
+        let e = *epoch;
         neighbors.extend(topk.iter().map(|&((sim, _, sid), ())| (sid, sim)));
         neighbors.sort_unstable_by_key(|&(sid, _)| sid);
         for &(sid, similarity) in neighbors.iter() {
@@ -582,32 +751,40 @@ impl VmisKnn {
                 continue;
             }
             let session_weight = lambda * similarity * norm;
-            for (&item, &idf) in items.iter().zip(&self.idf_flat[span]) {
+            for ((&item, &idf), &slot) in
+                items.iter().zip(&self.idf_flat[span.clone()]).zip(&self.slot_flat[span])
+            {
                 if cfg.exclude_session_items && pos.contains_key(&item) {
                     continue;
                 }
-                *scores.entry(item).or_insert(0.0) += session_weight * idf;
+                let s = slot as usize;
+                if acc_epoch[s] == e {
+                    acc[s] += session_weight * idf;
+                } else {
+                    acc_epoch[s] = e;
+                    acc[s] = session_weight * idf;
+                    touched.push(slot);
+                }
             }
         }
     }
 
     /// Extracts the `how_many` highest-scored items, descending.
     fn take_top(&self, scratch: &mut Scratch) -> Vec<ItemScore> {
-        let Scratch { scores, out, .. } = scratch;
-        out.extend(
-            scores
-                .iter()
-                .filter(|&(_, &s)| s > 0.0)
-                .map(|(&item, &score)| ItemScore { item, score }),
-        );
+        let Scratch { acc, touched, out, .. } = scratch;
+        out.extend(touched.iter().filter_map(|&slot| {
+            let score = acc[slot as usize];
+            (score > 0.0).then(|| ItemScore { item: self.slot_items[slot as usize], score })
+        }));
         let n = self.config.how_many.min(out.len());
         if n == 0 {
             return Vec::new();
         }
         // Partial selection then sort of only the head: descending score,
-        // ascending item id on ties for deterministic output.
+        // ascending item id on ties for deterministic output. `total_cmp`
+        // is a total order, so the ranking cannot panic on any f32.
         let cmp = |a: &ItemScore, b: &ItemScore| {
-            b.score.partial_cmp(&a.score).expect("finite scores").then(a.item.cmp(&b.item))
+            b.score.total_cmp(&a.score).then(a.item.cmp(&b.item))
         };
         if n < out.len() {
             out.select_nth_unstable_by(n - 1, cmp);

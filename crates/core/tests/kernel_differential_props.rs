@@ -1,0 +1,137 @@
+//! Randomized differential testing of the scoring-kernel hot path.
+//!
+//! The cache-conscious kernel layout — recency keys inlined into posting
+//! storage, the dense epoch-stamped score accumulator, and the specialised
+//! depersonalised single-item path — is an *internal* rearrangement: its
+//! correctness contract is bit-identical output to the straightforward
+//! formulation. This suite samples that contract over random click logs and
+//! configs, leaning on the shapes that stress the layout specifically:
+//! timestamp ties (the composite-key tie-break order), `m` at or near the
+//! posting length (the early-stop boundary), and single-item windows (the
+//! specialised path).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use serenade_core::{Click, SessionIndex, VmisConfig, VmisKnn};
+
+/// Random click logs over a small id space; the timestamp range is a
+/// parameter so callers can force heavy ties.
+fn clicks_strategy(max_ts: u64) -> impl Strategy<Value = Vec<Click>> {
+    vec((1u64..=20, 1u64..=12, 0u64..=max_ts), 1..120).prop_map(|triples| {
+        triples
+            .into_iter()
+            .map(|(session, item, ts)| Click::new(session, item, ts))
+            .collect()
+    })
+}
+
+/// Random-but-valid configs spanning the knobs the kernel layout touches.
+/// `m` stays small so it regularly lands exactly on a posting length — the
+/// early-stop/heap-eviction boundary.
+fn config_strategy() -> impl Strategy<Value = VmisConfig> {
+    (1usize..=12, 1usize..=8, 1usize..=10, 1usize..=6, any::<bool>(), any::<bool>()).prop_map(
+        |(m, k, how_many, max_session_len, early_stopping, exclude)| VmisConfig {
+            m,
+            k,
+            how_many,
+            max_session_len,
+            early_stopping,
+            exclude_session_items: exclude,
+            ..VmisConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    // The inlined posting layout is an exact rewrite of the old
+    // sid-only layout: reconstructing each recency key the old way — a
+    // `session_timestamp` lookup per stored sid — yields the same key
+    // sequence the entries now carry inline, in the same order.
+    #[test]
+    fn inlined_postings_match_timestamp_chased_reconstruction(
+        clicks in clicks_strategy(300),
+        m_max in 1usize..8,
+    ) {
+        let index = SessionIndex::build(&clicks, m_max).expect("non-empty log");
+        for item in index.items() {
+            let entries = index.postings(item).expect("listed item has a posting");
+            let sids = index.posting_sessions(item).expect("transport projection");
+            prop_assert_eq!(entries.len(), sids.len());
+            let inline: Vec<(u64, u32)> =
+                entries.iter().map(|e| (e.timestamp, e.session)).collect();
+            let chased: Vec<(u64, u32)> =
+                sids.iter().map(|&j| (index.session_timestamp(j), j)).collect();
+            prop_assert_eq!(inline, chased, "item {} layout diverged", item);
+        }
+    }
+
+    // The specialised depersonalised path is bit-identical to the generic
+    // kernel fed a one-item window — for known and unknown items, across
+    // scratch reuse.
+    #[test]
+    fn depersonalised_path_matches_generic_single_item_window(
+        clicks in clicks_strategy(300),
+        config in config_strategy(),
+        probes in vec(0u64..=15, 1..12),
+    ) {
+        let index = SessionIndex::build(&clicks, config.m.max(4)).expect("non-empty log");
+        let vmis = VmisKnn::new(index, config).expect("valid config");
+        let mut fast = vmis.scratch();
+        let mut generic = vmis.scratch();
+        for &item in &probes {
+            prop_assert_eq!(
+                vmis.recommend_depersonalised(item, &mut fast),
+                vmis.recommend_with_scratch(&[item], &mut generic),
+                "item {} diverged", item
+            );
+        }
+    }
+
+    // Heavy timestamp ties: with only four distinct timestamps the
+    // composite `(timestamp, session)` order is decided almost entirely by
+    // the session-id tie-break, so any layout bug in the inlined key
+    // ordering shows up here first.
+    #[test]
+    fn timestamp_ties_keep_all_paths_identical(
+        clicks in clicks_strategy(3),
+        config in config_strategy(),
+        session in vec(1u64..=14, 0..6),
+    ) {
+        let index = SessionIndex::build(&clicks, config.m.max(4)).expect("non-empty log");
+        let vmis = VmisKnn::new(index, config).expect("valid config");
+        let mut scratch = vmis.scratch();
+        let reference = vmis.recommend(&session);
+        prop_assert_eq!(vmis.recommend_with_scratch(&session, &mut scratch), reference.clone());
+        if let [item] = session[..] {
+            prop_assert_eq!(vmis.recommend_depersonalised(item, &mut scratch), reference);
+        }
+    }
+
+    // Early stopping is a pure optimisation at every `m`-vs-posting-length
+    // boundary, on both the generic and the specialised path.
+    #[test]
+    fn early_stop_boundary_is_output_invariant(
+        clicks in clicks_strategy(50),
+        config in config_strategy(),
+        session in vec(1u64..=14, 1..6),
+    ) {
+        let index = std::sync::Arc::new(
+            SessionIndex::build(&clicks, config.m.max(4)).expect("non-empty log"),
+        );
+        let mut on = config.clone();
+        on.early_stopping = true;
+        let mut off = config;
+        off.early_stopping = false;
+        let vmis_on = VmisKnn::new(std::sync::Arc::clone(&index), on).expect("valid config");
+        let vmis_off = VmisKnn::new(index, off).expect("valid config");
+        prop_assert_eq!(vmis_on.recommend(&session), vmis_off.recommend(&session));
+        let mut s_on = vmis_on.scratch();
+        let mut s_off = vmis_off.scratch();
+        prop_assert_eq!(
+            vmis_on.recommend_depersonalised(session[0], &mut s_on),
+            vmis_off.recommend_depersonalised(session[0], &mut s_off)
+        );
+    }
+}

@@ -118,13 +118,15 @@ pub fn write_index(index: &SessionIndex, mut writer: impl Write) -> std::io::Res
     items.sort_unstable();
     payload.put_u64_le(items.len() as u64);
     for item in items {
-        let sessions = index.postings(item).expect("item is indexed");
+        let entries = index.postings(item).expect("item is indexed");
         let support = index.item_support(item).expect("item is indexed");
         payload.put_u64_le(item);
         payload.put_u32_le(support);
-        payload.put_u32_le(sessions.len() as u32);
-        for &sid in sessions {
-            payload.put_u32_le(sid);
+        payload.put_u32_le(entries.len() as u32);
+        // Wire format stores session ids only; the inlined timestamps are
+        // derived data and are re-inlined by `SessionIndex::from_parts`.
+        for e in entries {
+            payload.put_u32_le(e.session);
         }
     }
 

@@ -282,6 +282,6 @@ mod tests {
         let clicks = vec![Click::new(1, 5, 1), Click::new(1, 6, 2)];
         let idx = build_parallel(&clicks, BuilderConfig { threads: 16, m_max: 10 }).unwrap();
         assert_eq!(idx.num_sessions(), 1);
-        assert_eq!(idx.postings(5).unwrap(), &[0]);
+        assert_eq!(idx.posting_sessions(5).unwrap(), &[0]);
     }
 }

@@ -80,7 +80,7 @@ impl CompressedIndex {
         for (item, posting) in index.postings_iter() {
             buf.clear();
             let mut prev: u64 = 0;
-            for (i, &sid) in posting.sessions.iter().enumerate() {
+            for (i, sid) in posting.sessions().enumerate() {
                 if i == 0 {
                     write_varint(&mut buf, u64::from(sid));
                 } else {
@@ -92,7 +92,7 @@ impl CompressedIndex {
                 item,
                 CompressedPosting {
                     support: posting.support,
-                    count: posting.sessions.len() as u32,
+                    count: posting.entries.len() as u32,
                     bytes: buf[..].into(),
                 },
             );
@@ -257,8 +257,10 @@ impl CompressedIndex {
             .filter(|&(_, s)| s > 0.0)
             .map(|(item, score)| ItemScore { item, score })
             .collect();
+        // Total order: cannot panic, and agrees with `partial_cmp` on every
+        // score that survives the positive filter above.
         out.sort_unstable_by(|a, b| {
-            b.score.partial_cmp(&a.score).expect("finite").then(a.item.cmp(&b.item))
+            b.score.total_cmp(&a.score).then(a.item.cmp(&b.item))
         });
         out.truncate(config.how_many);
         Ok(out)
@@ -288,7 +290,7 @@ mod tests {
         let index = SessionIndex::build(&clicks(), 500).unwrap();
         let compressed = CompressedIndex::from_index(&index);
         for item in index.items() {
-            let raw: Vec<SessionId> = index.postings(item).unwrap().to_vec();
+            let raw: Vec<SessionId> = index.posting_sessions(item).unwrap();
             let decoded: Vec<SessionId> = compressed.postings(item).unwrap().collect();
             assert_eq!(raw, decoded, "item {item}");
             assert_eq!(index.item_support(item), compressed.item_support(item));
@@ -299,9 +301,11 @@ mod tests {
     fn compression_actually_saves_space() {
         let index = SessionIndex::build(&clicks(), 500).unwrap();
         let compressed = CompressedIndex::from_index(&index);
+        // Compare against the transport form (4 bytes per session id), not
+        // the kernel's 16-byte inlined entries, so the bar stays honest.
         let raw_bytes: usize = index
             .items()
-            .map(|i| std::mem::size_of_val(index.postings(i).unwrap()))
+            .map(|i| index.postings(i).unwrap().len() * std::mem::size_of::<SessionId>())
             .sum();
         assert!(
             compressed.posting_bytes() < raw_bytes,

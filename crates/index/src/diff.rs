@@ -26,7 +26,7 @@ fn item_signature(index: &SessionIndex, item: ItemId) -> Option<(u32, Vec<Sessio
     let support = index.item_support(item)?;
     let sessions = posting
         .iter()
-        .map(|&sid| (index.session_timestamp(sid), index.session_items(sid)))
+        .map(|e| (e.timestamp, index.session_items(e.session)))
         .collect();
     Some((support, sessions))
 }

@@ -399,7 +399,7 @@ impl IncrementalIndexer {
         for (item, posting) in index.postings_iter() {
             // The built index stores postings most recent first; internal
             // state keeps them ascending so the fast path can append.
-            let mut ascending = posting.sessions.to_vec();
+            let mut ascending: Vec<SessionId> = posting.sessions().collect();
             ascending.reverse();
             self.postings.insert(item, ascending);
             self.supports.insert(item, posting.support);
@@ -562,7 +562,7 @@ mod tests {
             .unwrap();
         }
         let idx = inc.snapshot().unwrap();
-        assert_eq!(idx.postings(0).unwrap(), &[4, 3]); // sids of sessions 5, 4
+        assert_eq!(idx.posting_sessions(0).unwrap(), &[4, 3]); // sids of sessions 5, 4
         assert_eq!(idx.item_support(0), Some(5));
     }
 

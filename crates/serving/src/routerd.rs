@@ -673,21 +673,68 @@ impl RequestBackend for RouterCore {
         reqs: &[RecommendRequest],
         bctx: &mut BatchContext,
     ) -> Vec<Result<Vec<ItemScore>, ServingError>> {
-        // Failover can split a coalesced batch across nodes, so members are
-        // proxied individually; the shard key only grouped likely-same-owner
-        // requests. Never an Err: the failover policy absorbs node loss.
+        // The shard key groups likely-same-owner requests, so the common
+        // case is one maximal run forwarded as a single upstream batch (one
+        // pool checkout on the remote transport, not two mutex ops per
+        // member). Members whose owner is dead — or whose forwarded run
+        // member errors — fall back to the individual failover policy in
+        // `recommend`, all sharing one scratch context. Never an Err: the
+        // failover policy absorbs node loss.
         bctx.ensure(reqs.len());
-        reqs.iter()
-            .enumerate()
-            .map(|(i, &req)| {
-                let mut scratch = RequestContext::new();
-                let recs = self.recommend(req, &mut scratch);
-                let member = bctx.member_mut(i);
-                member.set_timings(scratch.last_timings());
-                member.set_session_len(scratch.session_len());
-                Ok(recs)
-            })
-            .collect()
+        let membership = self.membership.load();
+        let mut results: Vec<Result<Vec<ItemScore>, ServingError>> =
+            Vec::with_capacity(reqs.len());
+        let mut scratch = RequestContext::new();
+        let mut sub_bctx = BatchContext::new();
+        let failover = |req: RecommendRequest,
+                            scratch: &mut RequestContext,
+                            bctx: &mut BatchContext,
+                            i: usize| {
+            let recs = self.recommend(req, scratch);
+            let member = bctx.member_mut(i);
+            member.set_timings(scratch.last_timings());
+            member.set_session_len(scratch.session_len());
+            Ok(recs)
+        };
+        let mut i = 0;
+        while i < reqs.len() {
+            let owner = membership
+                .route(reqs[i].session_id)
+                .filter(|&slot| membership.nodes[slot].is_alive());
+            let Some(slot) = owner else {
+                results.push(failover(reqs[i], &mut scratch, bctx, i));
+                i += 1;
+                continue;
+            };
+            let mut j = i + 1;
+            while j < reqs.len()
+                && membership.route(reqs[j].session_id) == Some(slot)
+            {
+                j += 1;
+            }
+            let entry = &membership.nodes[slot];
+            let run = &reqs[i..j];
+            for (off, res) in
+                entry.transport.handle_batch(run, &mut sub_bctx).into_iter().enumerate()
+            {
+                match res {
+                    Ok(recs) => {
+                        let sub = sub_bctx.member_mut(off);
+                        let (timings, len) = (sub.last_timings(), sub.session_len());
+                        let member = bctx.member_mut(i + off);
+                        member.set_timings(timings);
+                        member.set_session_len(len);
+                        results.push(Ok(recs));
+                    }
+                    Err(_) => {
+                        entry.alive.store(false, Ordering::SeqCst);
+                        results.push(failover(run[off], &mut scratch, bctx, i + off));
+                    }
+                }
+            }
+            i = j;
+        }
+        results
     }
 }
 

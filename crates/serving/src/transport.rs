@@ -227,6 +227,41 @@ impl RemotePod {
         parse_recommendations(&response)
             .map_err(|e| ServingError::Upstream(format!("{}: {e}", self.addr)))
     }
+
+    /// One `/recommend` exchange on a connection *held by the caller* in
+    /// `conn`, checking out only when the slot is empty. A healthy exchange
+    /// puts the connection back into the slot (not the pool), so a batch
+    /// pays one pool checkout/checkin total instead of two lock operations
+    /// per member. An I/O error drops the connection — its stream state is
+    /// unknowable — and leaves the slot empty for the next member to re-dial;
+    /// a non-200 or unparsable response keeps the (healthy) connection held.
+    fn recommend_on(
+        &self,
+        conn: &mut Option<HttpClient>,
+        req: RecommendRequest,
+    ) -> Result<Vec<ItemScore>, ServingError> {
+        let body = render_recommend_request(&req);
+        let mut client = match conn.take() {
+            Some(client) => client,
+            None => self
+                .checkout()
+                .map_err(|e| ServingError::Upstream(format!("{}: {e}", self.addr)))?,
+        };
+        match client.post("/recommend", &body) {
+            Ok((status, response)) => {
+                *conn = Some(client);
+                if status != 200 {
+                    return Err(ServingError::Upstream(format!(
+                        "{}: status {status}: {response}",
+                        self.addr
+                    )));
+                }
+                parse_recommendations(&response)
+                    .map_err(|e| ServingError::Upstream(format!("{}: {e}", self.addr)))
+            }
+            Err(e) => Err(ServingError::Upstream(format!("{}: {e}", self.addr))),
+        }
+    }
 }
 
 impl PodTransport for RemotePod {
@@ -253,21 +288,32 @@ impl PodTransport for RemotePod {
         reqs: &[RecommendRequest],
         bctx: &mut BatchContext,
     ) -> Vec<Result<Vec<ItemScore>, ServingError>> {
-        // Sequential proxying over one checked-out connection preserves the
-        // batch contract exactly: the node sees the members back to back in
-        // slice order on one keep-alive stream.
+        // Sequential proxying over one connection held across the whole
+        // batch preserves the batch contract exactly — the node sees the
+        // members back to back in slice order on one keep-alive stream —
+        // and touches the pool mutex once per batch, not per member.
         bctx.ensure(reqs.len());
-        reqs.iter()
+        let mut conn: Option<HttpClient> = None;
+        let results = reqs
+            .iter()
             .enumerate()
             .map(|(i, &req)| {
-                let mut scratch = RequestContext::new();
+                let started = Instant::now();
+                let result = self.recommend_on(&mut conn, req);
                 let member = bctx.member_mut(i);
-                let result = self.handle_with(req, &mut scratch);
-                member.set_timings(scratch.last_timings());
-                member.set_session_len(scratch.session_len());
+                member.set_timings(StageTimings {
+                    session: Duration::ZERO,
+                    predict: started.elapsed(),
+                    policy: Duration::ZERO,
+                });
+                member.set_session_len(1);
                 result
             })
-            .collect()
+            .collect();
+        if let Some(client) = conn {
+            self.checkin(client);
+        }
+        results
     }
 
     fn forget_session(&self, session_id: u64) -> bool {

@@ -47,14 +47,11 @@ cargo test -q -p serenade-core --test batch_differential_props
 echo "==> cluster conformance: router + child-process nodes (artifact fan-out, kill mid-load, handoff, rejoin)"
 cargo test -q -p serenade-serving --test cluster_failover
 
-echo "==> server SLA gate: coalesced-batch speedup + p99 vs committed BENCH_server.json (>10% fails)"
-cargo bench -q -p serenade-bench --bench server_batch -- --check
+echo "==> core conformance: kernel-layout randomized differential properties (inlined postings, depersonalised path)"
+cargo test -q -p serenade-core --test kernel_differential_props
 
-echo "==> ingest SLA gate: publish-to-visible p99 vs committed BENCH_ingest.json + read p99 under churn (>10% fails)"
-cargo bench -q -p serenade-bench --bench ingest_publish -- --check
-
-echo "==> cluster SLA gate: 4-node fleet holds the offered rate; p99 vs committed BENCH_cluster.json (>3x fails)"
-cargo bench -q -p serenade-bench --bench cluster_scale -- --check
+echo "==> SLA gates: every committed BENCH_*.json artefact vs a fresh --check measurement"
+cargo run -q -p xtask -- bench-check
 
 echo "==> loom models: serving (IndexHandle publication, drain handshake, stats stripes)"
 cargo test -q -p serenade-serving --features loom
